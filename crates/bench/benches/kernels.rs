@@ -1,0 +1,137 @@
+//! Criterion micro-benchmarks of the hot kernels at every level of the
+//! Fig. 6 hierarchy: the non-bonded pair loop (serial vs threaded),
+//! neighbour-list construction, RMSD superposition, k-centers clustering,
+//! transition-matrix estimation, and the controller-activity DES.
+
+use clustersim::{simulate_controller, MachineSpec, PerfModel, ProjectSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdsim::model::villin::VillinModel;
+use mdsim::{lj_fluid, LjFluidSpec};
+use msm::{k_centers, rmsd, CountMatrix, TransitionMatrix};
+use rand::Rng;
+use std::hint::black_box;
+
+fn bench_nonbonded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nonbonded_force");
+    for (label, threaded) in [("serial", false), ("rayon", true)] {
+        let mut sim = lj_fluid(
+            LjFluidSpec {
+                n_particles: 500,
+                threaded,
+                ..LjFluidSpec::default()
+            },
+            1,
+        );
+        sim.run(10); // build lists, settle
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                sim.run(black_box(5));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_list(c: &mut Criterion) {
+    use mdsim::{NeighborList, SimBox, Topology};
+    use mdsim::{LjParams, Particle};
+    let n = 2_000;
+    let l = 13.5; // density ~0.8
+    let mut top = Topology::new();
+    for _ in 0..n {
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+    }
+    let mut rng = mdsim::rng_from_seed(7);
+    let pos: Vec<mdsim::Vec3> = (0..n)
+        .map(|_| {
+            mdsim::v3(
+                rng.random::<f64>() * l,
+                rng.random::<f64>() * l,
+                rng.random::<f64>() * l,
+            )
+        })
+        .collect();
+    let bx = SimBox::cubic(l);
+    c.bench_function("neighbor_list_build_2000", |b| {
+        b.iter(|| {
+            let mut nl = NeighborList::new(2.5, 0.3);
+            nl.build(black_box(&pos), &bx, &top);
+            black_box(nl.pairs().len())
+        })
+    });
+}
+
+fn bench_rmsd(c: &mut Criterion) {
+    let model = VillinModel::hp35();
+    let a = model.native.clone();
+    let b = model.unfolded_start(1);
+    c.bench_function("rmsd_35_beads", |bch| {
+        bch.iter(|| black_box(rmsd(black_box(&a), black_box(&b))))
+    });
+}
+
+fn bench_kcenters(c: &mut Criterion) {
+    let model = VillinModel::hp35();
+    // 400 synthetic frames: perturbed native + coils.
+    let mut frames = Vec::new();
+    for i in 0..400u64 {
+        if i % 2 == 0 {
+            let mut f = model.native.clone();
+            let mut rng = mdsim::rng_from_seed(i);
+            for p in f.iter_mut() {
+                p.x += 0.3 * rng.random::<f64>();
+            }
+            frames.push(f);
+        } else {
+            frames.push(model.unfolded_start(i));
+        }
+    }
+    c.bench_function("kcenters_400_frames_k20", |b| {
+        b.iter(|| {
+            let cl = k_centers(black_box(&frames), 20, 0, |x, y| rmsd(x, y));
+            black_box(cl.max_radius())
+        })
+    });
+}
+
+fn bench_msm_estimation(c: &mut Criterion) {
+    // A 100-state random-walk dtraj.
+    let mut rng = mdsim::rng_from_seed(3);
+    let mut dtraj = vec![50usize];
+    for _ in 0..50_000 {
+        let cur = *dtraj.last().unwrap() as i64;
+        let step: i64 = if rng.random::<f64>() < 0.5 { -1 } else { 1 };
+        dtraj.push((cur + step).clamp(0, 99) as usize);
+    }
+    let counts = CountMatrix::from_dtrajs(&[dtraj], 100, 5);
+    c.bench_function("reversible_mle_100_states", |b| {
+        b.iter(|| {
+            let t = TransitionMatrix::reversible_mle(black_box(&counts), 1e-4, 1_000);
+            black_box(t.n_states())
+        })
+    });
+    let t = TransitionMatrix::reversible_mle(&counts, 1e-4, 10_000);
+    c.bench_function("stationary_100_states", |b| {
+        b.iter(|| black_box(t.stationary(1e-10, 100_000)))
+    });
+}
+
+fn bench_controller_des(c: &mut Criterion) {
+    let project = ProjectSpec::villin_first_folded();
+    let perf = PerfModel::villin();
+    c.bench_function("controller_des_20k_cores", |b| {
+        b.iter(|| {
+            let outcome =
+                simulate_controller(black_box(&project), &MachineSpec::new(20_000, 96), &perf);
+            black_box(outcome.wallclock_hours)
+        })
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nonbonded, bench_neighbor_list, bench_rmsd, bench_kcenters,
+              bench_msm_estimation, bench_controller_des
+}
+criterion_main!(kernels);

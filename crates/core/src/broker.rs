@@ -1,0 +1,342 @@
+//! Work-request routing across multiple project servers (§2.2).
+//!
+//! *"The network must support routing of requests both to specific
+//! servers, and to the first server with available commands."* A
+//! [`Broker`] sits between a worker pool and several project servers
+//! (Fig. 1 runs `msm_titin`, `msm_villin` and `free_energy`
+//! simultaneously): worker announcements fan out to every server,
+//! work requests are offered to the servers in rotating order and the
+//! first one with matching commands wins, completions are routed back to
+//! the server that issued the command, and heartbeats reach every
+//! server. Workers are shut down once every project has finished.
+
+use crate::ids::{CommandId, ProjectId, WorkerId};
+use crate::messages::{ToServer, ToWorker};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+struct ServerLink {
+    to_server: Sender<ToServer>,
+    /// Per-worker proxy reply channels (broker-side receivers).
+    proxies: HashMap<WorkerId, (Sender<ToWorker>, Receiver<ToWorker>)>,
+    /// Finished or disconnected.
+    done: bool,
+}
+
+struct WorkerEntry {
+    reply: Sender<ToWorker>,
+}
+
+/// The relay. Create with [`spawn_broker`].
+pub struct Broker {
+    servers: Vec<ServerLink>,
+    workers: HashMap<WorkerId, WorkerEntry>,
+    /// Which server issued each in-flight command. Command ids are only
+    /// unique per project, so the key includes the project.
+    command_owner: HashMap<(ProjectId, CommandId), usize>,
+    /// Rotates the first server tried, for fairness between projects.
+    next_first: usize,
+    inbox: Receiver<ToServer>,
+}
+
+impl Broker {
+    fn new(servers: Vec<Sender<ToServer>>, inbox: Receiver<ToServer>) -> Self {
+        Broker {
+            servers: servers
+                .into_iter()
+                .map(|to_server| ServerLink {
+                    to_server,
+                    proxies: HashMap::new(),
+                    done: false,
+                })
+                .collect(),
+            workers: HashMap::new(),
+            command_owner: HashMap::new(),
+            next_first: 0,
+            inbox,
+        }
+    }
+
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            self.handle(msg);
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.servers.iter().all(|s| s.done)
+    }
+
+    fn handle(&mut self, msg: ToServer) {
+        if std::env::var("BROKER_DEBUG").is_ok() {
+            let tag = match &msg {
+                ToServer::Announce { worker, .. } => format!("announce {worker}"),
+                ToServer::RequestWork { worker } => format!("request {worker}"),
+                ToServer::Completed { output } => format!("completed {}", output.command),
+                ToServer::CommandError { command, .. } => format!("error {command}"),
+                ToServer::Heartbeat { .. } => String::new(),
+            };
+            if !tag.is_empty() {
+                eprintln!("[broker] {tag}");
+            }
+        }
+        match msg {
+            ToServer::Announce { worker, desc, reply } => {
+                for link in self.servers.iter_mut().filter(|s| !s.done) {
+                    let proxy = unbounded::<ToWorker>();
+                    if link
+                        .to_server
+                        .send(ToServer::Announce {
+                            worker,
+                            desc: desc.clone(),
+                            reply: proxy.0.clone(),
+                        })
+                        .is_err()
+                    {
+                        link.done = true;
+                        continue;
+                    }
+                    link.proxies.insert(worker, proxy);
+                }
+                self.workers.insert(worker, WorkerEntry { reply });
+            }
+            ToServer::RequestWork { worker } => {
+                let Some(entry) = self.workers.get(&worker) else {
+                    return;
+                };
+                let worker_reply = entry.reply.clone();
+                let n = self.servers.len();
+                let first = self.next_first;
+                self.next_first = (self.next_first + 1) % n.max(1);
+
+                for offset in 0..n {
+                    let idx = (first + offset) % n;
+                    if self.servers[idx].done {
+                        continue;
+                    }
+                    let offer = self.offer_to_server(idx, worker);
+                    if std::env::var("BROKER_DEBUG").is_ok() {
+                        let what = match &offer {
+                            Offer::Workload(c) => format!("workload x{}", c.len()),
+                            Offer::NoWork => "nowork".into(),
+                            Offer::ServerDone => "done".into(),
+                        };
+                        eprintln!("[broker] offer srv{idx} -> {what}");
+                    }
+                    match offer {
+                        Offer::Workload(cmds) => {
+                            for cmd in &cmds {
+                                self.command_owner.insert((cmd.project, cmd.id), idx);
+                            }
+                            let _ = worker_reply.send(ToWorker::Workload(cmds));
+                            return;
+                        }
+                        Offer::NoWork => continue,
+                        Offer::ServerDone => {
+                            self.servers[idx].done = true;
+                            continue;
+                        }
+                    }
+                }
+                let _ = worker_reply.send(if self.all_done() {
+                    ToWorker::Shutdown
+                } else {
+                    ToWorker::NoWork
+                });
+            }
+            ToServer::Completed { output } => {
+                if let Some(idx) = self.command_owner.remove(&(output.project, output.command)) {
+                    if self.servers[idx]
+                        .to_server
+                        .send(ToServer::Completed { output })
+                        .is_err()
+                    {
+                        self.servers[idx].done = true;
+                    }
+                }
+            }
+            ToServer::CommandError { worker, project, command, error } => {
+                if let Some(idx) = self.command_owner.remove(&(project, command)) {
+                    let _ = self.servers[idx].to_server.send(ToServer::CommandError {
+                        worker,
+                        project,
+                        command,
+                        error,
+                    });
+                }
+            }
+            ToServer::Heartbeat { worker } => {
+                for link in self.servers.iter_mut().filter(|s| !s.done) {
+                    if link
+                        .to_server
+                        .send(ToServer::Heartbeat { worker })
+                        .is_err()
+                    {
+                        link.done = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Offer a work request to one server and wait for its verdict.
+    fn offer_to_server(&mut self, idx: usize, worker: WorkerId) -> Offer {
+        let link = &mut self.servers[idx];
+        let Some((_, proxy_rx)) = link.proxies.get(&worker) else {
+            return Offer::NoWork; // worker never announced to this server
+        };
+        if link
+            .to_server
+            .send(ToServer::RequestWork { worker })
+            .is_err()
+        {
+            return Offer::ServerDone;
+        }
+        // Drain until the reply to *this* request arrives; unsolicited
+        // Shutdown broadcasts mean the server finished its project.
+        loop {
+            match proxy_rx.recv() {
+                Ok(ToWorker::Workload(cmds)) => return Offer::Workload(cmds),
+                Ok(ToWorker::NoWork) => return Offer::NoWork,
+                Ok(ToWorker::Shutdown) => return Offer::ServerDone,
+                Err(_) => return Offer::ServerDone,
+            }
+        }
+    }
+}
+
+enum Offer {
+    Workload(Vec<crate::command::Command>),
+    NoWork,
+    ServerDone,
+}
+
+/// Spawn a broker thread in front of the given server inboxes. Returns
+/// the sender workers should talk to, plus the broker's join handle
+/// (exits when all workers have disconnected).
+pub fn spawn_broker(
+    servers: Vec<Sender<ToServer>>,
+) -> (Sender<ToServer>, JoinHandle<()>) {
+    assert!(!servers.is_empty(), "broker needs at least one server");
+    let (tx, rx) = unbounded();
+    let broker = Broker::new(servers, rx);
+    let handle = std::thread::spawn(move || broker.run());
+    (tx, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{Action, Controller, ControllerEvent};
+    use crate::executor::{ExecutorRegistry, SleepExecutor};
+    use crate::fs::SharedFs;
+    use crate::ids::ProjectId;
+    use crate::monitor::Monitor;
+    use crate::resources::Resources;
+    use crate::server::{Server, ServerConfig};
+    use crate::worker::{spawn_worker, WorkerConfig};
+    use crate::CommandSpec;
+    use serde_json::json;
+    use std::sync::Arc;
+
+    /// Controller that runs `n` sleep commands then finishes with its
+    /// own label.
+    struct SleepProject {
+        label: &'static str,
+        n: usize,
+        done: usize,
+    }
+
+    impl Controller for SleepProject {
+        fn name(&self) -> &str {
+            self.label
+        }
+        fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+            match event {
+                ControllerEvent::ProjectStarted => {
+                    let specs = (0..self.n)
+                        .map(|_| {
+                            CommandSpec::new(
+                                "sleep",
+                                Resources::new(1, 1),
+                                json!({ "millis": 2 }),
+                            )
+                        })
+                        .collect();
+                    vec![Action::Spawn(specs)]
+                }
+                ControllerEvent::CommandFinished(_) => {
+                    self.done += 1;
+                    if self.done == self.n {
+                        vec![Action::FinishProject {
+                            result: json!(self.label),
+                        }]
+                    } else {
+                        vec![]
+                    }
+                }
+                _ => vec![],
+            }
+        }
+    }
+
+    #[test]
+    fn one_worker_pool_serves_two_projects() {
+        let mut server_txs = Vec::new();
+        let mut server_threads = Vec::new();
+        for (p, label) in ["alpha", "beta"].iter().enumerate() {
+            let (tx, rx) = unbounded();
+            let server = Server::new(
+                ProjectId(p as u64),
+                Box::new(SleepProject {
+                    label,
+                    n: 6,
+                    done: 0,
+                }),
+                ServerConfig::default(),
+                SharedFs::new(),
+                Monitor::new(),
+                rx,
+            );
+            server_txs.push(tx);
+            server_threads.push(std::thread::spawn(move || server.run()));
+        }
+        let (broker_tx, broker_handle) = spawn_broker(server_txs);
+
+        let registry = ExecutorRegistry::new().with(Arc::new(SleepExecutor));
+        let workers: Vec<_> = (0..3)
+            .map(|i| {
+                spawn_worker(
+                    WorkerId(i),
+                    WorkerConfig::default(),
+                    registry.clone(),
+                    broker_tx.clone(),
+                )
+            })
+            .collect();
+        drop(broker_tx);
+
+        let mut results: Vec<_> = server_threads
+            .into_iter()
+            .map(|t| t.join().unwrap())
+            .collect();
+        for w in workers {
+            w.join();
+        }
+        broker_handle.join().unwrap();
+
+        results.sort_by_key(|r| r.project);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].result, json!("alpha"));
+        assert_eq!(results[1].result, json!("beta"));
+        assert_eq!(results[0].commands_completed, 6);
+        assert_eq!(results[1].commands_completed, 6);
+    }
+
+    #[test]
+    fn broker_requires_servers() {
+        let result = std::panic::catch_unwind(|| spawn_broker(vec![]));
+        assert!(result.is_err());
+    }
+}

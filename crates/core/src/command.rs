@@ -1,0 +1,145 @@
+//! Commands: the individual work units a project is broken into.
+//!
+//! In the paper, a command is typically one massively parallel 50-ns MD
+//! segment. Payloads are structured JSON interpreted by the executor
+//! registered for the command type — the framework itself is agnostic of
+//! the simulation engine (§2.1).
+
+use crate::ids::{CommandId, ProjectId, WorkerId};
+use crate::resources::Resources;
+use serde::{Deserialize, Serialize};
+
+/// What a controller asks to be run (before an id is assigned).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommandSpec {
+    pub command_type: String,
+    /// Higher runs earlier.
+    pub priority: i32,
+    pub required: Resources,
+    pub payload: serde_json::Value,
+}
+
+impl CommandSpec {
+    pub fn new(
+        command_type: impl Into<String>,
+        required: Resources,
+        payload: serde_json::Value,
+    ) -> Self {
+        CommandSpec {
+            command_type: command_type.into(),
+            priority: 0,
+            required,
+            payload,
+        }
+    }
+
+    pub fn with_priority(mut self, priority: i32) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// A queued, schedulable command.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Command {
+    pub id: CommandId,
+    pub project: ProjectId,
+    pub command_type: String,
+    pub priority: i32,
+    pub required: Resources,
+    pub payload: serde_json::Value,
+    /// Latest checkpoint returned by a (possibly failed) earlier
+    /// execution; executors resume from it when present (§2.3).
+    pub checkpoint: Option<serde_json::Value>,
+    /// How many times this command has been (re)dispatched.
+    pub attempts: u32,
+}
+
+impl Command {
+    pub fn from_spec(id: CommandId, project: ProjectId, spec: CommandSpec) -> Self {
+        Command {
+            id,
+            project,
+            command_type: spec.command_type,
+            priority: spec.priority,
+            required: spec.required,
+            payload: spec.payload,
+            checkpoint: None,
+            attempts: 0,
+        }
+    }
+}
+
+/// The result a worker returns for a completed command.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommandOutput {
+    pub command: CommandId,
+    pub project: ProjectId,
+    pub worker: WorkerId,
+    pub command_type: String,
+    pub data: serde_json::Value,
+    /// Wall time the execution took, seconds.
+    pub wall_secs: f64,
+    /// Serialized size of `data` (ensemble-bandwidth accounting).
+    pub bytes: u64,
+}
+
+impl CommandOutput {
+    pub fn new(cmd: &Command, worker: WorkerId, data: serde_json::Value, wall_secs: f64) -> Self {
+        let bytes = serde_json::to_vec(&data).map(|v| v.len() as u64).unwrap_or(0);
+        CommandOutput {
+            command: cmd.id,
+            project: cmd.project,
+            worker,
+            command_type: cmd.command_type.clone(),
+            data,
+            wall_secs,
+            bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn spec_to_command() {
+        let spec = CommandSpec::new("mdrun", Resources::new(4, 100), json!({"steps": 1000}))
+            .with_priority(5);
+        let cmd = Command::from_spec(CommandId(1), ProjectId(0), spec);
+        assert_eq!(cmd.command_type, "mdrun");
+        assert_eq!(cmd.priority, 5);
+        assert_eq!(cmd.payload["steps"], 1000);
+        assert!(cmd.checkpoint.is_none());
+        assert_eq!(cmd.attempts, 0);
+    }
+
+    #[test]
+    fn output_measures_bytes() {
+        let cmd = Command::from_spec(
+            CommandId(2),
+            ProjectId(0),
+            CommandSpec::new("t", Resources::new(1, 1), json!(null)),
+        );
+        let out = CommandOutput::new(&cmd, WorkerId(9), json!({"x": [1, 2, 3]}), 0.5);
+        assert_eq!(out.command, CommandId(2));
+        assert_eq!(out.worker, WorkerId(9));
+        assert!(out.bytes >= 10);
+        assert_eq!(out.wall_secs, 0.5);
+    }
+
+    #[test]
+    fn command_roundtrips_serde() {
+        let cmd = Command::from_spec(
+            CommandId(3),
+            ProjectId(1),
+            CommandSpec::new("mdrun", Resources::new(2, 64), json!({"seed": 7})),
+        );
+        let s = serde_json::to_string(&cmd).unwrap();
+        let back: Command = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.id, cmd.id);
+        assert_eq!(back.payload, cmd.payload);
+    }
+}

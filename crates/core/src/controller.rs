@@ -1,0 +1,101 @@
+//! Controller plugins (§2.1 of the paper).
+//!
+//! *"Even the controllers doing the analysis and deciding what to run are
+//! 'plugins'… Controllers are in essence event handlers that react to a
+//! set of conditions: they are called when a project starts, a subproject
+//! finishes, a command finishes, etc."*
+//!
+//! A [`Controller`] receives [`ControllerEvent`]s from the project server
+//! and answers with [`Action`]s: spawn commands, terminate queued
+//! commands, or finish the project with a result.
+
+use crate::command::{CommandOutput, CommandSpec};
+use crate::ids::{CommandId, WorkerId};
+
+/// Events delivered to a project controller.
+#[derive(Debug)]
+pub enum ControllerEvent<'a> {
+    /// The project has been created; produce the initial commands.
+    ProjectStarted,
+    /// A command's output has arrived at the project server.
+    CommandFinished(&'a CommandOutput),
+    /// A worker stopped heartbeating; the listed command was re-queued
+    /// (with its latest checkpoint, if any).
+    WorkerFailed {
+        worker: WorkerId,
+        requeued: Option<CommandId>,
+    },
+}
+
+/// What a controller wants done in response to an event.
+#[derive(Debug)]
+pub enum Action {
+    /// Enqueue new commands.
+    Spawn(Vec<CommandSpec>),
+    /// Remove a not-yet-dispatched command from the queue.
+    Cancel(CommandId),
+    /// The project is done; `result` is its final report.
+    FinishProject { result: serde_json::Value },
+    /// Progress note surfaced through the monitoring interface.
+    Log(String),
+}
+
+/// A project controller plugin.
+pub trait Controller: Send {
+    /// Short name for logs and monitoring ("msm", "fep", …).
+    fn name(&self) -> &str;
+
+    /// Handle one event, returning follow-up actions.
+    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::Resources;
+    use serde_json::json;
+
+    /// A controller that runs `n` trivial commands then finishes.
+    struct CountDown {
+        remaining: usize,
+    }
+
+    impl Controller for CountDown {
+        fn name(&self) -> &str {
+            "countdown"
+        }
+        fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+            match event {
+                ControllerEvent::ProjectStarted => {
+                    let specs = (0..self.remaining)
+                        .map(|i| {
+                            CommandSpec::new("noop", Resources::new(1, 1), json!({ "i": i }))
+                        })
+                        .collect();
+                    vec![Action::Spawn(specs)]
+                }
+                ControllerEvent::CommandFinished(_) => {
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        vec![Action::FinishProject { result: json!("done") }]
+                    } else {
+                        vec![]
+                    }
+                }
+                ControllerEvent::WorkerFailed { .. } => vec![Action::Log("shrug".into())],
+            }
+        }
+    }
+
+    #[test]
+    fn controller_protocol_shape() {
+        let mut c = CountDown { remaining: 2 };
+        assert_eq!(c.name(), "countdown");
+        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        assert_eq!(actions.len(), 1);
+        match &actions[0] {
+            Action::Spawn(specs) => assert_eq!(specs.len(), 2),
+            other => panic!("expected spawn, got {other:?}"),
+        }
+    }
+}

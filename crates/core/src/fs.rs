@@ -1,0 +1,71 @@
+//! Shared-filesystem abstraction for checkpoint hand-off.
+//!
+//! §2.3 of the paper: *"If the server the worker connects to has access
+//! to the same file system as the worker… this also allows commands that
+//! do checkpointing… to have another client transparently continue from
+//! the last checkpoint."* Workers periodically deposit checkpoints here;
+//! when a worker is declared lost, the server re-queues its command with
+//! the latest checkpoint attached.
+
+use crate::ids::CommandId;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An in-process stand-in for a cluster shared filesystem.
+#[derive(Clone, Default)]
+pub struct SharedFs {
+    inner: Arc<Mutex<HashMap<CommandId, serde_json::Value>>>,
+}
+
+impl SharedFs {
+    pub fn new() -> Self {
+        SharedFs::default()
+    }
+
+    /// Deposit (overwrite) the latest checkpoint for a command.
+    pub fn store_checkpoint(&self, cmd: CommandId, checkpoint: serde_json::Value) {
+        self.inner.lock().insert(cmd, checkpoint);
+    }
+
+    /// Latest checkpoint for a command, if any.
+    pub fn checkpoint(&self, cmd: CommandId) -> Option<serde_json::Value> {
+        self.inner.lock().get(&cmd).cloned()
+    }
+
+    /// Drop a command's checkpoint (after successful completion).
+    pub fn clear(&self, cmd: CommandId) {
+        self.inner.lock().remove(&cmd);
+    }
+
+    pub fn n_checkpoints(&self) -> usize {
+        self.inner.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn store_fetch_clear() {
+        let fs = SharedFs::new();
+        assert!(fs.checkpoint(CommandId(1)).is_none());
+        fs.store_checkpoint(CommandId(1), json!({"step": 100}));
+        assert_eq!(fs.checkpoint(CommandId(1)).unwrap()["step"], 100);
+        fs.store_checkpoint(CommandId(1), json!({"step": 200}));
+        assert_eq!(fs.checkpoint(CommandId(1)).unwrap()["step"], 200);
+        assert_eq!(fs.n_checkpoints(), 1);
+        fs.clear(CommandId(1));
+        assert!(fs.checkpoint(CommandId(1)).is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let fs = SharedFs::new();
+        let fs2 = fs.clone();
+        fs.store_checkpoint(CommandId(7), json!(42));
+        assert_eq!(fs2.checkpoint(CommandId(7)).unwrap(), json!(42));
+    }
+}

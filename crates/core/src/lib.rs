@@ -1,0 +1,76 @@
+//! # copernicus-core — the parallel adaptive molecular dynamics framework
+//!
+//! A Rust reproduction of the Copernicus framework (Pronk et al., SC11):
+//! projects consisting of many coupled parallel simulations are executed
+//! as a single job. A project server holds a command queue and a
+//! controller plugin; workers announce their platform, resources and
+//! installed executables, receive matched workloads, heartbeat while they
+//! run, and return outputs. Lost workers are detected by heartbeat
+//! timeout and their commands re-queued with the latest shared-filesystem
+//! checkpoint, so another worker transparently continues the run (§2.3).
+//!
+//! The two controller plugins the paper ships — Markov-state-model
+//! adaptive sampling and Bennett-acceptance-ratio free energies — live in
+//! [`plugins`].
+//!
+//! ```no_run
+//! use copernicus_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! let model = Arc::new(mdsim::VillinModel::hp35());
+//! let controller = MsmController::new(model.clone(), MsmProjectConfig::default());
+//! let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+//! let result = run_project(Box::new(controller), registry, RuntimeConfig::default());
+//! println!("{}", result.result);
+//! ```
+
+pub mod broker;
+pub mod command;
+pub mod controller;
+pub mod executor;
+pub mod fs;
+pub mod ids;
+pub mod messages;
+pub mod monitor;
+pub mod plugins;
+pub mod queue;
+pub mod resources;
+pub mod runtime;
+pub mod server;
+pub mod worker;
+
+pub use broker::spawn_broker;
+pub use command::{Command, CommandOutput, CommandSpec};
+pub use controller::{Action, Controller, ControllerEvent};
+pub use executor::{
+    CommandExecutor, ExecContext, ExecError, ExecutorRegistry, FepSampleExecutor, FepSampleOutput,
+    FepSampleSpec, MdRunExecutor, MdRunOutput, MdRunSpec, SleepExecutor,
+};
+pub use fs::SharedFs;
+pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
+pub use monitor::{Monitor, ProjectStatus};
+pub use queue::CommandQueue;
+pub use resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
+pub use runtime::{run_project, start_project, RunningProject, RuntimeConfig};
+pub use server::{ProjectResult, Server, ServerConfig};
+pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::command::{Command, CommandOutput, CommandSpec};
+    pub use crate::controller::{Action, Controller, ControllerEvent};
+    pub use crate::executor::{
+        CommandExecutor, ExecutorRegistry, FepSampleExecutor, MdRunExecutor, SleepExecutor,
+    };
+    pub use crate::fs::SharedFs;
+    pub use crate::ids::{CommandId, ProjectId, WorkerId};
+    pub use crate::monitor::{Monitor, ProjectStatus};
+    pub use crate::plugins::{
+        FepController, FepProjectConfig, FepProjectReport, MsmController, MsmProjectConfig,
+        MsmProjectReport,
+    };
+    pub use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
+    pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};
+    pub use crate::server::{ProjectResult, ServerConfig};
+    pub use crate::worker::WorkerConfig;
+}

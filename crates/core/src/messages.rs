@@ -1,0 +1,47 @@
+//! Wire messages between workers and the project server.
+//!
+//! In the real deployment these travel as SSL request/response pairs over
+//! the overlay network (modeled in the `netsim` crate); inside one
+//! process they travel over crossbeam channels. The message set is the
+//! same either way.
+
+use crate::command::{Command, CommandOutput};
+use crate::ids::{CommandId, ProjectId, WorkerId};
+use crate::resources::WorkerDescription;
+use crossbeam::channel::Sender;
+
+/// Messages a worker (or client) sends to a server.
+pub enum ToServer {
+    /// A worker presents itself: platform, resources, executables
+    /// (§2.3), plus its reply channel.
+    Announce {
+        worker: WorkerId,
+        desc: WorkerDescription,
+        reply: Sender<ToWorker>,
+    },
+    /// Ask for a workload.
+    RequestWork { worker: WorkerId },
+    /// A command finished successfully.
+    Completed { output: CommandOutput },
+    /// A command failed in a reportable way (bad payload etc. — *not* a
+    /// crash, which manifests as silence).
+    CommandError {
+        worker: WorkerId,
+        project: ProjectId,
+        command: CommandId,
+        error: String,
+    },
+    /// Periodic liveness signal.
+    Heartbeat { worker: WorkerId },
+}
+
+/// Messages a server sends to a worker.
+#[derive(Debug)]
+pub enum ToWorker {
+    /// Commands to execute.
+    Workload(Vec<Command>),
+    /// Nothing matched; poll again later.
+    NoWork,
+    /// The project is over; exit.
+    Shutdown,
+}

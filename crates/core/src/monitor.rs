@@ -1,0 +1,76 @@
+//! Real-time project monitoring (§2: "Progress and results can be
+//! monitored in real time through a web interface").
+//!
+//! The server updates a shared [`ProjectStatus`]; clients (examples, the
+//! bench harness, tests) poll a [`Monitor`] handle from any thread.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Snapshot of a running project.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProjectStatus {
+    pub commands_queued: usize,
+    pub commands_running: usize,
+    pub commands_completed: u64,
+    pub commands_failed: u64,
+    pub commands_requeued: u64,
+    pub workers_connected: usize,
+    pub workers_lost: u64,
+    /// Total output payload received (ensemble-level traffic).
+    pub bytes_received: u64,
+    /// Controller progress notes, newest last.
+    pub log: Vec<String>,
+    pub finished: bool,
+}
+
+/// Shared monitoring handle.
+#[derive(Clone, Default)]
+pub struct Monitor {
+    inner: Arc<Mutex<ProjectStatus>>,
+}
+
+impl Monitor {
+    pub fn new() -> Self {
+        Monitor::default()
+    }
+
+    /// Current snapshot (cloned; cheap relative to command granularity).
+    pub fn status(&self) -> ProjectStatus {
+        self.inner.lock().clone()
+    }
+
+    pub fn update(&self, f: impl FnOnce(&mut ProjectStatus)) {
+        f(&mut self.inner.lock());
+    }
+
+    pub fn log(&self, line: impl Into<String>) {
+        self.inner.lock().log.push(line.into());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn updates_are_visible_to_clones() {
+        let m = Monitor::new();
+        let m2 = m.clone();
+        m.update(|s| s.commands_completed = 5);
+        m.log("generation 1 clustered");
+        let snap = m2.status();
+        assert_eq!(snap.commands_completed, 5);
+        assert_eq!(snap.log, vec!["generation 1 clustered".to_string()]);
+        assert!(!snap.finished);
+    }
+
+    #[test]
+    fn status_is_a_snapshot() {
+        let m = Monitor::new();
+        let snap = m.status();
+        m.update(|s| s.commands_completed = 1);
+        assert_eq!(snap.commands_completed, 0, "snapshots must not alias");
+    }
+}

@@ -1,0 +1,234 @@
+//! The BAR free-energy controller plugin (§5: "Copernicus comes with
+//! plugins to run Markov-State-Model-driven sampling and Bennett
+//! Acceptance Ratio free energy perturbation calculations").
+//!
+//! The perturbation is stratified into λ-windows (Fig. 1's `lambda0`,
+//! `lambda1`, … commands); each window boundary spawns one forward and
+//! one reverse sampling command, and when all samples are in, the
+//! stratified BAR estimate is the project result.
+
+use crate::command::CommandSpec;
+use crate::controller::{Action, Controller, ControllerEvent};
+use crate::executor::{FepSampleExecutor, FepSampleOutput, FepSampleSpec};
+use crate::resources::Resources;
+use fep::{stratified_bar, WindowSamples};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// Configuration of a BAR project: perturb a harmonic spring constant
+/// `k_a → k_b` at the given temperature through `n_windows` windows.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FepProjectConfig {
+    pub k_a: f64,
+    pub k_b: f64,
+    pub temperature: f64,
+    pub n_windows: usize,
+    pub equil_steps: u64,
+    pub n_steps: u64,
+    pub record_interval: u64,
+    pub seed: u64,
+}
+
+impl Default for FepProjectConfig {
+    fn default() -> Self {
+        FepProjectConfig {
+            k_a: 1.0,
+            k_b: 16.0,
+            temperature: 1.0,
+            n_windows: 4,
+            equil_steps: 1_000,
+            n_steps: 60_000,
+            record_interval: 50,
+            seed: 7,
+        }
+    }
+}
+
+impl FepProjectConfig {
+    /// Geometric λ-schedule of spring constants (even spacing in ln k,
+    /// so every window has comparable overlap).
+    pub fn k_schedule(&self) -> Vec<f64> {
+        fep::lambda_schedule(self.n_windows)
+            .into_iter()
+            .map(|l| self.k_a * (self.k_b / self.k_a).powf(l))
+            .collect()
+    }
+
+    /// Exact ΔF for validation. The sampler is a 3-D isotropic harmonic
+    /// well, so `ΔF = (3/2β) ln(k_b/k_a)` with β = 1/T.
+    pub fn analytic_delta_f(&self) -> f64 {
+        1.5 * self.temperature * (self.k_b / self.k_a).ln()
+    }
+}
+
+/// Final report of the FEP project.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FepProjectReport {
+    pub delta_f: f64,
+    pub std_err: f64,
+    pub per_window_delta_f: Vec<f64>,
+    pub n_windows: usize,
+    pub total_samples: usize,
+}
+
+/// The BAR controller.
+pub struct FepController {
+    config: FepProjectConfig,
+    windows: Vec<WindowSamples>,
+    outstanding: usize,
+}
+
+impl FepController {
+    pub fn new(config: FepProjectConfig) -> Self {
+        let n = config.n_windows;
+        FepController {
+            config,
+            windows: vec![WindowSamples::default(); n],
+            outstanding: 0,
+        }
+    }
+
+    fn sample_command(
+        &self,
+        window: usize,
+        reverse: bool,
+        k_sample: f64,
+        k_eval: f64,
+    ) -> CommandSpec {
+        let seed = mdsim::rng::splitmix64(
+            self.config.seed ^ ((window as u64) << 8) ^ (reverse as u64),
+        );
+        let spec = FepSampleSpec {
+            k_sample,
+            k_eval,
+            temperature: self.config.temperature,
+            equil_steps: self.config.equil_steps,
+            n_steps: self.config.n_steps,
+            record_interval: self.config.record_interval,
+            seed,
+            tag: json!({ "window": window, "reverse": reverse }),
+        };
+        CommandSpec::new(
+            FepSampleExecutor::COMMAND_TYPE,
+            Resources::new(1, 16),
+            serde_json::to_value(&spec).expect("spec serializes"),
+        )
+    }
+}
+
+impl Controller for FepController {
+    fn name(&self) -> &str {
+        "fep-bar"
+    }
+
+    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+        match event {
+            ControllerEvent::ProjectStarted => {
+                let ks = self.config.k_schedule();
+                let mut specs = Vec::new();
+                for w in 0..self.config.n_windows {
+                    specs.push(self.sample_command(w, false, ks[w], ks[w + 1]));
+                    specs.push(self.sample_command(w, true, ks[w + 1], ks[w]));
+                }
+                self.outstanding = specs.len();
+                vec![
+                    Action::Log(format!(
+                        "spawning {} sampling commands over {} λ-windows",
+                        specs.len(),
+                        self.config.n_windows
+                    )),
+                    Action::Spawn(specs),
+                ]
+            }
+            ControllerEvent::CommandFinished(output) => {
+                let parsed: FepSampleOutput = match serde_json::from_value(output.data.clone())
+                {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return vec![Action::Log(format!("bad fep output: {e}"))];
+                    }
+                };
+                let window = parsed.tag["window"].as_u64().unwrap_or(0) as usize;
+                let reverse = parsed.tag["reverse"].as_bool().unwrap_or(false);
+                if reverse {
+                    self.windows[window].reverse.extend(parsed.works);
+                } else {
+                    self.windows[window].forward.extend(parsed.works);
+                }
+                self.outstanding -= 1;
+                if self.outstanding > 0 {
+                    return vec![];
+                }
+                let beta = 1.0 / self.config.temperature;
+                let result = stratified_bar(&self.windows, beta);
+                let total_samples = self
+                    .windows
+                    .iter()
+                    .map(|w| w.forward.len() + w.reverse.len())
+                    .sum();
+                let report = FepProjectReport {
+                    delta_f: result.total_delta_f,
+                    std_err: result.total_std_err,
+                    per_window_delta_f: result.per_window.iter().map(|r| r.delta_f).collect(),
+                    n_windows: self.config.n_windows,
+                    total_samples,
+                };
+                vec![Action::FinishProject {
+                    result: serde_json::to_value(&report).expect("report serializes"),
+                }]
+            }
+            ControllerEvent::WorkerFailed { worker, requeued } => vec![Action::Log(format!(
+                "worker {worker} lost; requeued: {requeued:?}"
+            ))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_schedule_is_geometric() {
+        let cfg = FepProjectConfig {
+            k_a: 1.0,
+            k_b: 16.0,
+            n_windows: 4,
+            ..FepProjectConfig::default()
+        };
+        let ks = cfg.k_schedule();
+        assert_eq!(ks.len(), 5);
+        assert!((ks[0] - 1.0).abs() < 1e-12);
+        assert!((ks[4] - 16.0).abs() < 1e-12);
+        // Constant ratio.
+        for w in ks.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn analytic_reference() {
+        let cfg = FepProjectConfig {
+            k_a: 1.0,
+            k_b: std::f64::consts::E.powi(2),
+            temperature: 1.0,
+            ..FepProjectConfig::default()
+        };
+        // 3-D isotropic well: 3 × (1/2) ln(e²) = 3.
+        assert!((cfg.analytic_delta_f() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn project_start_spawns_two_commands_per_window() {
+        let mut c = FepController::new(FepProjectConfig::default());
+        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        let spawned: usize = actions
+            .iter()
+            .map(|a| match a {
+                Action::Spawn(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(spawned, 8); // 4 windows × 2 directions
+    }
+}

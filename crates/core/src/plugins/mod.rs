@@ -1,0 +1,12 @@
+//! Application-specific controller plugins (§2.1): the MSM
+//! adaptive-sampling controller and the BAR free-energy controller the
+//! paper ships with.
+
+pub mod fep;
+pub mod msm;
+
+pub use fep::{FepController, FepProjectConfig, FepProjectReport};
+pub use msm::{
+    GenerationReport, KineticsReport, MsmController, MsmProjectConfig, MsmProjectReport,
+    TrajectoryArchive,
+};

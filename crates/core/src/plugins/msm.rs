@@ -1,0 +1,778 @@
+//! The MSM adaptive-sampling controller plugin (§3 of the paper).
+//!
+//! Protocol, following §3.2: a fixed-size ensemble of trajectory
+//! *lineages* runs in 50-ns segments. When a segment finishes, its
+//! lineage is extended by another segment. Once all lineages of a
+//! generation have reported, the controller clusters **all** accumulated
+//! data, builds a Markov state model, *"marks trajectories for
+//! termination and spawns new trajectories as indicated"*: lineages
+//! sitting in well-explored (low-weight) microstates are terminated and
+//! replaced by fresh lineages started from under-explored (high-weight)
+//! microstates, with even or adaptive (transition-uncertainty) weighting.
+//!
+//! The native structure is used **only** for reporting (the RMSD columns
+//! of Figs. 2–5); sampling decisions are blind, exactly as in the paper.
+
+use crate::command::CommandSpec;
+use crate::controller::{Action, Controller, ControllerEvent};
+use crate::executor::{MdRunExecutor, MdRunOutput, MdRunSpec};
+use crate::resources::Resources;
+use mdsim::model::villin::VillinModel;
+use mdsim::rng::{rng_for_stream, SimRng};
+use mdsim::trajectory::Trajectory;
+use mdsim::units::ns_to_steps;
+use mdsim::vec3::Vec3;
+use msm::{
+    adaptive_weights, allocate_spawns, even_weights, first_crossing, propagate_series, rmsd,
+    subset_population, MarkovStateModel, MsmConfig, Weighting,
+};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+use std::sync::Arc;
+
+/// Configuration of the adaptive-sampling project.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsmProjectConfig {
+    /// Number of unfolded starting conformations (paper: 9).
+    pub n_starts: usize,
+    /// Simulation tasks per starting conformation (paper: 25 → 225
+    /// total).
+    pub sims_per_start: usize,
+    /// Nominal segment length in "ns" (paper: 50).
+    pub segment_ns: f64,
+    /// Steps between recorded frames.
+    pub record_interval: u64,
+    /// Steps between checkpoint deposits (0 = off).
+    pub checkpoint_steps: u64,
+    /// Simulation temperature (ε/kB).
+    pub temperature: f64,
+    /// Microstate count for clustering (paper: 10,000 at full scale).
+    pub n_clusters: usize,
+    /// MSM lag time in frames.
+    pub lag_frames: usize,
+    /// Spawn weighting policy (§3.2: even early, adaptive late).
+    pub weighting: Weighting,
+    /// Use even weighting for the first N generations regardless of
+    /// `weighting`, switching afterwards — the §3.2 recommendation
+    /// ("even weighting … when state partitioning is highly unstable; as
+    /// the state partitioning stabilizes, it becomes more advantageous
+    /// to use adaptive weighting").
+    pub even_until_generation: usize,
+    /// Fraction of lineages terminated and respawned at each clustering
+    /// step (the rest are extended).
+    pub respawn_fraction: f64,
+    /// Generations to run before finishing.
+    pub generations: usize,
+    /// "Folded" definition for reporting: RMSD to native below this (Å;
+    /// paper: 3.5).
+    pub folded_rmsd: f64,
+    /// Horizon of the final Chapman-Kolmogorov propagation, nominal ns
+    /// (Fig. 4 runs to 2,000 ns).
+    pub kinetics_horizon_ns: f64,
+    /// Convergence stop criterion (§2: finish "when the standard error
+    /// estimate of the output result has reached a user-specified
+    /// minimum value"): stop early once the bootstrap standard error of
+    /// the folded equilibrium population is below this, provided a
+    /// folded state has been found. `None` disables early stopping.
+    pub stop_folded_pop_stderr: Option<f64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Cores requested per simulation command.
+    pub cores_per_sim: usize,
+}
+
+impl Default for MsmProjectConfig {
+    fn default() -> Self {
+        MsmProjectConfig {
+            n_starts: 9,
+            sims_per_start: 5,
+            segment_ns: 50.0,
+            record_interval: 80,
+            checkpoint_steps: 0,
+            temperature: 0.5,
+            n_clusters: 150,
+            lag_frames: 5,
+            weighting: Weighting::Adaptive,
+            even_until_generation: 0,
+            respawn_fraction: 0.3,
+            generations: 6,
+            folded_rmsd: 3.5,
+            kinetics_horizon_ns: 2000.0,
+            stop_folded_pop_stderr: None,
+            seed: 2011,
+            cores_per_sim: 1,
+        }
+    }
+}
+
+impl MsmProjectConfig {
+    pub fn n_trajectories_per_generation(&self) -> usize {
+        self.n_starts * self.sims_per_start
+    }
+}
+
+/// Per-generation statistics (the rows of Fig. 2 and the headline §3
+/// numbers).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GenerationReport {
+    pub generation: usize,
+    /// Live lineages plus terminated trajectories so far.
+    pub n_trajectories_total: usize,
+    pub n_frames_total: usize,
+    pub n_states: usize,
+    pub n_active_states: usize,
+    /// Lineages terminated/respawned at this clustering step.
+    pub n_respawned: usize,
+    /// Lowest RMSD to native observed in any frame so far (Å).
+    pub min_rmsd_to_native: f64,
+    /// RMSD to native of the blind-predicted native state (largest
+    /// equilibrium population) — the paper's 1.4 Å metric.
+    pub predicted_native_rmsd: f64,
+    /// Stationary population of the predicted state.
+    pub predicted_native_population: f64,
+    /// Total equilibrium population within `folded_rmsd` of native.
+    pub folded_equilibrium_population: f64,
+    /// Bootstrap standard error of that population (present when the
+    /// convergence stop criterion is enabled).
+    pub folded_pop_stderr: Option<f64>,
+    /// Whether any frame so far is within `folded_rmsd` of native.
+    pub folded_observed: bool,
+}
+
+/// Final kinetic analysis (Fig. 4): Chapman-Kolmogorov propagation of the
+/// microstate MSM from the unfolded starting distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KineticsReport {
+    /// Times in nominal ns.
+    pub times_ns: Vec<f64>,
+    /// Fraction of the population within `folded_rmsd` of native.
+    pub folded_fraction: Vec<f64>,
+    /// Folding half-time t½ (ns): first time folded_fraction reaches half
+    /// its final value.
+    pub t_half_ns: Option<f64>,
+    /// Final folded fraction.
+    pub final_folded_fraction: f64,
+}
+
+/// Full project report returned by the controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MsmProjectReport {
+    pub generations: Vec<GenerationReport>,
+    pub first_folded_generation: Option<usize>,
+    pub min_rmsd_to_native: f64,
+    pub final_predicted_native_rmsd: f64,
+    pub kinetics: Option<KineticsReport>,
+}
+
+/// Shared trajectory archive, for callers that want the raw data (the
+/// Fig. 4/5 analysis binaries). Receives each full lineage trajectory
+/// when it is terminated, and all live ones when the project finishes.
+pub type TrajectoryArchive = Arc<Mutex<Vec<Trajectory>>>;
+
+/// One live trajectory lineage.
+struct Lineage {
+    traj: Trajectory,
+    /// Final coordinates, from which the next segment continues.
+    current: Vec<Vec3>,
+}
+
+/// The MSM adaptive-sampling controller.
+pub struct MsmController {
+    config: MsmProjectConfig,
+    model: Arc<VillinModel>,
+    rng: SimRng,
+    /// Live lineages, indexed by the `lineage` tag on commands.
+    lineages: Vec<Lineage>,
+    /// Full trajectories of terminated lineages.
+    terminated: Vec<Trajectory>,
+    archive: Option<TrajectoryArchive>,
+    current_generation: usize,
+    outstanding: usize,
+    next_seed: u64,
+    reports: Vec<GenerationReport>,
+    min_rmsd: f64,
+    first_folded_generation: Option<usize>,
+    /// Build the Fig. 4 kinetics report at the end (costs one more MSM
+    /// propagation).
+    pub analyze_kinetics: bool,
+}
+
+impl MsmController {
+    pub fn new(model: Arc<VillinModel>, config: MsmProjectConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.respawn_fraction),
+            "respawn_fraction must be in [0, 1]"
+        );
+        let rng = rng_for_stream(config.seed, 0x315);
+        MsmController {
+            config,
+            model,
+            rng,
+            lineages: Vec::new(),
+            terminated: Vec::new(),
+            archive: None,
+            current_generation: 0,
+            outstanding: 0,
+            next_seed: 1,
+            reports: Vec::new(),
+            min_rmsd: f64::INFINITY,
+            first_folded_generation: None,
+            analyze_kinetics: true,
+        }
+    }
+
+    /// Attach a shared archive that receives every finished trajectory.
+    pub fn with_archive(mut self, archive: TrajectoryArchive) -> Self {
+        self.archive = Some(archive);
+        self
+    }
+
+    fn segment_steps(&self) -> u64 {
+        ns_to_steps(self.config.segment_ns, self.model.params.dt)
+    }
+
+    fn md_command(&mut self, lineage: usize, start: Vec<Vec3>) -> CommandSpec {
+        let seed = mdsim::rng::splitmix64(self.config.seed ^ (self.next_seed << 17));
+        self.next_seed += 1;
+        let spec = MdRunSpec {
+            start_positions: start,
+            temperature: self.config.temperature,
+            n_steps: self.segment_steps(),
+            record_interval: self.config.record_interval,
+            seed,
+            checkpoint_steps: self.config.checkpoint_steps,
+            inject_crash_at_step: None,
+            tag: json!({ "lineage": lineage, "generation": self.current_generation }),
+        };
+        CommandSpec::new(
+            MdRunExecutor::COMMAND_TYPE,
+            Resources::new(self.config.cores_per_sim, 64),
+            serde_json::to_value(&spec).expect("spec serializes"),
+        )
+    }
+
+    fn spawn_generation_zero(&mut self) -> Vec<Action> {
+        let mut specs = Vec::new();
+        for s in 0..self.config.n_starts {
+            let start = self.model.unfolded_start(self.config.seed ^ (s as u64 + 1));
+            for _ in 0..self.config.sims_per_start {
+                let idx = self.lineages.len();
+                let mut traj = Trajectory::new();
+                traj.push(0.0, start.clone());
+                self.lineages.push(Lineage {
+                    traj,
+                    current: start.clone(),
+                });
+                specs.push(self.md_command(idx, start.clone()));
+            }
+        }
+        self.outstanding = specs.len();
+        vec![
+            Action::Log(format!(
+                "generation 0: spawning {} lineages from {} unfolded starts",
+                specs.len(),
+                self.config.n_starts
+            )),
+            Action::Spawn(specs),
+        ]
+    }
+
+    /// All MSM-relevant trajectories: terminated plus live.
+    fn all_trajectories(&self) -> Vec<Trajectory> {
+        self.terminated
+            .iter()
+            .cloned()
+            .chain(self.lineages.iter().map(|l| l.traj.clone()))
+            .collect()
+    }
+
+    /// Cluster everything, report, terminate/respawn, extend.
+    fn generation_boundary(&mut self) -> Vec<Action> {
+        let trajs = self.all_trajectories();
+        let msm = MarkovStateModel::build(
+            &trajs,
+            MsmConfig {
+                n_clusters: self.config.n_clusters,
+                lag_frames: self.config.lag_frames,
+                prior: 1e-4,
+                reversible: true,
+                kmedoids_iters: 0,
+            },
+        );
+
+        // Reporting against the (held-out) native structure.
+        let native = &self.model.native;
+        let mut min_rmsd = self.min_rmsd;
+        for t in &trajs {
+            for (_, frame) in t.iter() {
+                let d = rmsd(frame, native);
+                if d < min_rmsd {
+                    min_rmsd = d;
+                }
+            }
+        }
+        self.min_rmsd = min_rmsd;
+        if min_rmsd <= self.config.folded_rmsd && self.first_folded_generation.is_none() {
+            self.first_folded_generation = Some(self.current_generation);
+        }
+        let (_state, pop, center) = msm.predict_native();
+        let predicted_rmsd = rmsd(center, native);
+        let folded_pop = msm.equilibrium_population_near(native, self.config.folded_rmsd);
+
+        // Convergence check (§2): bootstrap the folded equilibrium
+        // population over trajectories (state definitions fixed).
+        let mut folded_pop_stderr = None;
+        let mut converged = false;
+        if let Some(threshold) = self.config.stop_folded_pop_stderr {
+            let folded_original_ids: Vec<usize> = msm
+                .states_near(native, self.config.folded_rmsd)
+                .into_iter()
+                .map(|k| msm.active[k])
+                .collect();
+            if !folded_original_ids.is_empty() && trajs.len() >= 2 {
+                let est = msm::bootstrap_subset_population(
+                    &msm.dtrajs,
+                    msm.n_states(),
+                    self.config.lag_frames,
+                    &folded_original_ids,
+                    40,
+                    self.config.seed ^ 0xb007,
+                );
+                folded_pop_stderr = Some(est.std_err);
+                converged = folded_pop > 0.0 && est.std_err < threshold;
+            }
+        }
+
+        let done = converged || self.current_generation + 1 >= self.config.generations;
+        let n_respawn = if done {
+            0
+        } else {
+            (self.config.respawn_fraction * self.lineages.len() as f64).round() as usize
+        };
+
+        let report = GenerationReport {
+            generation: self.current_generation,
+            n_trajectories_total: trajs.len(),
+            n_frames_total: trajs.iter().map(|t| t.len()).sum(),
+            n_states: msm.n_states(),
+            n_active_states: msm.n_active(),
+            n_respawned: n_respawn,
+            min_rmsd_to_native: min_rmsd,
+            predicted_native_rmsd: predicted_rmsd,
+            predicted_native_population: pop,
+            folded_equilibrium_population: folded_pop,
+            folded_pop_stderr,
+            folded_observed: min_rmsd <= self.config.folded_rmsd,
+        };
+        let log = format!(
+            "generation {} clustered: {} states ({} active), min RMSD {:.2} Å, blind prediction {:.2} Å",
+            report.generation,
+            report.n_states,
+            report.n_active_states,
+            report.min_rmsd_to_native,
+            report.predicted_native_rmsd,
+        );
+        self.reports.push(report);
+
+        if done {
+            // Archive the surviving lineages.
+            if let Some(archive) = &self.archive {
+                let mut guard = archive.lock();
+                for l in &self.lineages {
+                    guard.push(l.traj.clone());
+                }
+            }
+            let kinetics = if self.analyze_kinetics {
+                Some(self.kinetics_report(&msm))
+            } else {
+                None
+            };
+            let final_report = MsmProjectReport {
+                generations: self.reports.clone(),
+                first_folded_generation: self.first_folded_generation,
+                min_rmsd_to_native: self.min_rmsd,
+                final_predicted_native_rmsd: self
+                    .reports
+                    .last()
+                    .map(|r| r.predicted_native_rmsd)
+                    .unwrap_or(f64::NAN),
+                kinetics,
+            };
+            return vec![
+                Action::Log(log),
+                Action::FinishProject {
+                    result: serde_json::to_value(&final_report).expect("report serializes"),
+                },
+            ];
+        }
+
+        // --- Adaptive step -------------------------------------------------
+        // Weights over active states: high weight = under-explored. Early
+        // generations (unstable partitioning) use even weighting
+        // regardless of the configured policy (§3.2).
+        let effective_weighting = if self.current_generation < self.config.even_until_generation
+        {
+            Weighting::Even
+        } else {
+            self.config.weighting
+        };
+        let weights = match effective_weighting {
+            Weighting::Even => even_weights(msm.n_active()),
+            Weighting::Adaptive => adaptive_weights(&msm.counts.restrict(&msm.active)),
+        };
+
+        // Current state of each live lineage = assignment of its last
+        // frame. The pooled assignment vector is ordered: terminated
+        // trajectories first, then live lineages (see all_trajectories).
+        let assignment: Vec<usize> = msm.dtrajs.iter().flatten().copied().collect();
+        let mut frame_offset: usize = self.terminated.iter().map(|t| t.len()).sum();
+        let mut lineage_state = Vec::with_capacity(self.lineages.len());
+        for l in &self.lineages {
+            lineage_state.push(assignment[frame_offset + l.traj.len() - 1]);
+            frame_offset += l.traj.len();
+        }
+
+        // Terminate the lineages sitting in the best-explored states
+        // (lowest weight; unassignable states get weight 0).
+        let state_weight = |state: usize| -> f64 {
+            msm.active_index(state).map(|k| weights[k]).unwrap_or(0.0)
+        };
+        let mut order: Vec<usize> = (0..self.lineages.len()).collect();
+        order.sort_by(|&a, &b| {
+            state_weight(lineage_state[a])
+                .partial_cmp(&state_weight(lineage_state[b]))
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        let to_terminate: Vec<usize> = order.into_iter().take(n_respawn).collect();
+
+        // Pick respawn start frames from high-weight states.
+        let allocation = allocate_spawns(&weights, n_respawn);
+        let frames: Vec<&[Vec3]> = trajs
+            .iter()
+            .flat_map(|t| t.frames().iter().map(|f| f.as_slice()))
+            .collect();
+        let mut respawn_starts: Vec<Vec<Vec3>> = Vec::with_capacity(n_respawn);
+        for (active_idx, &count) in allocation.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let state = msm.active[active_idx];
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, &a)| a == state)
+                .map(|(i, _)| i)
+                .collect();
+            for _ in 0..count {
+                use rand::Rng;
+                let pick = members[self.rng.random_range(0..members.len())];
+                respawn_starts.push(frames[pick].to_vec());
+            }
+        }
+        drop(frames);
+
+        // Apply terminations: archive the full lineage trajectory and
+        // restart the slot from a respawn frame.
+        for (slot, start) in to_terminate.iter().zip(respawn_starts) {
+            let old = std::mem::replace(
+                &mut self.lineages[*slot],
+                Lineage {
+                    traj: {
+                        let mut t = Trajectory::new();
+                        t.push(0.0, start.clone());
+                        t
+                    },
+                    current: start,
+                },
+            );
+            if let Some(archive) = &self.archive {
+                archive.lock().push(old.traj.clone());
+            }
+            self.terminated.push(old.traj);
+        }
+
+        // Next generation: extend every live lineage by one segment.
+        self.current_generation += 1;
+        let starts: Vec<(usize, Vec<Vec3>)> = self
+            .lineages
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i, l.current.clone()))
+            .collect();
+        let specs: Vec<CommandSpec> = starts
+            .into_iter()
+            .map(|(i, s)| self.md_command(i, s))
+            .collect();
+        self.outstanding = specs.len();
+        vec![Action::Log(log), Action::Spawn(specs)]
+    }
+
+    /// Fig. 4 analysis: propagate the final MSM from the unfolded initial
+    /// distribution and track the folded fraction.
+    fn kinetics_report(&self, msm: &MarkovStateModel) -> KineticsReport {
+        let folded_states = msm.states_near(&self.model.native, self.config.folded_rmsd);
+        let p0 = msm.initial_distribution();
+        let frame_ns =
+            mdsim::units::steps_to_ns(self.config.record_interval, self.model.params.dt);
+        let lag_ns = frame_ns * self.config.lag_frames as f64;
+        let n_steps = (self.config.kinetics_horizon_ns / lag_ns).ceil().max(1.0) as usize;
+        let series = propagate_series(&msm.tmatrix, &p0, n_steps);
+        let folded = subset_population(&series, &folded_states);
+        let times_ns: Vec<f64> = (0..=n_steps).map(|i| i as f64 * lag_ns).collect();
+        let final_folded = (*folded.last().unwrap_or(&0.0)).max(0.0);
+        let t_half_ns = first_crossing(&times_ns, &folded, 0.5 * final_folded);
+        KineticsReport {
+            times_ns,
+            folded_fraction: folded,
+            t_half_ns,
+            final_folded_fraction: final_folded,
+        }
+    }
+}
+
+impl Controller for MsmController {
+    fn name(&self) -> &str {
+        "msm"
+    }
+
+    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+        match event {
+            ControllerEvent::ProjectStarted => self.spawn_generation_zero(),
+            ControllerEvent::CommandFinished(output) => {
+                let parsed: MdRunOutput = match serde_json::from_value(output.data.clone()) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return vec![Action::Log(format!("could not parse mdrun output: {e}"))]
+                    }
+                };
+                let lineage_idx = parsed.tag["lineage"].as_u64().expect("tagged") as usize;
+                let lineage = &mut self.lineages[lineage_idx];
+                // Append the segment, shifting times to continue the
+                // lineage clock; the segment's first frame duplicates the
+                // lineage's current last frame.
+                let t_offset = lineage.traj.time(lineage.traj.len() - 1);
+                for (t, frame) in parsed.trajectory.iter().skip(1) {
+                    lineage.traj.push(t_offset + t, frame.to_vec());
+                }
+                lineage.current = parsed.final_positions;
+                self.outstanding -= 1;
+                if self.outstanding == 0 {
+                    self.generation_boundary()
+                } else {
+                    vec![]
+                }
+            }
+            ControllerEvent::WorkerFailed { worker, requeued } => {
+                vec![Action::Log(format!(
+                    "worker {worker} lost; requeued: {requeued:?}"
+                ))]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> MsmProjectConfig {
+        MsmProjectConfig {
+            n_starts: 2,
+            sims_per_start: 2,
+            segment_ns: 5.0,
+            record_interval: 40,
+            temperature: 0.55,
+            n_clusters: 10,
+            lag_frames: 1,
+            generations: 3,
+            respawn_fraction: 0.5,
+            seed: 3,
+            ..MsmProjectConfig::default()
+        }
+    }
+
+    fn run_inline(mut controller: MsmController) -> MsmProjectReport {
+        use crate::command::{Command, CommandOutput};
+        use crate::executor::{CommandExecutor, ExecContext, MdRunExecutor};
+        use crate::ids::{CommandId, ProjectId, WorkerId};
+
+        let model = controller.model.clone();
+        let exec = MdRunExecutor::new(model);
+        let mut pending: Vec<Command> = Vec::new();
+        let mut next_id = 0u64;
+        let mut finish: Option<serde_json::Value> = None;
+
+        let apply = |actions: Vec<Action>,
+                         pending: &mut Vec<Command>,
+                         next_id: &mut u64,
+                         finish: &mut Option<serde_json::Value>| {
+            for a in actions {
+                match a {
+                    Action::Spawn(specs) => {
+                        for s in specs {
+                            pending.push(Command::from_spec(CommandId(*next_id), ProjectId(0), s));
+                            *next_id += 1;
+                        }
+                    }
+                    Action::FinishProject { result } => *finish = Some(result),
+                    _ => {}
+                }
+            }
+        };
+
+        apply(
+            controller.on_event(ControllerEvent::ProjectStarted),
+            &mut pending,
+            &mut next_id,
+            &mut finish,
+        );
+        while finish.is_none() {
+            let cmd = pending.pop().expect("controller starved the queue");
+            let data = exec
+                .execute(ExecContext {
+                    command: &cmd,
+                    worker: WorkerId(0),
+                    shared_fs: None,
+                })
+                .expect("execution succeeds");
+            let output = CommandOutput::new(&cmd, WorkerId(0), data, 0.0);
+            apply(
+                controller.on_event(ControllerEvent::CommandFinished(&output)),
+                &mut pending,
+                &mut next_id,
+                &mut finish,
+            );
+        }
+        serde_json::from_value(finish.unwrap()).expect("report parses")
+    }
+
+    #[test]
+    fn generation_zero_spawns_full_ensemble() {
+        let model = Arc::new(VillinModel::hp35());
+        let mut c = MsmController::new(model, tiny_config());
+        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        let spawned: usize = actions
+            .iter()
+            .map(|a| match a {
+                Action::Spawn(s) => s.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(spawned, 4);
+    }
+
+    #[test]
+    fn adaptive_loop_extends_and_respawns() {
+        let model = Arc::new(VillinModel::hp35());
+        let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
+        let controller =
+            MsmController::new(model, tiny_config()).with_archive(archive.clone());
+        let report = run_inline(controller);
+        assert_eq!(report.generations.len(), 3);
+        // Generation 0: 4 lineages; respawns keep the live count at 4.
+        assert_eq!(report.generations[0].n_trajectories_total, 4);
+        // Respawned lineages add terminated trajectories to the pool.
+        assert_eq!(report.generations[0].n_respawned, 2);
+        assert_eq!(report.generations[1].n_trajectories_total, 6);
+        assert!(report.min_rmsd_to_native.is_finite());
+        assert!(report.kinetics.is_some());
+        // Archive holds terminated + final live = 2 + 2 + 4.
+        assert_eq!(archive.lock().len(), 8);
+        // Surviving lineages grow: live trajectories span 3 segments.
+        let longest = archive
+            .lock()
+            .iter()
+            .map(|t| t.len())
+            .max()
+            .unwrap();
+        let frames_per_seg = (5.0 * 0.8 / 0.01 / 40.0) as usize; // 10
+        assert!(
+            longest >= 2 * frames_per_seg,
+            "no lineage survived extension: longest {longest}"
+        );
+        // Min RMSD is monotone non-increasing across generations.
+        assert!(
+            report.generations[2].min_rmsd_to_native
+                <= report.generations[0].min_rmsd_to_native + 1e-12
+        );
+    }
+
+    #[test]
+    fn even_and_adaptive_weighting_both_work() {
+        let model = Arc::new(VillinModel::hp35());
+        for weighting in [Weighting::Even, Weighting::Adaptive] {
+            let cfg = MsmProjectConfig {
+                weighting,
+                generations: 2,
+                ..tiny_config()
+            };
+            let report = run_inline(MsmController::new(model.clone(), cfg));
+            assert_eq!(report.generations.len(), 2);
+        }
+    }
+
+    #[test]
+    fn zero_respawn_fraction_is_pure_extension() {
+        let model = Arc::new(VillinModel::hp35());
+        let cfg = MsmProjectConfig {
+            respawn_fraction: 0.0,
+            ..tiny_config()
+        };
+        let report = run_inline(MsmController::new(model, cfg));
+        // No terminations: the trajectory count stays at the ensemble
+        // size throughout.
+        for g in &report.generations {
+            assert_eq!(g.n_trajectories_total, 4);
+            assert_eq!(g.n_respawned, 0);
+        }
+    }
+
+    #[test]
+    fn config_totals() {
+        let cfg = MsmProjectConfig::default();
+        assert_eq!(cfg.n_trajectories_per_generation(), 45);
+        let paper = MsmProjectConfig {
+            n_starts: 9,
+            sims_per_start: 25,
+            ..cfg
+        };
+        assert_eq!(paper.n_trajectories_per_generation(), 225);
+    }
+
+    #[test]
+    fn convergence_criterion_stops_early() {
+        // Rig the folded definition so every state counts as folded: the
+        // folded population is then 1.0 with ~zero bootstrap error, and
+        // the §2 stop criterion must end the project at the first
+        // clustering step instead of running all 5 generations.
+        let model = Arc::new(VillinModel::hp35());
+        let cfg = MsmProjectConfig {
+            generations: 5,
+            folded_rmsd: 1e6,
+            stop_folded_pop_stderr: Some(0.75),
+            ..tiny_config()
+        };
+        let report = run_inline(MsmController::new(model, cfg));
+        assert_eq!(
+            report.generations.len(),
+            1,
+            "project should stop at the first converged generation"
+        );
+        let g = &report.generations[0];
+        assert!(g.folded_pop_stderr.expect("stderr computed") < 0.75);
+        assert!((g.folded_equilibrium_population - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "respawn_fraction")]
+    fn rejects_bad_respawn_fraction() {
+        let model = Arc::new(VillinModel::hp35());
+        let cfg = MsmProjectConfig {
+            respawn_fraction: 1.5,
+            ..tiny_config()
+        };
+        let _ = MsmController::new(model, cfg);
+    }
+}

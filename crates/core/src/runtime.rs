@@ -1,0 +1,111 @@
+//! Convenience runtime: wire a project server and a pool of workers
+//! together with in-process channels and run a project to completion.
+//!
+//! This is the single-machine analogue of submitting workers to a batch
+//! queue and starting a project server on a head node; the message
+//! protocol is identical to the networked case (see `messages`).
+
+use crate::controller::Controller;
+use crate::executor::ExecutorRegistry;
+use crate::fs::SharedFs;
+use crate::ids::{IdGen, ProjectId, WorkerId};
+use crate::monitor::Monitor;
+use crate::server::{ProjectResult, Server, ServerConfig};
+use crate::worker::{spawn_worker, WorkerConfig, WorkerHandle};
+use crossbeam::channel::unbounded;
+use std::thread::JoinHandle;
+
+/// Runtime configuration.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    pub n_workers: usize,
+    pub worker: WorkerConfig,
+    pub server: ServerConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            n_workers: 4,
+            worker: WorkerConfig::default(),
+            server: ServerConfig::default(),
+        }
+    }
+}
+
+/// A project in flight.
+pub struct RunningProject {
+    pub monitor: Monitor,
+    pub shared_fs: SharedFs,
+    server_thread: JoinHandle<ProjectResult>,
+    workers: Vec<WorkerHandle>,
+}
+
+impl RunningProject {
+    /// Block until the controller finishes the project.
+    pub fn join(self) -> ProjectResult {
+        let result = self
+            .server_thread
+            .join()
+            .expect("server thread must not panic");
+        for w in self.workers {
+            w.join();
+        }
+        result
+    }
+}
+
+/// Start a project with `config.n_workers` identical workers.
+pub fn start_project(
+    controller: Box<dyn Controller>,
+    registry: ExecutorRegistry,
+    config: RuntimeConfig,
+) -> RunningProject {
+    let (to_server, inbox) = unbounded();
+    let shared_fs = config
+        .worker
+        .shared_fs
+        .clone()
+        .unwrap_or_default();
+    let monitor = Monitor::new();
+    let server = Server::new(
+        ProjectId(0),
+        controller,
+        config.server,
+        shared_fs.clone(),
+        monitor.clone(),
+        inbox,
+    );
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let ids = IdGen::new();
+    let workers: Vec<WorkerHandle> = (0..config.n_workers)
+        .map(|_| {
+            let mut wc = config.worker.clone();
+            // Every worker shares the same filesystem view as the server.
+            wc.shared_fs = Some(shared_fs.clone());
+            spawn_worker(
+                WorkerId(ids.next_u64()),
+                wc,
+                registry.clone(),
+                to_server.clone(),
+            )
+        })
+        .collect();
+
+    RunningProject {
+        monitor,
+        shared_fs,
+        server_thread,
+        workers,
+    }
+}
+
+/// Run a project to completion and return its result.
+pub fn run_project(
+    controller: Box<dyn Controller>,
+    registry: ExecutorRegistry,
+    config: RuntimeConfig,
+) -> ProjectResult {
+    start_project(controller, registry, config).join()
+}

@@ -1,0 +1,309 @@
+//! The project server: command queue, resource matching, heartbeat
+//! watchdog, controller dispatch.
+//!
+//! One [`Server`] owns one project (the paper's servers can hold several;
+//! run several `Server`s for that). It consumes [`ToServer`] messages
+//! from workers, matches workloads, feeds completions to the controller
+//! plugin, and re-queues commands of lost workers with their latest
+//! shared-filesystem checkpoint (§2.3).
+
+use crate::command::Command;
+use crate::controller::{Action, Controller, ControllerEvent};
+use crate::fs::SharedFs;
+use crate::ids::{CommandId, IdGen, ProjectId, WorkerId};
+use crate::messages::{ToServer, ToWorker};
+use crate::monitor::Monitor;
+use crate::queue::CommandQueue;
+use crate::resources::WorkerDescription;
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Heartbeat interval workers are expected to honour (paper default
+    /// 120 s; tests use milliseconds).
+    pub heartbeat_interval: Duration,
+    /// How often the watchdog scans for missing heartbeats.
+    pub watchdog_period: Duration,
+    /// Give up on a command after this many dispatch attempts.
+    pub max_attempts: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            heartbeat_interval: Duration::from_millis(500),
+            watchdog_period: Duration::from_millis(100),
+            max_attempts: 5,
+        }
+    }
+}
+
+/// Final outcome of a project run.
+#[derive(Debug, Clone)]
+pub struct ProjectResult {
+    pub project: ProjectId,
+    pub result: serde_json::Value,
+    pub commands_completed: u64,
+    pub commands_requeued: u64,
+    pub workers_lost: u64,
+    pub bytes_received: u64,
+    pub wall: Duration,
+}
+
+struct WorkerState {
+    desc: WorkerDescription,
+    reply: Sender<ToWorker>,
+    last_heartbeat: Instant,
+    alive: bool,
+}
+
+/// The project server.
+pub struct Server {
+    project: ProjectId,
+    config: ServerConfig,
+    controller: Box<dyn Controller>,
+    queue: CommandQueue,
+    running: HashMap<CommandId, (WorkerId, Command)>,
+    workers: HashMap<WorkerId, WorkerState>,
+    shared_fs: SharedFs,
+    monitor: Monitor,
+    ids: IdGen,
+    inbox: Receiver<ToServer>,
+    finished: Option<serde_json::Value>,
+    commands_completed: u64,
+    commands_requeued: u64,
+    workers_lost: u64,
+    bytes_received: u64,
+}
+
+impl Server {
+    pub fn new(
+        project: ProjectId,
+        controller: Box<dyn Controller>,
+        config: ServerConfig,
+        shared_fs: SharedFs,
+        monitor: Monitor,
+        inbox: Receiver<ToServer>,
+    ) -> Self {
+        Server {
+            project,
+            config,
+            controller,
+            queue: CommandQueue::new(),
+            running: HashMap::new(),
+            workers: HashMap::new(),
+            shared_fs,
+            monitor,
+            ids: IdGen::new(),
+            inbox,
+            finished: None,
+            commands_completed: 0,
+            commands_requeued: 0,
+            workers_lost: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Drive the project to completion: fire `ProjectStarted`, then
+    /// process messages until the controller finishes the project.
+    pub fn run(mut self) -> ProjectResult {
+        let t0 = Instant::now();
+        let actions = self.controller.on_event(ControllerEvent::ProjectStarted);
+        self.apply_actions(actions);
+        let mut last_watchdog = Instant::now();
+
+        while self.finished.is_none() {
+            match self.inbox.recv_timeout(self.config.watchdog_period) {
+                Ok(msg) => self.handle(msg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+            // Drain the backlog before judging liveness: a long
+            // controller step (clustering) must not turn queued-up
+            // heartbeats into false worker deaths.
+            while self.finished.is_none() {
+                match self.inbox.try_recv() {
+                    Ok(msg) => self.handle(msg),
+                    Err(_) => break,
+                }
+            }
+            if self.finished.is_none() && last_watchdog.elapsed() >= self.config.watchdog_period
+            {
+                self.check_heartbeats();
+                last_watchdog = Instant::now();
+            }
+            self.publish_status();
+        }
+
+        // Tell every connected worker to exit.
+        for ws in self.workers.values() {
+            let _ = ws.reply.send(ToWorker::Shutdown);
+        }
+        self.monitor.update(|s| s.finished = true);
+
+        ProjectResult {
+            project: self.project,
+            result: self.finished.unwrap_or(serde_json::Value::Null),
+            commands_completed: self.commands_completed,
+            commands_requeued: self.commands_requeued,
+            workers_lost: self.workers_lost,
+            bytes_received: self.bytes_received,
+            wall: t0.elapsed(),
+        }
+    }
+
+    fn handle(&mut self, msg: ToServer) {
+        match msg {
+            ToServer::Announce { worker, desc, reply } => {
+                self.workers.insert(
+                    worker,
+                    WorkerState {
+                        desc,
+                        reply,
+                        last_heartbeat: Instant::now(),
+                        alive: true,
+                    },
+                );
+            }
+            ToServer::RequestWork { worker } => {
+                let Some(ws) = self.workers.get_mut(&worker) else {
+                    return; // unannounced worker: ignore
+                };
+                // A presumed-dead worker asking for work is evidently
+                // alive: resurrect it (its old commands were re-queued;
+                // duplicate completions are deduplicated).
+                if !ws.alive {
+                    ws.alive = true;
+                }
+                ws.last_heartbeat = Instant::now();
+                let ws = self.workers.get(&worker).expect("just fetched");
+                let mut load = self.queue.match_workload(&ws.desc);
+                for cmd in load.iter_mut() {
+                    cmd.attempts += 1;
+                    self.running.insert(cmd.id, (worker, cmd.clone()));
+                }
+                let reply = if load.is_empty() {
+                    ToWorker::NoWork
+                } else {
+                    ToWorker::Workload(load)
+                };
+                let _ = ws.reply.send(reply);
+            }
+            ToServer::Completed { output } => {
+                if self.running.remove(&output.command).is_none() {
+                    // Duplicate (e.g. a presumed-dead worker delivered
+                    // late): the first result won.
+                    return;
+                }
+                self.shared_fs.clear(output.command);
+                self.commands_completed += 1;
+                self.bytes_received += output.bytes;
+                let actions = self
+                    .controller
+                    .on_event(ControllerEvent::CommandFinished(&output));
+                self.apply_actions(actions);
+            }
+            ToServer::CommandError { worker, project: _, command, error } => {
+                self.monitor
+                    .log(format!("{command} failed on {worker}: {error}"));
+                self.monitor.update(|s| s.commands_failed += 1);
+                self.running.remove(&command);
+            }
+            ToServer::Heartbeat { worker } => {
+                if let Some(ws) = self.workers.get_mut(&worker) {
+                    ws.last_heartbeat = Instant::now();
+                    // Heartbeats resurrect workers that were presumed
+                    // dead during a long controller step.
+                    ws.alive = true;
+                }
+            }
+        }
+    }
+
+    /// Declare workers lost after 2× the heartbeat interval of silence
+    /// and re-queue their in-flight commands with the latest checkpoint.
+    fn check_heartbeats(&mut self) {
+        let timeout = 2 * self.config.heartbeat_interval;
+        let now = Instant::now();
+        let dead: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, ws)| ws.alive && now.duration_since(ws.last_heartbeat) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        for worker in dead {
+            self.workers.get_mut(&worker).expect("listed").alive = false;
+            self.workers_lost += 1;
+            let orphaned: Vec<CommandId> = self
+                .running
+                .iter()
+                .filter(|(_, (w, _))| *w == worker)
+                .map(|(&c, _)| c)
+                .collect();
+            for cmd_id in orphaned {
+                let (_, mut cmd) = self.running.remove(&cmd_id).expect("listed");
+                let requeued = if cmd.attempts < self.config.max_attempts {
+                    cmd.checkpoint = self.shared_fs.checkpoint(cmd_id);
+                    self.queue.enqueue(cmd);
+                    self.commands_requeued += 1;
+                    Some(cmd_id)
+                } else {
+                    self.monitor
+                        .log(format!("{cmd_id} dropped after {} attempts", cmd.attempts));
+                    None
+                };
+                let actions = self
+                    .controller
+                    .on_event(ControllerEvent::WorkerFailed { worker, requeued });
+                self.apply_actions(actions);
+            }
+        }
+    }
+
+    fn apply_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Spawn(specs) => {
+                    for spec in specs {
+                        let cmd =
+                            Command::from_spec(self.ids.next_command(), self.project, spec);
+                        self.queue.enqueue(cmd);
+                    }
+                }
+                Action::Cancel(id) => {
+                    self.queue.remove(id);
+                }
+                Action::FinishProject { result } => {
+                    self.finished = Some(result);
+                }
+                Action::Log(line) => {
+                    self.monitor.log(line);
+                }
+            }
+        }
+    }
+
+    fn publish_status(&self) {
+        let queued = self.queue.len();
+        let running = self.running.len();
+        let connected = self.workers.values().filter(|w| w.alive).count();
+        let (completed, requeued, lost, bytes) = (
+            self.commands_completed,
+            self.commands_requeued,
+            self.workers_lost,
+            self.bytes_received,
+        );
+        self.monitor.update(|s| {
+            s.commands_queued = queued;
+            s.commands_running = running;
+            s.workers_connected = connected;
+            s.commands_completed = completed;
+            s.commands_requeued = requeued;
+            s.workers_lost = lost;
+            s.bytes_received = bytes;
+        });
+    }
+}

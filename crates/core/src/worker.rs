@@ -1,0 +1,171 @@
+//! The worker client: announces itself, polls for workloads, executes
+//! commands, heartbeats, and (for fault-tolerance tests) can crash on
+//! cue.
+
+use crate::executor::{ExecContext, ExecError, ExecutorRegistry};
+use crate::fs::SharedFs;
+use crate::ids::WorkerId;
+use crate::messages::{ToServer, ToWorker};
+use crate::command::CommandOutput;
+use crate::resources::{Platform, Resources, WorkerDescription};
+use crossbeam::channel::{bounded, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Worker configuration.
+#[derive(Clone)]
+pub struct WorkerConfig {
+    pub platform: Platform,
+    pub resources: Resources,
+    /// Heartbeat send period (must be ≤ the server's expectation).
+    pub heartbeat_interval: Duration,
+    /// Poll period while the queue is empty.
+    pub poll_interval: Duration,
+    /// Whether this worker shares a filesystem with the server (enables
+    /// checkpoint deposits).
+    pub shared_fs: Option<SharedFs>,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> Self {
+        WorkerConfig {
+            platform: Platform::Smp,
+            resources: Resources::new(1, 1024),
+            heartbeat_interval: Duration::from_millis(100),
+            poll_interval: Duration::from_millis(5),
+            shared_fs: None,
+        }
+    }
+}
+
+/// Handle to a spawned worker thread.
+pub struct WorkerHandle {
+    pub id: WorkerId,
+    thread: JoinHandle<()>,
+    heartbeat: JoinHandle<()>,
+}
+
+impl WorkerHandle {
+    /// Wait for the worker to exit (after server shutdown or crash).
+    pub fn join(self) {
+        let _ = self.thread.join();
+        let _ = self.heartbeat.join();
+    }
+}
+
+/// Spawn a worker thread serving the given executor registry.
+pub fn spawn_worker(
+    id: WorkerId,
+    config: WorkerConfig,
+    registry: ExecutorRegistry,
+    server: Sender<ToServer>,
+) -> WorkerHandle {
+    let alive = Arc::new(AtomicBool::new(true));
+
+    // Heartbeat ticker: a separate thread so a long-running command does
+    // not silence the worker (mirrors the real client's design).
+    let heartbeat = {
+        let alive = alive.clone();
+        let server = server.clone();
+        let interval = config.heartbeat_interval;
+        std::thread::spawn(move || {
+            while alive.load(Ordering::Relaxed) {
+                if server.send(ToServer::Heartbeat { worker: id }).is_err() {
+                    break;
+                }
+                std::thread::sleep(interval);
+            }
+        })
+    };
+
+    let thread = std::thread::spawn(move || {
+        worker_loop(id, config, registry, server, alive);
+    });
+
+    WorkerHandle {
+        id,
+        thread,
+        heartbeat,
+    }
+}
+
+fn worker_loop(
+    id: WorkerId,
+    config: WorkerConfig,
+    registry: ExecutorRegistry,
+    server: Sender<ToServer>,
+    alive: Arc<AtomicBool>,
+) {
+    let (reply_tx, reply_rx) = bounded::<ToWorker>(4);
+    let desc = WorkerDescription {
+        platform: config.platform,
+        resources: config.resources,
+        executables: registry.executables(),
+    };
+    if server
+        .send(ToServer::Announce {
+            worker: id,
+            desc,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        alive.store(false, Ordering::Relaxed);
+        return;
+    }
+
+    'outer: loop {
+        if server.send(ToServer::RequestWork { worker: id }).is_err() {
+            break;
+        }
+        match reply_rx.recv() {
+            Ok(ToWorker::Workload(commands)) => {
+                for cmd in commands {
+                    let Some(executor) = registry.lookup(&cmd.command_type) else {
+                        let _ = server.send(ToServer::CommandError {
+                            worker: id,
+                            project: cmd.project,
+                            command: cmd.id,
+                            error: format!("no executable for '{}'", cmd.command_type),
+                        });
+                        continue;
+                    };
+                    let t0 = Instant::now();
+                    let result = executor.execute(ExecContext {
+                        command: &cmd,
+                        worker: id,
+                        shared_fs: config.shared_fs.as_ref(),
+                    });
+                    match result {
+                        Ok(data) => {
+                            let output =
+                                CommandOutput::new(&cmd, id, data, t0.elapsed().as_secs_f64());
+                            if server.send(ToServer::Completed { output }).is_err() {
+                                break 'outer;
+                            }
+                        }
+                        Err(ExecError::SimulatedCrash) => {
+                            // Die silently: no report, no more heartbeats.
+                            break 'outer;
+                        }
+                        Err(ExecError::BadPayload(e)) => {
+                            let _ = server.send(ToServer::CommandError {
+                                worker: id,
+                                project: cmd.project,
+                                command: cmd.id,
+                                error: e,
+                            });
+                        }
+                    }
+                }
+            }
+            Ok(ToWorker::NoWork) => {
+                std::thread::sleep(config.poll_interval);
+            }
+            Ok(ToWorker::Shutdown) | Err(_) => break,
+        }
+    }
+    alive.store(false, Ordering::Relaxed);
+}

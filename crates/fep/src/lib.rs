@@ -1,0 +1,14 @@
+//! # fep — free-energy perturbation estimators
+//!
+//! The statistical core of the Copernicus BAR plugin (§5 of the paper):
+//! exponential averaging (Zwanzig), the Bennett acceptance ratio with
+//! asymptotic error bars, and stratified multi-λ-window calculations —
+//! validated against an analytically solvable harmonic perturbation.
+
+pub mod estimators;
+pub mod harmonic;
+pub mod windows;
+
+pub use estimators::{bar, zwanzig, BarResult};
+pub use harmonic::HarmonicPerturbation;
+pub use windows::{interpolate, lambda_schedule, stratified_bar, StratifiedResult, WindowSamples};

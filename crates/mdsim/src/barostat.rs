@@ -1,0 +1,206 @@
+//! Pressure coupling: Berendsen barostat for NPT simulations.
+//!
+//! Weak-coupling volume control: the box and all coordinates are scaled
+//! by `μ = [1 − (dt/τ_p) κ (P₀ − P)]^{1/3}` each step, relaxing the
+//! instantaneous virial pressure toward the target. Like its thermostat
+//! sibling it does not sample the exact NPT ensemble but equilibrates
+//! robustly — the standard preparation tool.
+
+use crate::pbc::SimBox;
+use crate::state::State;
+use crate::vec3::Vec3;
+
+/// Berendsen weak-coupling barostat (isotropic).
+#[derive(Debug, Clone, Copy)]
+pub struct BerendsenBarostat {
+    /// Target pressure (reduced units).
+    pub p0: f64,
+    /// Coupling time constant.
+    pub tau: f64,
+    /// Isothermal compressibility estimate (sets the scaling gain).
+    pub compressibility: f64,
+    /// Maximum relative volume change per step (stability clamp).
+    pub max_scaling: f64,
+}
+
+impl BerendsenBarostat {
+    pub fn new(p0: f64, tau: f64, compressibility: f64) -> Self {
+        assert!(tau > 0.0 && compressibility > 0.0);
+        BerendsenBarostat {
+            p0,
+            tau,
+            compressibility,
+            max_scaling: 0.02,
+        }
+    }
+
+    /// Apply one coupling step given the instantaneous pressure.
+    /// Rescales the box and all positions isotropically; returns the
+    /// linear scaling factor applied.
+    pub fn couple(&self, state: &mut State, pressure: f64, dt: f64) -> f64 {
+        let SimBox::Ortho { l } = state.sim_box else {
+            panic!("pressure coupling requires a periodic box");
+        };
+        let factor = 1.0 - (dt / self.tau) * self.compressibility * (self.p0 - pressure);
+        let clamped = factor.clamp(1.0 - self.max_scaling, 1.0 + self.max_scaling);
+        let mu = clamped.cbrt();
+        state.sim_box = SimBox::Ortho { l: l * mu };
+        for p in state.positions.iter_mut() {
+            *p *= mu;
+        }
+        mu
+    }
+}
+
+/// Instantaneous pair virial `W = Σ_pairs r_ij · F_ij` for a
+/// Lennard-Jones system evaluated directly from positions (shifted-LJ
+/// forces match `NonbondedForce` with the shift on; the potential shift
+/// does not change forces).
+pub fn lj_pair_virial(
+    positions: &[Vec3],
+    sim_box: &SimBox,
+    sigma: f64,
+    epsilon: f64,
+    cutoff: f64,
+) -> f64 {
+    let rc2 = cutoff * cutoff;
+    let mut w = 0.0;
+    for i in 0..positions.len() {
+        for j in (i + 1)..positions.len() {
+            let dr = sim_box.displacement(positions[i], positions[j]);
+            let r2 = dr.norm2();
+            if r2 > rc2 || r2 == 0.0 {
+                continue;
+            }
+            let sr2 = sigma * sigma / r2;
+            let sr6 = sr2 * sr2 * sr2;
+            let sr12 = sr6 * sr6;
+            // r·F = 24ε(2 sr12 − sr6).
+            w += 24.0 * epsilon * (2.0 * sr12 - sr6);
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observables::virial_pressure;
+    use crate::topology::{LjParams, Particle, Topology};
+    use crate::vec3::v3;
+
+    fn boxed_state(l: f64, positions: Vec<Vec3>) -> State {
+        let mut top = Topology::new();
+        for _ in 0..positions.len() {
+            top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        }
+        State::new(positions, &top, SimBox::cubic(l))
+    }
+
+    #[test]
+    fn overpressure_expands_the_box() {
+        let mut state = boxed_state(10.0, vec![v3(1.0, 1.0, 1.0), v3(9.0, 9.0, 9.0)]);
+        let barostat = BerendsenBarostat::new(1.0, 1.0, 0.5);
+        // Measured pressure above target → box must grow.
+        let mu = barostat.couple(&mut state, 5.0, 0.01);
+        assert!(mu > 1.0);
+        let l = state.sim_box.lengths().unwrap().x;
+        assert!(l > 10.0);
+        // Positions scale with the box (relative coordinates preserved).
+        assert!((state.positions[0].x / l - 0.1 * 10.0 / 10.0 / 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn underpressure_shrinks_the_box() {
+        let mut state = boxed_state(10.0, vec![v3(5.0, 5.0, 5.0)]);
+        let barostat = BerendsenBarostat::new(2.0, 1.0, 0.5);
+        let mu = barostat.couple(&mut state, 0.5, 0.01);
+        assert!(mu < 1.0);
+        assert!(state.sim_box.lengths().unwrap().x < 10.0);
+    }
+
+    #[test]
+    fn scaling_is_clamped() {
+        let mut state = boxed_state(10.0, vec![v3(5.0, 5.0, 5.0)]);
+        let barostat = BerendsenBarostat::new(1.0, 0.001, 10.0); // absurd gain
+        let mu = barostat.couple(&mut state, 1e6, 0.1);
+        assert!(mu <= 1.02_f64.cbrt() + 1e-12, "clamp failed: {mu}");
+    }
+
+    #[test]
+    fn equilibrium_pressure_means_no_scaling() {
+        let mut state = boxed_state(8.0, vec![v3(4.0, 4.0, 4.0)]);
+        let barostat = BerendsenBarostat::new(1.3, 1.0, 0.5);
+        let mu = barostat.couple(&mut state, 1.3, 0.01);
+        assert!((mu - 1.0).abs() < 1e-12);
+        assert!((state.sim_box.lengths().unwrap().x - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repulsive_pair_has_positive_virial() {
+        // Two particles inside the repulsive wall push outward: W > 0,
+        // raising the pressure above ideal-gas.
+        let bx = SimBox::cubic(10.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let w = lj_pair_virial(&pos, &bx, 1.0, 1.0, 2.5);
+        assert!(w > 0.0);
+        let p = virial_pressure(2, 1.0, w, &bx).unwrap();
+        assert!(p > 2.0 / 1000.0, "pressure should exceed ideal-gas");
+        // A pair at the attractive minimum separation pulls inward
+        // (negative virial) at r slightly beyond the minimum.
+        let pos_far = vec![v3(0.0, 0.0, 0.0), v3(1.5, 0.0, 0.0)];
+        assert!(lj_pair_virial(&pos_far, &bx, 1.0, 1.0, 2.5) < 0.0);
+    }
+
+    #[test]
+    fn npt_relaxes_toward_target_pressure() {
+        // A dense LJ lattice at huge pressure: Berendsen coupling cycles
+        // (recompute pressure → couple) must reduce |P − P0|.
+        use crate::model::{lj_fluid, LjFluidSpec};
+        let mut sim = lj_fluid(
+            LjFluidSpec {
+                n_particles: 216, // box edge 6σ: room for cutoff+skin
+                density: 1.0,     // compressed
+                temperature: 1.5,
+                threaded: false,
+                ..LjFluidSpec::default()
+            },
+            5,
+        );
+        let barostat = BerendsenBarostat::new(1.0, 0.5, 0.2);
+        let dof = sim.dof();
+        let measure = |sim: &crate::Simulation| -> f64 {
+            let bx = &sim.state.sim_box;
+            let w = lj_pair_virial(&sim.state.positions, bx, 1.0, 1.0, 2.5);
+            virial_pressure(
+                sim.state.n_particles(),
+                sim.state.temperature(dof),
+                w,
+                bx,
+            )
+            .unwrap()
+        };
+        sim.run(100);
+        let p_start = measure(&sim);
+        for _ in 0..200 {
+            sim.run(5);
+            let p = measure(&sim);
+            barostat.couple(&mut sim.state, p, 0.004 * 5.0);
+        }
+        let p_end = measure(&sim);
+        assert!(
+            (p_end - 1.0).abs() < (p_start - 1.0).abs() * 0.5,
+            "pressure did not relax: {p_start} → {p_end}"
+        );
+        assert!(sim.state.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "periodic")]
+    fn open_box_is_rejected() {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        let mut state = State::new(vec![Vec3::ZERO], &top, SimBox::Open);
+        BerendsenBarostat::new(1.0, 1.0, 0.5).couple(&mut state, 2.0, 0.01);
+    }
+}

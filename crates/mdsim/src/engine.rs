@@ -1,0 +1,294 @@
+//! The simulation engine: the Gromacs-equivalent "command" a Copernicus
+//! worker executes.
+//!
+//! [`Simulation`] ties a [`State`], a [`ForceField`] and an [`Integrator`]
+//! together, runs for a requested number of steps, records trajectory
+//! frames, and can checkpoint/resume — the property §2.3 of the paper relies
+//! on for transparent worker fail-over.
+
+use crate::forces::{Energies, ForceField};
+use crate::integrate::Integrator;
+use crate::state::State;
+use crate::trajectory::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time snapshot sufficient to continue a run on another worker.
+///
+/// The checkpoint deliberately contains only the dynamic state plus the
+/// clock; the static setup (topology, force field, integrator parameters)
+/// is rebuilt from the command specification, mirroring Gromacs'
+/// `.tpr` + `.cpt` split.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    pub state: State,
+    /// Steps completed when the checkpoint was taken.
+    pub step: u64,
+    /// Seed stream to reinitialize stochastic integrators deterministically.
+    pub rng_reseed: u64,
+}
+
+impl Checkpoint {
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    }
+
+    pub fn from_json(s: &str) -> Result<Checkpoint, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Summary statistics of a completed run segment.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    pub steps: u64,
+    pub final_potential: f64,
+    pub final_kinetic: f64,
+    pub mean_potential: f64,
+    pub neighbor_rebuilds: u64,
+}
+
+/// A runnable MD simulation.
+pub struct Simulation {
+    pub state: State,
+    pub forcefield: ForceField,
+    integrator: Box<dyn Integrator>,
+    pub dt: f64,
+    dof: usize,
+    last_energies: Option<Energies>,
+}
+
+impl Simulation {
+    pub fn new(
+        state: State,
+        forcefield: ForceField,
+        integrator: Box<dyn Integrator>,
+        dt: f64,
+        dof: usize,
+    ) -> Self {
+        assert!(dt > 0.0, "time step must be positive, got {dt}");
+        let mut sim = Simulation {
+            state,
+            forcefield,
+            integrator,
+            dt,
+            dof,
+            last_energies: None,
+        };
+        sim.prime_forces();
+        sim
+    }
+
+    /// Evaluate forces at the current positions (called once at
+    /// construction and after a state restore).
+    fn prime_forces(&mut self) {
+        let (positions, sim_box) = (&self.state.positions, &self.state.sim_box);
+        let energies = self
+            .forcefield
+            .compute(positions, sim_box, &mut self.state.forces);
+        self.last_energies = Some(energies);
+    }
+
+    pub fn dof(&self) -> usize {
+        self.dof
+    }
+
+    /// Energy breakdown from the most recent force evaluation.
+    pub fn energies(&self) -> &Energies {
+        self.last_energies
+            .as_ref()
+            .expect("forces are primed at construction")
+    }
+
+    pub fn potential_energy(&self) -> f64 {
+        self.energies().total()
+    }
+
+    pub fn total_energy(&self) -> f64 {
+        self.potential_energy() + self.state.kinetic_energy()
+    }
+
+    /// Advance `n_steps` without recording frames.
+    pub fn run(&mut self, n_steps: u64) -> RunStats {
+        self.run_with(n_steps, |_, _, _| {})
+    }
+
+    /// Advance `n_steps`, invoking `observe(step, state, energies)` after
+    /// every step.
+    pub fn run_with(
+        &mut self,
+        n_steps: u64,
+        mut observe: impl FnMut(u64, &State, &Energies),
+    ) -> RunStats {
+        let mut pot_sum = 0.0;
+        for _ in 0..n_steps {
+            let energies =
+                self.integrator
+                    .step(&mut self.state, &mut self.forcefield, self.dt, self.dof);
+            pot_sum += energies.total();
+            observe(self.state.step, &self.state, &energies);
+            self.last_energies = Some(energies);
+        }
+        RunStats {
+            steps: n_steps,
+            final_potential: self.potential_energy(),
+            final_kinetic: self.state.kinetic_energy(),
+            mean_potential: if n_steps > 0 {
+                pot_sum / n_steps as f64
+            } else {
+                self.potential_energy()
+            },
+            neighbor_rebuilds: 0,
+        }
+    }
+
+    /// Advance `n_steps`, recording a frame every `record_interval` steps
+    /// (plus the initial frame at the current time).
+    pub fn run_recording(&mut self, n_steps: u64, record_interval: u64) -> Trajectory {
+        assert!(record_interval > 0, "record interval must be positive");
+        let expected = (n_steps / record_interval + 2) as usize;
+        let mut traj = Trajectory::with_capacity(expected);
+        traj.push(self.state.time, self.state.positions.clone());
+        let mut count = 0u64;
+        self.run_with(n_steps, |_, state, _| {
+            count += 1;
+            if count % record_interval == 0 {
+                traj.push(state.time, state.positions.clone());
+            }
+        });
+        traj
+    }
+
+    /// Take a checkpoint of the dynamic state.
+    pub fn checkpoint(&self, rng_reseed: u64) -> Checkpoint {
+        Checkpoint {
+            state: self.state.clone(),
+            step: self.state.step,
+            rng_reseed,
+        }
+    }
+
+    /// Restore the dynamic state from a checkpoint. The caller is
+    /// responsible for rebuilding stochastic integrators with
+    /// `checkpoint.rng_reseed` (see the `model` builders).
+    pub fn restore(&mut self, checkpoint: &Checkpoint) {
+        assert_eq!(
+            checkpoint.state.n_particles(),
+            self.state.n_particles(),
+            "checkpoint particle count mismatch"
+        );
+        self.state = checkpoint.state.clone();
+        self.prime_forces();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::HarmonicRestraint;
+    use crate::integrate::{Langevin, VelocityVerlet};
+    use crate::pbc::SimBox;
+    use crate::rng::rng_from_seed;
+    use crate::topology::{LjParams, Particle, Topology};
+    use crate::vec3::{v3, Vec3};
+
+    fn oscillator() -> Simulation {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        let state = State::new(vec![v3(1.0, 0.0, 0.0)], &top, SimBox::Open);
+        let ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
+            vec![(0, Vec3::ZERO)],
+            1.0,
+        )));
+        Simulation::new(state, ff, Box::new(VelocityVerlet::nve()), 0.01, 3)
+    }
+
+    #[test]
+    fn forces_are_primed_at_construction() {
+        let sim = oscillator();
+        assert!((sim.state.forces[0].x + 1.0).abs() < 1e-12);
+        assert!((sim.potential_energy() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_advances_and_reports() {
+        let mut sim = oscillator();
+        let stats = sim.run(100);
+        assert_eq!(stats.steps, 100);
+        assert_eq!(sim.state.step, 100);
+        assert!(stats.mean_potential > 0.0);
+        // NVE total energy conserved.
+        assert!((sim.total_energy() - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn recording_interval_counts_frames() {
+        let mut sim = oscillator();
+        let traj = sim.run_recording(100, 10);
+        // initial frame + 10 recorded frames
+        assert_eq!(traj.len(), 11);
+        assert_eq!(traj.time(0), 0.0);
+        assert!((traj.time(10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observer_sees_every_step() {
+        let mut sim = oscillator();
+        let mut seen = 0;
+        sim.run_with(50, |_, _, _| seen += 1);
+        assert_eq!(seen, 50);
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_identically() {
+        let mut sim = oscillator();
+        sim.run(37);
+        let cp = sim.checkpoint(42);
+        let json = cp.to_json();
+        let cp2 = Checkpoint::from_json(&json).unwrap();
+        assert_eq!(cp2.step, 37);
+        assert_eq!(cp2.rng_reseed, 42);
+
+        // Continue the original 10 more steps.
+        sim.run(10);
+        let pos_direct = sim.state.positions[0];
+
+        // Restore a fresh simulation from the checkpoint and continue.
+        let mut sim2 = oscillator();
+        sim2.restore(&cp2);
+        assert_eq!(sim2.state.step, 37);
+        sim2.run(10);
+        let pos_resumed = sim2.state.positions[0];
+
+        // Deterministic integrator ⇒ bitwise-identical continuation.
+        assert_eq!(pos_direct, pos_resumed);
+    }
+
+    #[test]
+    fn langevin_engine_runs_stably() {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        let state = State::new(vec![v3(1.0, 0.0, 0.0)], &top, SimBox::Open);
+        let ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
+            vec![(0, Vec3::ZERO)],
+            1.0,
+        )));
+        let mut sim = Simulation::new(
+            state,
+            ff,
+            Box::new(Langevin::new(1.0, 1.0, rng_from_seed(5))),
+            0.01,
+            3,
+        );
+        sim.run(1000);
+        assert!(sim.state.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_dt() {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        let state = State::new(vec![Vec3::ZERO], &top, SimBox::Open);
+        let _ = Simulation::new(state, ForceField::new(), Box::new(VelocityVerlet::nve()), 0.0, 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! Bonded interactions: harmonic bonds, harmonic angles, periodic dihedrals.
+
+use crate::forces::ForceTerm;
+use crate::pbc::SimBox;
+use crate::topology::{Angle, Bond, Dihedral, Topology};
+use crate::vec3::Vec3;
+
+/// All bonded terms of a topology, evaluated together.
+pub struct BondedForce {
+    bonds: Vec<Bond>,
+    angles: Vec<Angle>,
+    dihedrals: Vec<Dihedral>,
+}
+
+impl BondedForce {
+    pub fn from_topology(top: &Topology) -> Self {
+        BondedForce {
+            bonds: top.bonds.clone(),
+            angles: top.angles.clone(),
+            dihedrals: top.dihedrals.clone(),
+        }
+    }
+
+    pub fn n_terms(&self) -> usize {
+        self.bonds.len() + self.angles.len() + self.dihedrals.len()
+    }
+
+    fn bond_energy(&self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        let mut e = 0.0;
+        for b in &self.bonds {
+            let dr = bx.displacement(positions[b.i], positions[b.j]);
+            let r = dr.norm();
+            if r == 0.0 {
+                continue; // coincident particles: force direction undefined
+            }
+            let dx = r - b.r0;
+            e += 0.5 * b.k * dx * dx;
+            // F_i = -dV/dr * r̂ = -k (r - r0) dr / r
+            let f = dr * (-b.k * dx / r);
+            forces[b.i] += f;
+            forces[b.j] -= f;
+        }
+        e
+    }
+
+    fn angle_energy(&self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        let mut e = 0.0;
+        for a in &self.angles {
+            let rij = bx.displacement(positions[a.i], positions[a.j]);
+            let rkj = bx.displacement(positions[a.k], positions[a.j]);
+            let nij = rij.norm();
+            let nkj = rkj.norm();
+            if nij == 0.0 || nkj == 0.0 {
+                continue;
+            }
+            let cos_t = (rij.dot(rkj) / (nij * nkj)).clamp(-1.0, 1.0);
+            let theta = cos_t.acos();
+            let dtheta = theta - a.theta0;
+            e += 0.5 * a.kf * dtheta * dtheta;
+
+            let sin_t = (1.0 - cos_t * cos_t).sqrt().max(1e-8);
+            let dvdt = a.kf * dtheta;
+            // F_i = -dV/dθ ∇_i θ; positive dV/dθ (angle too wide) pulls the
+            // end particles toward each other.
+            let fi = (rkj / nkj - rij * (cos_t / nij)) * (dvdt / (nij * sin_t));
+            let fk = (rij / nij - rkj * (cos_t / nkj)) * (dvdt / (nkj * sin_t));
+            forces[a.i] += fi;
+            forces[a.k] += fk;
+            forces[a.j] -= fi + fk;
+        }
+        e
+    }
+
+    fn dihedral_energy(&self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        let mut e = 0.0;
+        for d in &self.dihedrals {
+            let b1 = bx.displacement(positions[d.j], positions[d.i]);
+            let b2 = bx.displacement(positions[d.k], positions[d.j]);
+            let b3 = bx.displacement(positions[d.l], positions[d.k]);
+            let n1 = b1.cross(b2);
+            let n2 = b2.cross(b3);
+            let n1_2 = n1.norm2();
+            let n2_2 = n2.norm2();
+            let b2n = b2.norm();
+            if n1_2 < 1e-12 || n2_2 < 1e-12 || b2n < 1e-12 {
+                continue; // collinear: dihedral undefined
+            }
+            let phi = (n1.cross(n2).dot(b2) / b2n).atan2(n1.dot(n2));
+            let m = d.mult as f64;
+            e += d.kphi * (1.0 + (m * phi - d.phi0).cos());
+            let dvdphi = -d.kphi * m * (m * phi - d.phi0).sin();
+
+            // Standard torsion gradient distribution: ∇φ at the end
+            // particles lies along the plane normals; the inner two follow
+            // from translation/rotation invariance.
+            let grad_i = n1 * (-b2n / n1_2);
+            let grad_l = n2 * (b2n / n2_2);
+            let p = b1.dot(b2) / (b2n * b2n);
+            let q = b3.dot(b2) / (b2n * b2n);
+            let grad_j = grad_i * (-1.0 - p) + grad_l * q;
+            let grad_k = grad_l * (-1.0 - q) + grad_i * p;
+            let fi = grad_i * (-dvdphi);
+            let fj = grad_j * (-dvdphi);
+            let fk = grad_k * (-dvdphi);
+            let fl = grad_l * (-dvdphi);
+            forces[d.i] += fi;
+            forces[d.j] += fj;
+            forces[d.k] += fk;
+            forces[d.l] += fl;
+        }
+        e
+    }
+}
+
+impl ForceTerm for BondedForce {
+    fn name(&self) -> &'static str {
+        "bonded"
+    }
+
+    fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        self.bond_energy(positions, bx, forces)
+            + self.angle_energy(positions, bx, forces)
+            + self.dihedral_energy(positions, bx, forces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::max_force_error;
+    use crate::rng::{rng_from_seed, sample_normal};
+    use crate::topology::{LjParams, Particle};
+    use crate::vec3::v3;
+    use std::f64::consts::PI;
+
+    fn particles(n: usize) -> Topology {
+        let mut top = Topology::new();
+        for _ in 0..n {
+            top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        }
+        top
+    }
+
+    #[test]
+    fn bond_at_rest_length_has_no_force() {
+        let mut top = particles(2);
+        top.add_bond(0, 1, 1.5, 100.0);
+        let mut bf = BondedForce::from_topology(&top);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.5, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bf.compute(&pos, &SimBox::Open, &mut f);
+        assert!(e.abs() < 1e-12);
+        assert!(f[0].norm() < 1e-12);
+    }
+
+    #[test]
+    fn stretched_bond_pulls_inward() {
+        let mut top = particles(2);
+        top.add_bond(0, 1, 1.0, 10.0);
+        let mut bf = BondedForce::from_topology(&top);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(2.0, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bf.compute(&pos, &SimBox::Open, &mut f);
+        assert!((e - 5.0).abs() < 1e-12); // 1/2 * 10 * 1^2
+        assert!(f[0].x > 0.0 && f[1].x < 0.0);
+        assert!((f[0] + f[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_equilibrium_has_no_force() {
+        let mut top = particles(3);
+        top.add_angle(0, 1, 2, PI / 2.0, 50.0);
+        let mut bf = BondedForce::from_topology(&top);
+        let pos = vec![v3(1.0, 0.0, 0.0), v3(0.0, 0.0, 0.0), v3(0.0, 1.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 3];
+        let e = bf.compute(&pos, &SimBox::Open, &mut f);
+        assert!(e.abs() < 1e-12);
+        for fi in &f {
+            assert!(fi.norm() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn angle_energy_value() {
+        let mut top = particles(3);
+        top.add_angle(0, 1, 2, PI, 2.0);
+        let mut bf = BondedForce::from_topology(&top);
+        // 90-degree angle, θ0 = 180°: E = 1/2 * 2 * (π/2)²
+        let pos = vec![v3(1.0, 0.0, 0.0), v3(0.0, 0.0, 0.0), v3(0.0, 1.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 3];
+        let e = bf.compute(&pos, &SimBox::Open, &mut f);
+        assert!((e - 0.5 * 2.0 * (PI / 2.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trans_dihedral_is_at_minimum_for_phi0_zero() {
+        let mut top = particles(4);
+        // V = k (1 + cos(φ - φ0)); φ = π (trans) with φ0 = 0 → V = k(1-1) = 0.
+        top.add_dihedral(0, 1, 2, 3, 0.0, 3.0, 1);
+        let mut bf = BondedForce::from_topology(&top);
+        let pos = vec![
+            v3(-1.0, 1.0, 0.0),
+            v3(0.0, 0.0, 0.0),
+            v3(1.0, 0.0, 0.0),
+            v3(2.0, -1.0, 0.0),
+        ];
+        let mut f = vec![Vec3::ZERO; 4];
+        let e = bf.compute(&pos, &SimBox::Open, &mut f);
+        assert!(e.abs() < 1e-10, "trans conformation should sit at V=0, got {e}");
+    }
+
+    #[test]
+    fn all_bonded_forces_match_finite_difference() {
+        let mut top = particles(6);
+        for i in 0..5 {
+            top.add_bond(i, i + 1, 1.0, 30.0);
+        }
+        for i in 0..4 {
+            top.add_angle(i, i + 1, i + 2, 1.9, 15.0);
+        }
+        for i in 0..3 {
+            top.add_dihedral(i, i + 1, i + 2, i + 3, 0.7, 2.0, 3);
+        }
+        let mut bf = BondedForce::from_topology(&top);
+        assert_eq!(bf.n_terms(), 12);
+
+        let mut rng = rng_from_seed(21);
+        // A jittered zig-zag chain: generic geometry, no collinearity.
+        let pos: Vec<Vec3> = (0..6)
+            .map(|i| {
+                v3(
+                    i as f64 * 0.9 + 0.05 * sample_normal(&mut rng),
+                    (i % 2) as f64 * 0.8 + 0.05 * sample_normal(&mut rng),
+                    0.1 * sample_normal(&mut rng),
+                )
+            })
+            .collect();
+        let err = max_force_error(&mut bf, &pos, &SimBox::Open, 1e-6);
+        assert!(err < 1e-4, "bonded force error vs finite difference: {err}");
+    }
+
+    #[test]
+    fn dihedral_forces_sum_to_zero() {
+        let mut top = particles(4);
+        top.add_dihedral(0, 1, 2, 3, 0.3, 5.0, 2);
+        let mut bf = BondedForce::from_topology(&top);
+        let pos = vec![
+            v3(-1.0, 0.7, 0.2),
+            v3(0.0, 0.0, 0.0),
+            v3(1.1, 0.1, -0.1),
+            v3(1.9, -0.8, 0.5),
+        ];
+        let mut f = vec![Vec3::ZERO; 4];
+        bf.compute(&pos, &SimBox::Open, &mut f);
+        let total: Vec3 = f.iter().copied().sum();
+        assert!(total.norm() < 1e-10, "net force {total:?}");
+    }
+
+    #[test]
+    fn periodic_boundary_bonds() {
+        // A bond across the boundary should see the minimum-image distance.
+        let mut top = particles(2);
+        top.add_bond(0, 1, 1.0, 10.0);
+        let mut bf = BondedForce::from_topology(&top);
+        let bx = SimBox::cubic(10.0);
+        let pos = vec![v3(0.5, 5.0, 5.0), v3(9.5, 5.0, 5.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = bf.compute(&pos, &bx, &mut f);
+        assert!(e.abs() < 1e-12, "minimum image distance is exactly r0");
+    }
+}

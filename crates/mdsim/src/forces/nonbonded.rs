@@ -1,0 +1,327 @@
+//! Non-bonded interactions: Lennard-Jones plus reaction-field Coulomb.
+//!
+//! This is the villin setup from §3.1 of the paper: *"long-range
+//! electrostatics were treated with a reaction field, using a continuum
+//! dielectric constant of 78"*. Both terms share one Verlet neighbour list
+//! and one pair loop — the hot kernel of the engine. The loop has a serial
+//! path and a rayon path (the "threads" tier of Fig. 6) selected by
+//! [`NonbondedForce::set_threading`].
+
+use crate::forces::ForceTerm;
+use crate::neighbor::NeighborList;
+use crate::pbc::SimBox;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Pair interactions below `cutoff`: shifted LJ and reaction-field Coulomb.
+pub struct NonbondedForce {
+    top: Arc<Topology>,
+    list: NeighborList,
+    cutoff: f64,
+    /// Reaction-field dielectric constant (paper: 78).
+    eps_rf: f64,
+    krf: f64,
+    crf: f64,
+    /// Per-pair LJ potential shift so V_lj(r_c) = 0 (computed per pair).
+    shift_lj: bool,
+    parallel: bool,
+    /// Minimum pair count before the rayon path is used.
+    parallel_threshold: usize,
+}
+
+impl NonbondedForce {
+    /// Create the term. `skin` is the Verlet buffer (0.3–0.5 σ is typical).
+    pub fn new(top: Arc<Topology>, cutoff: f64, skin: f64, eps_rf: f64) -> Self {
+        assert!(eps_rf >= 1.0, "dielectric must be >= 1, got {eps_rf}");
+        // Reaction-field constants (Tironi et al.): with an infinite or
+        // large dielectric, krf -> 1/(2 rc^3).
+        let krf = (eps_rf - 1.0) / ((2.0 * eps_rf + 1.0) * cutoff.powi(3));
+        let crf = 1.0 / cutoff + krf * cutoff * cutoff;
+        NonbondedForce {
+            top,
+            list: NeighborList::new(cutoff, skin),
+            cutoff,
+            eps_rf,
+            krf,
+            crf,
+            shift_lj: true,
+            parallel: true,
+            parallel_threshold: 4096,
+        }
+    }
+
+    /// Enable/disable the rayon-threaded pair loop.
+    pub fn set_threading(&mut self, on: bool) -> &mut Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Disable the LJ potential shift (for free-energy bookkeeping where
+    /// absolute energies matter).
+    pub fn set_lj_shift(&mut self, on: bool) -> &mut Self {
+        self.shift_lj = on;
+        self
+    }
+
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    pub fn eps_rf(&self) -> f64 {
+        self.eps_rf
+    }
+
+    /// Neighbour-list statistics (builds, updates) for instrumentation.
+    pub fn list_stats(&self) -> (u64, u64) {
+        (self.list.n_builds(), self.list.n_updates())
+    }
+
+    /// Energy and force for one pair at squared distance `r2`, given the
+    /// minimum-image displacement `dr = ri - rj`. Returns (energy, force on i).
+    #[inline]
+    fn pair_interaction(&self, i: usize, j: usize, dr: Vec3, r2: f64) -> (f64, Vec3) {
+        let pi = &self.top.particles[i];
+        let pj = &self.top.particles[j];
+        let lj = pi.lj.combine(pj.lj);
+        let qq = pi.charge * pj.charge;
+
+        let inv_r2 = 1.0 / r2;
+        let sr2 = lj.sigma * lj.sigma * inv_r2;
+        let sr6 = sr2 * sr2 * sr2;
+        let sr12 = sr6 * sr6;
+
+        // LJ: V = 4ε(sr12 - sr6); F·r̂ = 24ε(2 sr12 - sr6)/r.
+        let mut e = 4.0 * lj.epsilon * (sr12 - sr6);
+        if self.shift_lj {
+            let src2 = (lj.sigma / self.cutoff).powi(2);
+            let src6 = src2 * src2 * src2;
+            e -= 4.0 * lj.epsilon * (src6 * src6 - src6);
+        }
+        let f_over_r_lj = 24.0 * lj.epsilon * (2.0 * sr12 - sr6) * inv_r2;
+
+        // Reaction-field Coulomb: V = qq (1/r + krf r² - crf);
+        // F·r̂ = qq (1/r² - 2 krf r).
+        let mut f_over_r_c = 0.0;
+        if qq != 0.0 {
+            let r = r2.sqrt();
+            e += qq * (1.0 / r + self.krf * r2 - self.crf);
+            f_over_r_c = qq * (1.0 / (r2 * r) - 2.0 * self.krf);
+        }
+
+        (e, dr * (f_over_r_lj + f_over_r_c))
+    }
+
+    fn compute_serial(&self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        let rc2 = self.cutoff * self.cutoff;
+        let mut energy = 0.0;
+        for &(i, j) in self.list.pairs() {
+            let (i, j) = (i as usize, j as usize);
+            let dr = bx.displacement(positions[i], positions[j]);
+            let r2 = dr.norm2();
+            if r2 > rc2 || r2 == 0.0 {
+                continue;
+            }
+            let (e, f) = self.pair_interaction(i, j, dr, r2);
+            energy += e;
+            forces[i] += f;
+            forces[j] -= f;
+        }
+        energy
+    }
+
+    fn compute_parallel(&self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        let rc2 = self.cutoff * self.cutoff;
+        let n = positions.len();
+        let pairs = self.list.pairs();
+        let n_chunks = rayon::current_num_threads().max(1);
+        let chunk = pairs.len().div_ceil(n_chunks).max(1);
+
+        let (energy, partial) = pairs
+            .par_chunks(chunk)
+            .map(|chunk_pairs| {
+                let mut local_f = vec![Vec3::ZERO; n];
+                let mut local_e = 0.0;
+                for &(i, j) in chunk_pairs {
+                    let (i, j) = (i as usize, j as usize);
+                    let dr = bx.displacement(positions[i], positions[j]);
+                    let r2 = dr.norm2();
+                    if r2 > rc2 || r2 == 0.0 {
+                        continue;
+                    }
+                    let (e, f) = self.pair_interaction(i, j, dr, r2);
+                    local_e += e;
+                    local_f[i] += f;
+                    local_f[j] -= f;
+                }
+                (local_e, local_f)
+            })
+            .reduce(
+                || (0.0, vec![Vec3::ZERO; n]),
+                |(ea, mut fa), (eb, fb)| {
+                    for (a, b) in fa.iter_mut().zip(fb) {
+                        *a += b;
+                    }
+                    (ea + eb, fa)
+                },
+            );
+        for (f, p) in forces.iter_mut().zip(partial) {
+            *f += p;
+        }
+        energy
+    }
+}
+
+impl ForceTerm for NonbondedForce {
+    fn name(&self) -> &'static str {
+        "nonbonded"
+    }
+
+    fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        self.list.update(positions, bx, &self.top);
+        if self.parallel && self.list.pairs().len() >= self.parallel_threshold {
+            self.compute_parallel(positions, bx, forces)
+        } else {
+            self.compute_serial(positions, bx, forces)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::max_force_error;
+    use crate::rng::rng_from_seed;
+    use crate::topology::{LjParams, Particle};
+    use crate::vec3::v3;
+    use rand::Rng;
+
+    fn lj_top(n: usize, charge: f64) -> Arc<Topology> {
+        let mut top = Topology::new();
+        for k in 0..n {
+            // Alternate charges so the system is neutral.
+            let q = if k % 2 == 0 { charge } else { -charge };
+            top.add_particle(Particle::new(1.0, q, LjParams::new(1.0, 1.0)));
+        }
+        Arc::new(top)
+    }
+
+    #[test]
+    fn lj_minimum_at_two_to_one_sixth_sigma() {
+        let top = lj_top(2, 0.0);
+        let mut nb = NonbondedForce::new(top, 3.0, 0.0, 78.0);
+        nb.set_lj_shift(false);
+        let r_min = 2.0_f64.powf(1.0 / 6.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(r_min, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = nb.compute(&pos, &SimBox::Open, &mut f);
+        assert!((e + 1.0).abs() < 1e-10, "E at minimum should be -ε, got {e}");
+        assert!(f[0].norm() < 1e-9, "force at minimum should vanish");
+    }
+
+    #[test]
+    fn forces_are_newtonian() {
+        let top = lj_top(2, 0.5);
+        let mut nb = NonbondedForce::new(top, 3.0, 0.0, 78.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.3, 0.4, -0.2)];
+        let mut f = vec![Vec3::ZERO; 2];
+        nb.compute(&pos, &SimBox::Open, &mut f);
+        assert!((f[0] + f[1]).norm() < 1e-12);
+    }
+
+    #[test]
+    fn analytic_forces_match_finite_difference() {
+        let top = lj_top(8, 0.3);
+        let mut nb = NonbondedForce::new(top, 2.5, 0.0, 78.0);
+        nb.set_threading(false);
+        let mut rng = rng_from_seed(11);
+        // Spread particles loosely so no pair is deep in the repulsive wall
+        // (finite differences blow up there).
+        let pos: Vec<Vec3> = (0..8)
+            .map(|k| {
+                v3(
+                    (k % 2) as f64 * 1.2 + 0.1 * rng.random::<f64>(),
+                    ((k / 2) % 2) as f64 * 1.2 + 0.1 * rng.random::<f64>(),
+                    (k / 4) as f64 * 1.2 + 0.1 * rng.random::<f64>(),
+                )
+            })
+            .collect();
+        let err = max_force_error(&mut nb, &pos, &SimBox::Open, 1e-6);
+        assert!(err < 1e-4, "force error vs finite difference: {err}");
+    }
+
+    #[test]
+    fn shifted_potential_is_zero_at_cutoff() {
+        let top = lj_top(2, 0.0);
+        let mut nb = NonbondedForce::new(top, 2.5, 0.0, 78.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(2.4999999, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = nb.compute(&pos, &SimBox::Open, &mut f);
+        assert!(e.abs() < 1e-6, "shifted LJ at cutoff should be ~0, got {e}");
+    }
+
+    #[test]
+    fn rf_coulomb_energy_is_zero_at_cutoff() {
+        // With LJ epsilon 0 the only term is RF coulomb, which is
+        // constructed to vanish at the cutoff.
+        let mut top = Topology::new();
+        top.add_particle(Particle::new(1.0, 1.0, LjParams::new(1.0, 0.0)));
+        top.add_particle(Particle::new(1.0, -1.0, LjParams::new(1.0, 0.0)));
+        let mut nb = NonbondedForce::new(Arc::new(top), 2.0, 0.0, 78.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.9999999, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = nb.compute(&pos, &SimBox::Open, &mut f);
+        assert!(e.abs() < 1e-5, "RF energy at cutoff should be ~0, got {e}");
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let n = 256;
+        let l = 8.0;
+        let top = lj_top(n, 0.2);
+        let bx = SimBox::cubic(l);
+        let mut rng = rng_from_seed(3);
+        let pos: Vec<Vec3> = (0..n)
+            .map(|_| {
+                v3(
+                    rng.random::<f64>() * l,
+                    rng.random::<f64>() * l,
+                    rng.random::<f64>() * l,
+                )
+            })
+            .collect();
+
+        let mut nb_ser = NonbondedForce::new(top.clone(), 2.0, 0.3, 78.0);
+        nb_ser.set_threading(false);
+        let mut nb_par = NonbondedForce::new(top, 2.0, 0.3, 78.0);
+        nb_par.set_threading(true);
+        nb_par.parallel_threshold = 1;
+
+        let mut f_ser = vec![Vec3::ZERO; n];
+        let mut f_par = vec![Vec3::ZERO; n];
+        let e_ser = nb_ser.compute(&pos, &bx, &mut f_ser);
+        let e_par = nb_par.compute(&pos, &bx, &mut f_par);
+        assert!(
+            (e_ser - e_par).abs() < 1e-8 * e_ser.abs().max(1.0),
+            "serial {e_ser} vs parallel {e_par}"
+        );
+        for (a, b) in f_ser.iter().zip(&f_par) {
+            assert!((*a - *b).norm() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn excluded_pairs_do_not_interact() {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        top.add_exclusion(0, 1);
+        let mut nb = NonbondedForce::new(Arc::new(top), 3.0, 0.0, 78.0);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(0.5, 0.0, 0.0)];
+        let mut f = vec![Vec3::ZERO; 2];
+        let e = nb.compute(&pos, &SimBox::Open, &mut f);
+        assert_eq!(e, 0.0);
+        assert_eq!(f[0], Vec3::ZERO);
+    }
+}

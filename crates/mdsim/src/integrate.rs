@@ -1,0 +1,360 @@
+//! Time integrators: velocity Verlet (NVE / thermostatted), Langevin
+//! (BAOAB), and overdamped Brownian dynamics.
+//!
+//! An integrator advances the [`State`] by one step of length `dt`. By
+//! convention `state.forces` holds forces for the *current* positions on
+//! entry (the engine primes them before the first step), and holds forces
+//! for the *new* positions on exit.
+
+use crate::forces::{Energies, ForceField};
+use crate::rng::{sample_normal, SimRng};
+use crate::state::State;
+use crate::thermostat::Thermostat;
+use crate::units::KB;
+use crate::vec3::Vec3;
+
+/// One-step propagator.
+pub trait Integrator: Send {
+    fn name(&self) -> &'static str;
+    /// Advance by one step, returning the energy breakdown at the new
+    /// positions.
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) -> Energies;
+}
+
+/// Velocity Verlet, optionally coupled to a [`Thermostat`].
+///
+/// Without a thermostat this samples the microcanonical (NVE) ensemble and
+/// conserves energy to O(dt²); with one it targets NVT.
+pub struct VelocityVerlet {
+    thermostat: Option<Box<dyn Thermostat>>,
+}
+
+impl VelocityVerlet {
+    /// Plain NVE integration.
+    pub fn nve() -> Self {
+        VelocityVerlet { thermostat: None }
+    }
+
+    /// NVT integration with the given thermostat.
+    pub fn nvt(thermostat: Box<dyn Thermostat>) -> Self {
+        VelocityVerlet {
+            thermostat: Some(thermostat),
+        }
+    }
+}
+
+impl Integrator for VelocityVerlet {
+    fn name(&self) -> &'static str {
+        "velocity-verlet"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) -> Energies {
+        let half = 0.5 * dt;
+        for i in 0..state.n_particles() {
+            let inv_m = 1.0 / state.masses[i];
+            state.velocities[i] += state.forces[i] * (half * inv_m);
+            state.positions[i] += state.velocities[i] * dt;
+        }
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        let energies = {
+            let forces = &mut state.forces;
+            ff.compute(positions, sim_box, forces)
+        };
+        for i in 0..state.n_particles() {
+            let inv_m = 1.0 / state.masses[i];
+            state.velocities[i] += state.forces[i] * (half * inv_m);
+        }
+        if let Some(th) = self.thermostat.as_mut() {
+            th.apply(state, dt, dof);
+        }
+        state.step += 1;
+        state.time += dt;
+        energies
+    }
+}
+
+/// Langevin dynamics via the BAOAB splitting (Leimkuhler & Matthews).
+///
+/// This is the workhorse integrator for the coarse-grained folding model:
+/// the friction both thermostats the system and mimics solvent drag.
+pub struct Langevin {
+    pub temperature: f64,
+    /// Friction coefficient γ (inverse time units).
+    pub gamma: f64,
+    rng: SimRng,
+}
+
+impl Langevin {
+    pub fn new(temperature: f64, gamma: f64, rng: SimRng) -> Self {
+        assert!(temperature >= 0.0 && gamma > 0.0);
+        Langevin {
+            temperature,
+            gamma,
+            rng,
+        }
+    }
+}
+
+impl Integrator for Langevin {
+    fn name(&self) -> &'static str {
+        "langevin-baoab"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
+        let half = 0.5 * dt;
+        let c1 = (-self.gamma * dt).exp();
+        let c2 = (1.0 - c1 * c1).sqrt();
+        let n = state.n_particles();
+
+        // B: half kick.
+        for i in 0..n {
+            state.velocities[i] += state.forces[i] * (half / state.masses[i]);
+        }
+        // A: half drift.
+        for i in 0..n {
+            state.positions[i] += state.velocities[i] * half;
+        }
+        // O: Ornstein-Uhlenbeck velocity update.
+        for i in 0..n {
+            let sigma = (KB * self.temperature / state.masses[i]).sqrt();
+            let noise = Vec3::new(
+                sample_normal(&mut self.rng),
+                sample_normal(&mut self.rng),
+                sample_normal(&mut self.rng),
+            );
+            state.velocities[i] = state.velocities[i] * c1 + noise * (sigma * c2);
+        }
+        // A: half drift.
+        for i in 0..n {
+            state.positions[i] += state.velocities[i] * half;
+        }
+        // Force evaluation at the new positions.
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        let energies = {
+            let forces = &mut state.forces;
+            ff.compute(positions, sim_box, forces)
+        };
+        // B: half kick.
+        for i in 0..n {
+            state.velocities[i] += state.forces[i] * (half / state.masses[i]);
+        }
+        state.step += 1;
+        state.time += dt;
+        energies
+    }
+}
+
+/// Overdamped (Brownian / position-Langevin) dynamics:
+/// `dx = F/(mγ) dt + √(2 kB T dt / (m γ)) ξ`. Velocities are not evolved.
+pub struct Brownian {
+    pub temperature: f64,
+    pub gamma: f64,
+    rng: SimRng,
+}
+
+impl Brownian {
+    pub fn new(temperature: f64, gamma: f64, rng: SimRng) -> Self {
+        assert!(temperature >= 0.0 && gamma > 0.0);
+        Brownian {
+            temperature,
+            gamma,
+            rng,
+        }
+    }
+}
+
+impl Integrator for Brownian {
+    fn name(&self) -> &'static str {
+        "brownian"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
+        let n = state.n_particles();
+        for i in 0..n {
+            let mobility = 1.0 / (state.masses[i] * self.gamma);
+            let sigma = (2.0 * KB * self.temperature * dt * mobility).sqrt();
+            let noise = Vec3::new(
+                sample_normal(&mut self.rng),
+                sample_normal(&mut self.rng),
+                sample_normal(&mut self.rng),
+            );
+            state.positions[i] += state.forces[i] * (mobility * dt) + noise * sigma;
+        }
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        let energies = {
+            let forces = &mut state.forces;
+            ff.compute(positions, sim_box, forces)
+        };
+        state.step += 1;
+        state.time += dt;
+        energies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forces::HarmonicRestraint;
+    use crate::pbc::SimBox;
+    use crate::rng::rng_from_seed;
+    use crate::topology::{LjParams, Particle, Topology};
+    use crate::vec3::v3;
+
+    fn oscillator_ff(k: f64) -> ForceField {
+        ForceField::new().with(Box::new(HarmonicRestraint::new(
+            vec![(0, Vec3::ZERO)],
+            k,
+        )))
+    }
+
+    fn one_particle() -> (Topology, State) {
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        let state = State::new(vec![v3(1.0, 0.0, 0.0)], &top, SimBox::Open);
+        (top, state)
+    }
+
+    fn prime(state: &mut State, ff: &mut ForceField) {
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        ff.compute(positions, sim_box, &mut state.forces);
+    }
+
+    #[test]
+    fn verlet_conserves_energy_for_harmonic_oscillator() {
+        let (_top, mut state) = one_particle();
+        let mut ff = oscillator_ff(1.0);
+        prime(&mut state, &mut ff);
+        let mut integ = VelocityVerlet::nve();
+        let e0 = state.kinetic_energy() + ff.energy(&state.positions, &state.sim_box);
+        let dt = 0.01;
+        let mut worst: f64 = 0.0;
+        for _ in 0..10_000 {
+            let energies = integ.step(&mut state, &mut ff, dt, 3);
+            let e = state.kinetic_energy() + energies.total();
+            worst = worst.max((e - e0).abs());
+        }
+        assert!(worst < 1e-4, "energy drift over 10k steps: {worst}");
+    }
+
+    #[test]
+    fn verlet_period_matches_analytic_oscillator() {
+        // ω = sqrt(k/m) = 2 ⇒ period π. Track the first return to positive
+        // x-crossing of the velocity.
+        let (_top, mut state) = one_particle();
+        let mut ff = oscillator_ff(4.0);
+        prime(&mut state, &mut ff);
+        let mut integ = VelocityVerlet::nve();
+        let dt = 1e-3;
+        let mut prev_x = state.positions[0].x;
+        let mut crossings = Vec::new();
+        for step in 1..=7000 {
+            integ.step(&mut state, &mut ff, dt, 3);
+            let x = state.positions[0].x;
+            if prev_x < 0.0 && x >= 0.0 {
+                crossings.push(step as f64 * dt);
+            }
+            prev_x = x;
+        }
+        assert!(crossings.len() >= 2, "expected at least 2 crossings");
+        let period = crossings[1] - crossings[0];
+        assert!(
+            (period - std::f64::consts::PI).abs() < 1e-2,
+            "period = {period}"
+        );
+    }
+
+    #[test]
+    fn langevin_equilibrates_harmonic_oscillator() {
+        // For V = k x²/2 per coordinate, equipartition gives <x²> = kB T/k.
+        let (_top, mut state) = one_particle();
+        let mut ff = oscillator_ff(2.0);
+        prime(&mut state, &mut ff);
+        let mut integ = Langevin::new(1.0, 1.0, rng_from_seed(8));
+        let dt = 0.02;
+        // Equilibrate, then sample.
+        for _ in 0..2000 {
+            integ.step(&mut state, &mut ff, dt, 3);
+        }
+        let mut x2_sum = 0.0;
+        let n_samp = 60_000;
+        for _ in 0..n_samp {
+            integ.step(&mut state, &mut ff, dt, 3);
+            x2_sum += state.positions[0].x * state.positions[0].x;
+        }
+        let x2 = x2_sum / n_samp as f64;
+        assert!(
+            (x2 - 0.5).abs() < 0.05,
+            "<x²> = {x2}, expected kB T/k = 0.5"
+        );
+    }
+
+    #[test]
+    fn brownian_diffuses_free_particle() {
+        // Free diffusion: <r²(t)> = 6 D t with D = kB T/(m γ).
+        let mut top = Topology::new();
+        let n = 400;
+        for _ in 0..n {
+            top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 0.0)));
+        }
+        let mut state = State::new(vec![Vec3::ZERO; n], &top, SimBox::Open);
+        let mut ff = ForceField::new(); // no forces at all
+        prime(&mut state, &mut ff);
+        let mut integ = Brownian::new(1.0, 2.0, rng_from_seed(2));
+        let dt = 0.01;
+        let n_steps = 500;
+        for _ in 0..n_steps {
+            integ.step(&mut state, &mut ff, dt, 3 * n);
+        }
+        let t = n_steps as f64 * dt;
+        let msd: f64 =
+            state.positions.iter().map(|p| p.norm2()).sum::<f64>() / n as f64;
+        let expected = 6.0 * (1.0 / 2.0) * t; // 6 D t, D = kT/(mγ) = 0.5
+        assert!(
+            (msd - expected).abs() / expected < 0.15,
+            "MSD = {msd}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn integrators_advance_clock() {
+        let (_top, mut state) = one_particle();
+        let mut ff = oscillator_ff(1.0);
+        prime(&mut state, &mut ff);
+        let mut integ = VelocityVerlet::nve();
+        integ.step(&mut state, &mut ff, 0.5, 3);
+        integ.step(&mut state, &mut ff, 0.5, 3);
+        assert_eq!(state.step, 2);
+        assert!((state.time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermostatted_verlet_controls_temperature() {
+        use crate::thermostat::Berendsen;
+        let n = 64;
+        let mut top = Topology::new();
+        for _ in 0..n {
+            top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        }
+        // Ideal gas of restrained particles (independent oscillators).
+        let anchors: Vec<(usize, Vec3)> = (0..n)
+            .map(|i| (i, v3(i as f64 * 2.0, 0.0, 0.0)))
+            .collect();
+        let mut ff =
+            ForceField::new().with(Box::new(HarmonicRestraint::new(anchors.clone(), 1.0)));
+        let mut positions = vec![Vec3::ZERO; n];
+        for (i, p) in positions.iter_mut().enumerate() {
+            *p = anchors[i].1;
+        }
+        let mut state = State::new(positions, &top, SimBox::Open);
+        let dof = top.dof(3);
+        let mut rng = rng_from_seed(3);
+        state.init_velocities(2.0, dof, &mut rng);
+        prime(&mut state, &mut ff);
+        let mut integ = VelocityVerlet::nvt(Box::new(Berendsen::new(1.0, 0.1)));
+        for _ in 0..3000 {
+            integ.step(&mut state, &mut ff, 0.01, dof);
+        }
+        let t = state.temperature(dof);
+        assert!((t - 1.0).abs() < 0.25, "temperature after coupling: {t}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Ready-made molecular systems.
+//!
+//! - [`villin`]: the coarse-grained Gō-model stand-in for the paper's
+//!   9,864-atom villin headpiece (HP35 35-NleNle) — see DESIGN.md for the
+//!   substitution argument.
+//! - [`chain`]: unfolded-conformation generation (the paper's nine
+//!   extended starting structures).
+//! - [`ljfluid`]: an all-atom-style Lennard-Jones fluid used to exercise
+//!   the periodic non-bonded path (neighbour lists, reaction field,
+//!   thermostats).
+
+pub mod chain;
+pub mod ljfluid;
+pub mod villin;
+
+pub use chain::{extended_chain, self_avoiding_chain};
+pub use ljfluid::{lj_fluid, LjFluidSpec};
+pub use villin::{VillinModel, VillinParams};

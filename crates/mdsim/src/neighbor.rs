@@ -1,0 +1,365 @@
+//! Verlet neighbour list with cell-list construction.
+//!
+//! The list stores all non-excluded pairs within `cutoff + skin` and is
+//! rebuilt only when some particle has moved more than `skin / 2` since the
+//! last build — the standard Verlet-buffer scheme used by Gromacs. For
+//! periodic boxes large enough to hold a 3×3×3 cell grid the build is O(N)
+//! via binning; otherwise it falls back to the exact O(N²) double loop
+//! (always correct, and faster for the small coarse-grained systems).
+
+use crate::pbc::SimBox;
+use crate::topology::Topology;
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Pair list with automatic rebuild tracking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NeighborList {
+    cutoff: f64,
+    skin: f64,
+    pairs: Vec<(u32, u32)>,
+    ref_positions: Vec<Vec3>,
+    n_builds: u64,
+    n_updates: u64,
+}
+
+impl NeighborList {
+    /// `cutoff` is the interaction cutoff; `skin` the Verlet buffer width.
+    pub fn new(cutoff: f64, skin: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive, got {cutoff}");
+        assert!(skin >= 0.0, "skin must be non-negative, got {skin}");
+        NeighborList {
+            cutoff,
+            skin,
+            pairs: Vec::new(),
+            ref_positions: Vec::new(),
+            n_builds: 0,
+            n_updates: 0,
+        }
+    }
+
+    pub fn cutoff(&self) -> f64 {
+        self.cutoff
+    }
+
+    pub fn skin(&self) -> f64 {
+        self.skin
+    }
+
+    /// The pair list from the last build. Pairs are `(i, j)` with `i < j`.
+    /// Distances are guaranteed ≤ `cutoff + skin` *at build time*; callers
+    /// must still apply the true cutoff when evaluating interactions.
+    pub fn pairs(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// How many times the list has been (re)built.
+    pub fn n_builds(&self) -> u64 {
+        self.n_builds
+    }
+
+    /// How many times `update` has been called.
+    pub fn n_updates(&self) -> u64 {
+        self.n_updates
+    }
+
+    /// Rebuild the list if any particle moved more than `skin/2` since the
+    /// last build (or if it was never built). Returns `true` on rebuild.
+    pub fn update(&mut self, positions: &[Vec3], bx: &SimBox, top: &Topology) -> bool {
+        self.n_updates += 1;
+        if !self.needs_rebuild(positions, bx) {
+            return false;
+        }
+        self.build(positions, bx, top);
+        true
+    }
+
+    /// Force an unconditional rebuild.
+    pub fn build(&mut self, positions: &[Vec3], bx: &SimBox, top: &Topology) {
+        assert_eq!(
+            positions.len(),
+            top.n_particles(),
+            "positions/topology length mismatch"
+        );
+        let r_list = self.cutoff + self.skin;
+        if let Some(l) = bx.lengths() {
+            assert!(
+                r_list <= bx.max_cutoff() + 1e-12,
+                "cutoff + skin ({r_list}) exceeds half the shortest box edge \
+                 ({}); minimum image would be violated",
+                bx.max_cutoff()
+            );
+            let n_cells = [
+                (l.x / r_list).floor() as usize,
+                (l.y / r_list).floor() as usize,
+                (l.z / r_list).floor() as usize,
+            ];
+            if n_cells.iter().all(|&c| c >= 3) {
+                self.build_celllist(positions, bx, top, n_cells);
+            } else {
+                self.build_allpairs(positions, bx, top);
+            }
+        } else {
+            self.build_allpairs(positions, bx, top);
+        }
+        self.ref_positions.clear();
+        self.ref_positions.extend_from_slice(positions);
+        self.n_builds += 1;
+    }
+
+    fn needs_rebuild(&self, positions: &[Vec3], bx: &SimBox) -> bool {
+        if self.ref_positions.len() != positions.len() {
+            return true;
+        }
+        if self.skin == 0.0 {
+            return true;
+        }
+        let half_skin2 = (0.5 * self.skin) * (0.5 * self.skin);
+        positions
+            .iter()
+            .zip(&self.ref_positions)
+            .any(|(&p, &q)| bx.dist2(p, q) > half_skin2)
+    }
+
+    fn build_allpairs(&mut self, positions: &[Vec3], bx: &SimBox, top: &Topology) {
+        self.pairs.clear();
+        let r2 = (self.cutoff + self.skin).powi(2);
+        let n = positions.len();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bx.dist2(positions[i], positions[j]) <= r2 && !top.is_excluded(i, j) {
+                    self.pairs.push((i as u32, j as u32));
+                }
+            }
+        }
+    }
+
+    fn build_celllist(
+        &mut self,
+        positions: &[Vec3],
+        bx: &SimBox,
+        top: &Topology,
+        n_cells: [usize; 3],
+    ) {
+        self.pairs.clear();
+        let l = bx.lengths().expect("cell list requires a periodic box");
+        let r2 = (self.cutoff + self.skin).powi(2);
+        let [nx, ny, nz] = n_cells;
+        let total_cells = nx * ny * nz;
+
+        // Bin particles.
+        let cell_of = |p: Vec3| -> usize {
+            let w = bx.wrap(p);
+            let cx = ((w.x / l.x * nx as f64) as usize).min(nx - 1);
+            let cy = ((w.y / l.y * ny as f64) as usize).min(ny - 1);
+            let cz = ((w.z / l.z * nz as f64) as usize).min(nz - 1);
+            (cz * ny + cy) * nx + cx
+        };
+        let mut heads: Vec<i64> = vec![-1; total_cells];
+        let mut next: Vec<i64> = vec![-1; positions.len()];
+        for (i, &p) in positions.iter().enumerate() {
+            let c = cell_of(p);
+            next[i] = heads[c];
+            heads[c] = i as i64;
+        }
+
+        // Half stencil: self cell + 13 unique neighbours.
+        let stencil: [(i64, i64, i64); 14] = [
+            (0, 0, 0),
+            (1, 0, 0),
+            (-1, 1, 0),
+            (0, 1, 0),
+            (1, 1, 0),
+            (-1, -1, 1),
+            (0, -1, 1),
+            (1, -1, 1),
+            (-1, 0, 1),
+            (0, 0, 1),
+            (1, 0, 1),
+            (-1, 1, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+        ];
+
+        let wrap_idx = |i: i64, n: usize| -> usize {
+            (((i % n as i64) + n as i64) % n as i64) as usize
+        };
+
+        for cz in 0..nz {
+            for cy in 0..ny {
+                for cx in 0..nx {
+                    let c0 = (cz * ny + cy) * nx + cx;
+                    for &(dx, dy, dz) in &stencil {
+                        let c1 = (wrap_idx(cz as i64 + dz, nz) * ny
+                            + wrap_idx(cy as i64 + dy, ny))
+                            * nx
+                            + wrap_idx(cx as i64 + dx, nx);
+                        let same_cell = c0 == c1;
+                        let mut i = heads[c0];
+                        while i >= 0 {
+                            let mut j = if same_cell { next[i as usize] } else { heads[c1] };
+                            while j >= 0 {
+                                let (a, b) = (i as usize, j as usize);
+                                if bx.dist2(positions[a], positions[b]) <= r2
+                                    && !top.is_excluded(a, b)
+                                {
+                                    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                                    self.pairs.push((lo as u32, hi as u32));
+                                }
+                                j = next[j as usize];
+                            }
+                            i = next[i as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::{LjParams, Particle};
+    use crate::vec3::v3;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn free_top(n: usize) -> Topology {
+        let mut top = Topology::new();
+        for _ in 0..n {
+            top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
+        }
+        top
+    }
+
+    fn random_positions(n: usize, l: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                v3(
+                    rng.random::<f64>() * l,
+                    rng.random::<f64>() * l,
+                    rng.random::<f64>() * l,
+                )
+            })
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<(u32, u32)>) -> Vec<(u32, u32)> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn celllist_matches_allpairs_periodic() {
+        let n = 400;
+        let l = 12.0;
+        let bx = SimBox::cubic(l);
+        let top = free_top(n);
+        let pos = random_positions(n, l, 42);
+
+        let mut nl_cell = NeighborList::new(2.0, 0.4);
+        nl_cell.build(&pos, &bx, &top);
+
+        // Reference: brute force.
+        let mut reference = Vec::new();
+        let r2 = (2.4_f64).powi(2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bx.dist2(pos[i], pos[j]) <= r2 {
+                    reference.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(sorted(nl_cell.pairs().to_vec()), sorted(reference));
+    }
+
+    #[test]
+    fn open_box_allpairs() {
+        let top = free_top(3);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0), v3(10.0, 0.0, 0.0)];
+        let mut nl = NeighborList::new(2.0, 0.0);
+        nl.build(&pos, &SimBox::Open, &top);
+        assert_eq!(nl.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn exclusions_are_filtered() {
+        let mut top = free_top(3);
+        top.add_exclusion(0, 1);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0), v3(1.5, 0.0, 0.0)];
+        let mut nl = NeighborList::new(2.0, 0.0);
+        nl.build(&pos, &SimBox::Open, &top);
+        assert_eq!(sorted(nl.pairs().to_vec()), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn no_rebuild_for_small_moves() {
+        let top = free_top(2);
+        let mut pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let mut nl = NeighborList::new(2.0, 1.0);
+        assert!(nl.update(&pos, &SimBox::Open, &top));
+        // Move less than skin/2 = 0.5 → no rebuild.
+        pos[1].x += 0.3;
+        assert!(!nl.update(&pos, &SimBox::Open, &top));
+        // Move beyond skin/2 → rebuild.
+        pos[1].x += 0.4;
+        assert!(nl.update(&pos, &SimBox::Open, &top));
+        assert_eq!(nl.n_builds(), 2);
+        assert_eq!(nl.n_updates(), 3);
+    }
+
+    #[test]
+    fn zero_skin_always_rebuilds() {
+        let top = free_top(2);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let mut nl = NeighborList::new(2.0, 0.0);
+        assert!(nl.update(&pos, &SimBox::Open, &top));
+        assert!(nl.update(&pos, &SimBox::Open, &top));
+    }
+
+    #[test]
+    fn buffered_list_covers_moves_within_skin() {
+        // Particles just outside cutoff but within cutoff+skin must be
+        // listed so they are found after drifting inward without a rebuild.
+        let top = free_top(2);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(2.2, 0.0, 0.0)];
+        let mut nl = NeighborList::new(2.0, 0.5);
+        nl.build(&pos, &SimBox::Open, &top);
+        assert_eq!(nl.pairs(), &[(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum image")]
+    fn rejects_cutoff_larger_than_half_box() {
+        let top = free_top(2);
+        let pos = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let mut nl = NeighborList::new(3.0, 0.5);
+        nl.build(&pos, &SimBox::cubic(6.0), &top);
+    }
+
+    #[test]
+    fn small_periodic_box_falls_back_to_allpairs() {
+        // Box too small for a 3x3x3 grid at this cutoff: must still agree
+        // with brute force.
+        let n = 60;
+        let l = 5.0;
+        let bx = SimBox::cubic(l);
+        let top = free_top(n);
+        let pos = random_positions(n, l, 7);
+        let mut nl = NeighborList::new(2.0, 0.3);
+        nl.build(&pos, &bx, &top);
+        let r2 = (2.3_f64).powi(2);
+        let mut reference = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bx.dist2(pos[i], pos[j]) <= r2 {
+                    reference.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(sorted(nl.pairs().to_vec()), sorted(reference));
+    }
+}

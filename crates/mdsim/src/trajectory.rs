@@ -1,0 +1,190 @@
+//! Trajectory storage: the frames a simulation command returns to the
+//! Copernicus controller.
+//!
+//! The paper saves coordinates every 50 ps, giving 1000 conformations per
+//! 50 ns trajectory; [`Trajectory`] is the in-memory (and serialized)
+//! equivalent of that `.xtc` output.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A sequence of coordinate frames with their simulation times.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct Trajectory {
+    frames: Vec<Vec<Vec3>>,
+    times: Vec<f64>,
+}
+
+impl Trajectory {
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Trajectory {
+            frames: Vec::with_capacity(n),
+            times: Vec::with_capacity(n),
+        }
+    }
+
+    pub fn push(&mut self, time: f64, frame: Vec<Vec3>) {
+        if let Some(last) = self.frames.last() {
+            assert_eq!(
+                last.len(),
+                frame.len(),
+                "all frames must have the same particle count"
+            );
+        }
+        if let Some(&last_t) = self.times.last() {
+            assert!(
+                time >= last_t,
+                "frame times must be non-decreasing ({time} after {last_t})"
+            );
+        }
+        self.frames.push(frame);
+        self.times.push(time);
+    }
+
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    pub fn n_particles(&self) -> usize {
+        self.frames.first().map_or(0, |f| f.len())
+    }
+
+    pub fn frame(&self, i: usize) -> &[Vec3] {
+        &self.frames[i]
+    }
+
+    pub fn time(&self, i: usize) -> f64 {
+        self.times[i]
+    }
+
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    pub fn frames(&self) -> &[Vec<Vec3>] {
+        &self.frames
+    }
+
+    pub fn last_frame(&self) -> Option<&[Vec3]> {
+        self.frames.last().map(|f| f.as_slice())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[Vec3])> {
+        self.times
+            .iter()
+            .copied()
+            .zip(self.frames.iter().map(|f| f.as_slice()))
+    }
+
+    /// Append all frames of `other` (times must continue monotonically).
+    pub fn extend(&mut self, other: &Trajectory) {
+        for (t, f) in other.iter() {
+            self.push(t, f.to_vec());
+        }
+    }
+
+    /// Keep every `stride`-th frame (stride ≥ 1), starting with frame 0.
+    pub fn strided(&self, stride: usize) -> Trajectory {
+        assert!(stride >= 1, "stride must be >= 1");
+        let mut out = Trajectory::new();
+        for i in (0..self.len()).step_by(stride) {
+            out.push(self.times[i], self.frames[i].clone());
+        }
+        out
+    }
+
+    /// Approximate in-memory size in bytes (used for the bandwidth
+    /// accounting of Fig. 9).
+    pub fn data_size_bytes(&self) -> u64 {
+        (self.len() * self.n_particles() * std::mem::size_of::<Vec3>()
+            + self.len() * std::mem::size_of::<f64>()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+
+    fn frame(x: f64) -> Vec<Vec3> {
+        vec![v3(x, 0.0, 0.0), v3(0.0, x, 0.0)]
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut t = Trajectory::new();
+        assert!(t.is_empty());
+        t.push(0.0, frame(1.0));
+        t.push(1.0, frame(2.0));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.n_particles(), 2);
+        assert_eq!(t.time(1), 1.0);
+        assert_eq!(t.frame(1)[0], v3(2.0, 0.0, 0.0));
+        assert_eq!(t.last_frame().unwrap()[0], v3(2.0, 0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "same particle count")]
+    fn rejects_mismatched_frames() {
+        let mut t = Trajectory::new();
+        t.push(0.0, frame(1.0));
+        t.push(1.0, vec![Vec3::ZERO]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_time_travel() {
+        let mut t = Trajectory::new();
+        t.push(1.0, frame(1.0));
+        t.push(0.5, frame(2.0));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Trajectory::new();
+        a.push(0.0, frame(1.0));
+        let mut b = Trajectory::new();
+        b.push(1.0, frame(2.0));
+        b.push(2.0, frame(3.0));
+        a.extend(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.times(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn strided_subsampling() {
+        let mut t = Trajectory::new();
+        for i in 0..10 {
+            t.push(i as f64, frame(i as f64));
+        }
+        let s = t.strided(3);
+        assert_eq!(s.len(), 4); // frames 0, 3, 6, 9
+        assert_eq!(s.times(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut t = Trajectory::new();
+        t.push(0.0, frame(1.0));
+        t.push(0.5, frame(1.5));
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trajectory = serde_json::from_str(&json).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn data_size_accounting() {
+        let mut t = Trajectory::new();
+        t.push(0.0, frame(1.0));
+        // 1 frame * 2 particles * 24 bytes + 1 time * 8 bytes = 56.
+        assert_eq!(t.data_size_bytes(), 56);
+    }
+}

@@ -1,0 +1,61 @@
+//! Unit conventions.
+//!
+//! The engine works in *reduced units*: the Boltzmann constant is 1, so
+//! temperature is measured in energy units. For the coarse-grained villin
+//! model, lengths are calibrated so one unit is 1 Å (the Cα–Cα virtual bond
+//! is 3.8), which lets RMSD values be quoted in ångströms like the paper.
+//! Time is measured in the intrinsic unit τ = sqrt(m σ²/ε); the mapping to
+//! the paper's nanoseconds is a fixed, documented conversion
+//! ([`TAU_PER_NS`]), chosen so a "50 ns" Copernicus segment is a laptop-scale
+//! number of integration steps.
+
+/// Boltzmann constant in reduced units.
+pub const KB: f64 = 1.0;
+
+/// Intrinsic time units per nominal "nanosecond" of the coarse-grained
+/// villin model. Calibrated so the model's mean first-folding time
+/// (≈480 τ at T = 0.55) maps to the ≈600 ns villin folding time the paper
+/// reports. With dt = 0.01 τ, one nominal ns is 80 integration steps, so a
+/// 50-ns Copernicus segment is 4,000 steps.
+pub const TAU_PER_NS: f64 = 0.8;
+
+/// Convert a nominal trajectory length in "ns" to integration steps.
+pub fn ns_to_steps(ns: f64, dt: f64) -> u64 {
+    assert!(dt > 0.0, "dt must be positive");
+    (ns * TAU_PER_NS / dt).round() as u64
+}
+
+/// Convert a number of integration steps to nominal "ns".
+pub fn steps_to_ns(steps: u64, dt: f64) -> f64 {
+    steps as f64 * dt / TAU_PER_NS
+}
+
+/// Instantaneous kinetic temperature from kinetic energy and degrees of
+/// freedom: `T = 2 Ekin / (kB · dof)`.
+pub fn kinetic_temperature(ekin: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        0.0
+    } else {
+        2.0 * ekin / (KB * dof as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_step_roundtrip() {
+        let dt = 0.01;
+        let steps = ns_to_steps(50.0, dt);
+        assert_eq!(steps, 4000);
+        assert!((steps_to_ns(steps, dt) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn temperature_from_kinetic_energy() {
+        // Ekin = dof/2 kB T  =>  T = 2 Ekin / dof.
+        assert!((kinetic_temperature(15.0, 30) - 1.0).abs() < 1e-12);
+        assert_eq!(kinetic_temperature(1.0, 0), 0.0);
+    }
+}

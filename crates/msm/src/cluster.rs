@@ -1,0 +1,332 @@
+//! Conformational clustering: k-centers and k-medoids.
+//!
+//! The paper's MSM plugin clusters all trajectory data into microstates
+//! (10,000 clusters at full scale) with an RMSD metric. K-centers
+//! (Gonzalez farthest-point traversal) is the standard msmbuilder-era
+//! choice: O(k·N) distance evaluations and approximately uniform state
+//! radii. A k-medoids refinement pass tightens the centers.
+
+use rayon::prelude::*;
+
+/// Result of clustering `n` items into `k` states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Item index of each cluster center, length k.
+    pub centers: Vec<usize>,
+    /// Cluster id of every item, length n.
+    pub assignment: Vec<usize>,
+    /// Distance from every item to its assigned center, length n.
+    pub distances: Vec<f64>,
+}
+
+impl Clustering {
+    pub fn n_clusters(&self) -> usize {
+        self.centers.len()
+    }
+
+    pub fn n_items(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Items belonging to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Cluster populations (item counts), length k.
+    pub fn populations(&self) -> Vec<usize> {
+        let mut pops = vec![0usize; self.n_clusters()];
+        for &a in &self.assignment {
+            pops[a] += 1;
+        }
+        pops
+    }
+
+    /// Largest distance of any item to its center (the clustering radius).
+    pub fn max_radius(&self) -> f64 {
+        self.distances.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// K-centers clustering (Gonzalez): start from `first`, repeatedly promote
+/// the item farthest from all existing centers. Guarantees a 2-approximation
+/// of the optimal covering radius.
+///
+/// `dist` must be a metric (symmetric, non-negative, zero on identity).
+pub fn k_centers<T: Sync>(
+    items: &[T],
+    k: usize,
+    first: usize,
+    dist: impl Fn(&T, &T) -> f64 + Sync,
+) -> Clustering {
+    let n = items.len();
+    assert!(n > 0, "cannot cluster zero items");
+    assert!(first < n, "first-center index out of range");
+    let k = k.min(n);
+
+    let mut centers = Vec::with_capacity(k);
+    let mut assignment = vec![0usize; n];
+    let mut distances = vec![f64::INFINITY; n];
+
+    let mut next_center = first;
+    for c in 0..k {
+        centers.push(next_center);
+        let center_item = &items[next_center];
+        // Relax distances against the new center (parallel over items).
+        let updates: Vec<(usize, f64)> = items
+            .par_iter()
+            .enumerate()
+            .filter_map(|(i, item)| {
+                let d = dist(item, center_item);
+                if d < distances[i] {
+                    Some((i, d))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (i, d) in updates {
+            distances[i] = d;
+            assignment[i] = c;
+        }
+        // Pick the farthest item as the next center.
+        if c + 1 < k {
+            let (argmax, _) = distances
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("non-empty");
+            next_center = argmax;
+        }
+    }
+    Clustering {
+        centers,
+        assignment,
+        distances,
+    }
+}
+
+/// K-medoids refinement: for each cluster, move the center to the member
+/// minimizing the sum of in-cluster distances; reassign; repeat up to
+/// `max_iter` times or until stable. Returns the refined clustering and
+/// the number of update iterations performed.
+pub fn k_medoids_refine<T: Sync>(
+    items: &[T],
+    clustering: &Clustering,
+    max_iter: usize,
+    dist: impl Fn(&T, &T) -> f64 + Sync,
+) -> (Clustering, usize) {
+    let n = items.len();
+    let k = clustering.n_clusters();
+    let mut centers = clustering.centers.clone();
+    let mut assignment = clustering.assignment.clone();
+    let mut iters = 0;
+
+    for _ in 0..max_iter {
+        iters += 1;
+        // Update step: exact medoid of each cluster.
+        let members_of: Vec<Vec<usize>> = {
+            let mut m: Vec<Vec<usize>> = vec![Vec::new(); k];
+            for (i, &a) in assignment.iter().enumerate() {
+                m[a].push(i);
+            }
+            m
+        };
+        let new_centers: Vec<usize> = (0..k)
+            .into_par_iter()
+            .map(|c| {
+                let members = &members_of[c];
+                if members.is_empty() {
+                    return centers[c];
+                }
+                *members
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        let cost = |x: usize| -> f64 {
+                            members.iter().map(|&m| dist(&items[x], &items[m])).sum()
+                        };
+                        cost(a).partial_cmp(&cost(b)).unwrap()
+                    })
+                    .expect("non-empty members")
+            })
+            .collect();
+
+        // Assign step.
+        let new_assignment: Vec<usize> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                (0..k)
+                    .min_by(|&a, &b| {
+                        dist(&items[i], &items[new_centers[a]])
+                            .partial_cmp(&dist(&items[i], &items[new_centers[b]]))
+                            .unwrap()
+                    })
+                    .expect("k > 0")
+            })
+            .collect();
+
+        let stable = new_centers == centers && new_assignment == assignment;
+        centers = new_centers;
+        assignment = new_assignment;
+        if stable {
+            break;
+        }
+    }
+
+    let distances: Vec<f64> = (0..n)
+        .into_par_iter()
+        .map(|i| dist(&items[i], &items[centers[assignment[i]]]))
+        .collect();
+    (
+        Clustering {
+            centers,
+            assignment,
+            distances,
+        },
+        iters,
+    )
+}
+
+/// Assign new items to the nearest of the given centers.
+pub fn assign<T: Sync>(
+    items: &[T],
+    center_items: &[T],
+    dist: impl Fn(&T, &T) -> f64 + Sync,
+) -> Vec<usize> {
+    assert!(!center_items.is_empty(), "no centers to assign to");
+    items
+        .par_iter()
+        .map(|item| {
+            (0..center_items.len())
+                .min_by(|&a, &b| {
+                    dist(item, &center_items[a])
+                        .partial_cmp(&dist(item, &center_items[b]))
+                        .unwrap()
+                })
+                .expect("non-empty centers")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d1(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    /// Three well-separated 1-D blobs.
+    fn blobs() -> Vec<f64> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(0.0 + i as f64 * 0.01);
+            v.push(10.0 + i as f64 * 0.01);
+            v.push(20.0 + i as f64 * 0.01);
+        }
+        v
+    }
+
+    #[test]
+    fn kcenters_separates_blobs() {
+        let items = blobs();
+        let c = k_centers(&items, 3, 0, d1);
+        assert_eq!(c.n_clusters(), 3);
+        assert_eq!(c.n_items(), 30);
+        // All members of one blob share a cluster.
+        for blob in 0..3 {
+            let ids: Vec<usize> = (0..10).map(|i| c.assignment[blob + 3 * i]).collect();
+            assert!(
+                ids.iter().all(|&x| x == ids[0]),
+                "blob {blob} split across clusters"
+            );
+        }
+        // Radius is within a blob, not across blobs.
+        assert!(c.max_radius() < 1.0);
+    }
+
+    #[test]
+    fn kcenters_handles_k_larger_than_n() {
+        let items = vec![1.0, 2.0];
+        let c = k_centers(&items, 10, 0, d1);
+        assert_eq!(c.n_clusters(), 2);
+        assert!(c.max_radius() < 1e-12);
+    }
+
+    #[test]
+    fn kcenters_first_center_is_respected() {
+        let items = blobs();
+        let c = k_centers(&items, 3, 5, d1);
+        assert_eq!(c.centers[0], 5);
+    }
+
+    #[test]
+    fn populations_sum_to_n() {
+        let items = blobs();
+        let c = k_centers(&items, 3, 0, d1);
+        assert_eq!(c.populations().iter().sum::<usize>(), 30);
+    }
+
+    #[test]
+    fn members_match_assignment() {
+        let items = blobs();
+        let c = k_centers(&items, 3, 0, d1);
+        for cl in 0..3 {
+            for &m in &c.members(cl) {
+                assert_eq!(c.assignment[m], cl);
+            }
+        }
+    }
+
+    #[test]
+    fn kmedoids_moves_centers_to_blob_middles() {
+        let items = blobs();
+        let c = k_centers(&items, 3, 0, d1);
+        let (refined, iters) = k_medoids_refine(&items, &c, 10, d1);
+        assert!(iters <= 10);
+        // Each refined center should be the medoid of a 10-point blob:
+        // the sum of distances from the true medoid is minimal.
+        for &center in &refined.centers {
+            let val = items[center];
+            let blob_base = (val / 10.0).round() * 10.0;
+            // Blob spans base..base+0.09; the medoid is near the middle.
+            assert!(
+                (val - (blob_base + 0.04)).abs() <= 0.011,
+                "center {val} not at blob medoid"
+            );
+        }
+        // Refinement never increases the assignment distance sum.
+        let before: f64 = c.distances.iter().sum();
+        let after: f64 = refined.distances.iter().sum();
+        assert!(after <= before + 1e-9);
+    }
+
+    #[test]
+    fn assign_picks_nearest_center() {
+        let centers = vec![0.0, 10.0];
+        let items = vec![1.0, 9.0, 4.9, 5.1];
+        let a = assign(&items, &centers, d1);
+        assert_eq!(a, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero items")]
+    fn rejects_empty_input() {
+        let items: Vec<f64> = vec![];
+        let _ = k_centers(&items, 3, 0, d1);
+    }
+
+    #[test]
+    fn kcenters_radius_shrinks_with_k() {
+        let items: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r2 = k_centers(&items, 2, 0, d1).max_radius();
+        let r10 = k_centers(&items, 10, 0, d1).max_radius();
+        let r50 = k_centers(&items, 50, 0, d1).max_radius();
+        assert!(r2 > r10 && r10 > r50);
+    }
+}

@@ -1,0 +1,177 @@
+//! Strong connectivity of the transition-count graph.
+//!
+//! The paper performs its analysis *"on the largest connected subset of
+//! the Markovian transition matrix"*; this module finds that subset via
+//! Tarjan's strongly-connected-components algorithm (iterative, so deep
+//! chains cannot overflow the stack).
+
+use crate::counts::CountMatrix;
+
+/// All strongly connected components of the directed graph with an edge
+/// `i → j` wherever `counts(i, j) > 0`. Components are returned in reverse
+/// topological order (Tarjan's natural output order).
+pub fn strongly_connected_components(counts: &CountMatrix) -> Vec<Vec<usize>> {
+    let n = counts.n_states();
+    let adjacency: Vec<Vec<usize>> = (0..n)
+        .map(|i| (0..n).filter(|&j| counts.get(i, j) > 0.0).collect())
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Iterative Tarjan: (node, child-iterator position).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if let Some(&w) = adjacency[v].get(*child_pos) {
+                *child_pos += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // All children processed.
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack invariant");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+                call_stack.pop();
+                if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The largest strongly connected component, preferring more states and
+/// breaking ties by total in-component transition counts. States are
+/// returned sorted ascending.
+pub fn largest_connected_set(counts: &CountMatrix) -> Vec<usize> {
+    let components = strongly_connected_components(counts);
+    components
+        .into_iter()
+        .max_by(|a, b| {
+            let weight = |comp: &Vec<usize>| -> (usize, f64) {
+                let total: f64 = comp
+                    .iter()
+                    .flat_map(|&i| comp.iter().map(move |&j| counts.get(i, j)))
+                    .sum();
+                (comp.len(), total)
+            };
+            let (la, wa) = weight(a);
+            let (lb, wb) = weight(b);
+            la.cmp(&lb).then(wa.partial_cmp(&wb).unwrap())
+        })
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts_from_edges(n: usize, edges: &[(usize, usize)]) -> CountMatrix {
+        let mut c = CountMatrix::zeros(n);
+        for &(i, j) in edges {
+            c.add(i, j, 1.0);
+        }
+        c
+    }
+
+    #[test]
+    fn fully_connected_is_one_component() {
+        let c = counts_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn one_way_edge_splits_components() {
+        // 0 ↔ 1, and 2 reachable from 1 but never returning.
+        let c = counts_from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 2);
+        assert_eq!(largest_connected_set(&c), vec![0, 1]);
+    }
+
+    #[test]
+    fn isolated_states_are_singletons() {
+        let c = counts_from_edges(4, &[(0, 1), (1, 0)]);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 3); // {0,1}, {2}, {3}
+        assert_eq!(largest_connected_set(&c), vec![0, 1]);
+    }
+
+    #[test]
+    fn two_equal_components_tie_break_by_counts() {
+        let mut c = counts_from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        c.add(2, 3, 10.0); // strengthen the second component
+        assert_eq!(largest_connected_set(&c), vec![2, 3]);
+    }
+
+    #[test]
+    fn self_loops_count_as_connectivity() {
+        let c = counts_from_edges(2, &[(0, 0)]);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 2);
+        // Both are singletons; largest-by-count is {0}.
+        assert_eq!(largest_connected_set(&c), vec![0]);
+    }
+
+    #[test]
+    fn long_chain_does_not_overflow() {
+        // A 10,000-state bidirectional chain: one big SCC, and the
+        // iterative Tarjan must handle the recursion depth.
+        let n = 10_000;
+        let mut edges = Vec::new();
+        for i in 0..n - 1 {
+            edges.push((i, i + 1));
+            edges.push((i + 1, i));
+        }
+        let c = counts_from_edges(n, &edges);
+        let largest = largest_connected_set(&c);
+        assert_eq!(largest.len(), n);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let c = CountMatrix::zeros(3);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(largest_connected_set(&c).len(), 1);
+    }
+
+    #[test]
+    fn dag_components_follow_reachability() {
+        // 0→1→2→3 with no back edges: four singletons.
+        let c = counts_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let comps = strongly_connected_components(&c);
+        assert_eq!(comps.len(), 4);
+    }
+}

@@ -1,0 +1,198 @@
+//! Macrostate lumping: PCCA-style spectral grouping of microstates.
+//!
+//! The paper's analysis layer works at the microstate level (10,000
+//! clusters), but interpreting a model — "the folded state", "the
+//! unfolded basin" — requires grouping kinetically connected microstates
+//! into a few metastable macrostates. This module implements a
+//! sign/spectral grouping in the slow-eigenvector embedding: metastable
+//! sets are well-separated point clouds in the space spanned by the slow
+//! right eigenvectors (a PCCA+-lite), so k-centers + k-medoids there
+//! recovers them.
+
+use crate::cluster::{k_centers, k_medoids_refine};
+use crate::tmatrix::TransitionMatrix;
+
+/// Group microstates into at most `n_macro` macrostates by clustering in
+/// the embedding of the slowest `n_macro - 1` non-stationary
+/// eigenvectors (each normalized to unit max-abs so every slow process
+/// contributes comparably).
+///
+/// Returns the macrostate id of every microstate, compacted to
+/// `0..n_found` with `n_found <= n_macro`.
+pub fn pcca_spectral(
+    t: &TransitionMatrix,
+    stationary: &[f64],
+    n_macro: usize,
+) -> Vec<usize> {
+    assert!(n_macro >= 1, "need at least one macrostate");
+    let n = t.n_states();
+    if n_macro == 1 || n <= 1 {
+        return vec![0; n];
+    }
+    let (_vals, vecs) = t.eigen_reversible(n_macro, stationary);
+
+    // Embed: coordinates are the slow eigenvectors (skip the constant
+    // stationary eigenvector).
+    let mut embedding: Vec<Vec<f64>> = vec![Vec::with_capacity(n_macro - 1); n];
+    for v in vecs.iter().skip(1).take(n_macro - 1) {
+        let scale = v.iter().fold(0.0f64, |a, &x| a.max(x.abs())).max(1e-300);
+        for (i, &x) in v.iter().enumerate() {
+            embedding[i].push(x / scale);
+        }
+    }
+
+    let euclid = |a: &Vec<f64>, b: &Vec<f64>| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let initial = k_centers(&embedding, n_macro, 0, euclid);
+    let (clustering, _) = k_medoids_refine(&embedding, &initial, 50, euclid);
+
+    // Compact ids (a refined cluster can in principle end up empty).
+    let mut remap = vec![usize::MAX; clustering.n_clusters()];
+    let mut next = 0;
+    let mut assignment = Vec::with_capacity(n);
+    for &c in &clustering.assignment {
+        if remap[c] == usize::MAX {
+            remap[c] = next;
+            next += 1;
+        }
+        assignment.push(remap[c]);
+    }
+    assignment
+}
+
+/// Aggregate a microstate distribution onto macrostates.
+pub fn lump_distribution(p: &[f64], assignment: &[usize]) -> Vec<f64> {
+    assert_eq!(p.len(), assignment.len());
+    let n_macro = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut out = vec![0.0; n_macro];
+    for (&x, &m) in p.iter().zip(assignment) {
+        out[m] += x;
+    }
+    out
+}
+
+/// Coarse-grained transition matrix between macrostates:
+/// `T_AB = Σ_{i∈A, j∈B} π_i T_ij / Σ_{i∈A} π_i`.
+pub fn lump_transition_matrix(
+    t: &TransitionMatrix,
+    stationary: &[f64],
+    assignment: &[usize],
+) -> TransitionMatrix {
+    let n = t.n_states();
+    assert_eq!(assignment.len(), n);
+    let n_macro = assignment.iter().copied().max().map_or(0, |m| m + 1);
+    let mut rows = vec![vec![0.0; n_macro]; n_macro];
+    let mut weight = vec![0.0; n_macro];
+    for i in 0..n {
+        let a = assignment[i];
+        weight[a] += stationary[i];
+        for j in 0..n {
+            rows[a][assignment[j]] += stationary[i] * t.get(i, j);
+        }
+    }
+    for (row, &w) in rows.iter_mut().zip(&weight) {
+        if w > 0.0 {
+            for x in row.iter_mut() {
+                *x /= w;
+            }
+        } else {
+            // Empty macrostate cannot occur with compacted assignments,
+            // but keep the matrix stochastic regardless.
+            row.iter_mut().enumerate().for_each(|(k, x)| {
+                *x = if k == 0 { 1.0 } else { 0.0 };
+            });
+        }
+    }
+    TransitionMatrix::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Four microstates, two wells: {0,1} and {2,3}. Fast mixing within
+    /// wells, slow exchange between them.
+    fn two_well() -> TransitionMatrix {
+        let fast = 0.3;
+        let slow = 0.01;
+        TransitionMatrix::from_rows(vec![
+            vec![1.0 - fast - slow, fast, slow, 0.0],
+            vec![fast, 1.0 - fast - slow, 0.0, slow],
+            vec![slow, 0.0, 1.0 - fast - slow, fast],
+            vec![0.0, slow, fast, 1.0 - fast - slow],
+        ])
+    }
+
+    #[test]
+    fn two_well_lumps_into_two_macrostates() {
+        let t = two_well();
+        let pi = t.stationary(1e-14, 500_000);
+        let lump = pcca_spectral(&t, &pi, 2);
+        assert_eq!(lump.len(), 4);
+        assert_eq!(lump[0], lump[1], "states 0,1 share a well");
+        assert_eq!(lump[2], lump[3], "states 2,3 share a well");
+        assert_ne!(lump[0], lump[2], "the two wells are distinct");
+    }
+
+    #[test]
+    fn single_macrostate_is_trivial() {
+        let t = two_well();
+        let pi = t.stationary(1e-14, 500_000);
+        assert_eq!(pcca_spectral(&t, &pi, 1), vec![0; 4]);
+    }
+
+    #[test]
+    fn lumped_distribution_conserves_mass() {
+        let t = two_well();
+        let pi = t.stationary(1e-14, 500_000);
+        let lump = pcca_spectral(&t, &pi, 2);
+        let macro_pi = lump_distribution(&pi, &lump);
+        assert!((macro_pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Symmetric wells: each holds half the population.
+        for &x in &macro_pi {
+            assert!((x - 0.5).abs() < 1e-6, "macro population {x}");
+        }
+    }
+
+    #[test]
+    fn lumped_matrix_is_stochastic_and_metastable() {
+        let t = two_well();
+        let pi = t.stationary(1e-14, 500_000);
+        let lump = pcca_spectral(&t, &pi, 2);
+        let tm = lump_transition_matrix(&t, &pi, &lump);
+        assert_eq!(tm.n_states(), 2);
+        assert!(tm.is_row_stochastic(1e-9));
+        // Metastability: the diagonal dominates.
+        assert!(tm.get(0, 0) > 0.9);
+        assert!(tm.get(1, 1) > 0.9);
+        // Inter-well rate ≈ the slow rate.
+        assert!((tm.get(0, 1) - 0.01).abs() < 5e-3, "lumped rate {}", tm.get(0, 1));
+    }
+
+    #[test]
+    fn three_well_chain_lumps_into_three() {
+        // 6 microstates in 3 wells along a chain.
+        let f = 0.3;
+        let s = 0.005;
+        let t = TransitionMatrix::from_rows(vec![
+            vec![1.0 - f, f, 0.0, 0.0, 0.0, 0.0],
+            vec![f, 1.0 - f - s, s, 0.0, 0.0, 0.0],
+            vec![0.0, s, 1.0 - f - s, f, 0.0, 0.0],
+            vec![0.0, 0.0, f, 1.0 - f - s, s, 0.0],
+            vec![0.0, 0.0, 0.0, s, 1.0 - f - s, f],
+            vec![0.0, 0.0, 0.0, 0.0, f, 1.0 - f],
+        ]);
+        let pi = t.stationary(1e-14, 1_000_000);
+        let lump = pcca_spectral(&t, &pi, 3);
+        assert_eq!(lump[0], lump[1]);
+        assert_eq!(lump[2], lump[3]);
+        assert_eq!(lump[4], lump[5]);
+        let distinct: std::collections::BTreeSet<usize> = lump.iter().copied().collect();
+        assert_eq!(distinct.len(), 3, "three wells expected: {lump:?}");
+    }
+}

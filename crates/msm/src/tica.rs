@@ -1,0 +1,301 @@
+//! Time-lagged independent component analysis (TICA).
+//!
+//! The msmbuilder-era dimensionality reduction that followed the paper:
+//! find the linear combinations of input features whose autocorrelation
+//! at lag τ is maximal — the slow collective coordinates. Solves the
+//! generalized eigenproblem `C(τ) v = λ C(0) v` by whitening with the
+//! instantaneous covariance and diagonalizing the symmetrized lagged
+//! covariance (both via the small dense Jacobi solver).
+
+use crate::linalg::jacobi_eigen_sym;
+
+/// A fitted TICA model.
+#[derive(Debug, Clone)]
+pub struct Tica {
+    /// Feature means (length d).
+    pub mean: Vec<f64>,
+    /// Projection matrix, one row per component (each length d), sorted
+    /// by descending autocorrelation.
+    pub components: Vec<Vec<f64>>,
+    /// Autocorrelations (eigenvalues) per component, in [-1, 1] up to
+    /// estimation noise.
+    pub autocorrelations: Vec<f64>,
+    /// Lag used for the fit, in frames.
+    pub lag: usize,
+}
+
+impl Tica {
+    /// Fit on feature trajectories: `trajs[k][t]` is the feature vector
+    /// of frame `t` in trajectory `k`. Keeps `n_components` components.
+    pub fn fit(trajs: &[Vec<Vec<f64>>], lag: usize, n_components: usize) -> Tica {
+        assert!(lag >= 1, "lag must be at least one frame");
+        let d = trajs
+            .iter()
+            .flat_map(|t| t.iter())
+            .map(|f| f.len())
+            .next()
+            .expect("no frames to fit TICA on");
+        assert!(
+            trajs
+                .iter()
+                .flat_map(|t| t.iter())
+                .all(|f| f.len() == d),
+            "inconsistent feature dimension"
+        );
+        let n_components = n_components.min(d);
+
+        // Mean over all frames that participate in lagged pairs (use all
+        // frames: simpler and consistent for long trajectories).
+        let mut mean = vec![0.0; d];
+        let mut count = 0.0;
+        for t in trajs {
+            for f in t {
+                for (m, &x) in mean.iter_mut().zip(f) {
+                    *m += x;
+                }
+                count += 1.0;
+            }
+        }
+        assert!(count > 0.0);
+        for m in mean.iter_mut() {
+            *m /= count;
+        }
+
+        // Instantaneous covariance C0 and symmetrized lagged covariance Ct.
+        let mut c0 = vec![vec![0.0; d]; d];
+        let mut ct = vec![vec![0.0; d]; d];
+        let mut pairs = 0.0;
+        for t in trajs {
+            for w in 0..t.len().saturating_sub(lag) {
+                let a: Vec<f64> = t[w].iter().zip(&mean).map(|(x, m)| x - m).collect();
+                let b: Vec<f64> = t[w + lag].iter().zip(&mean).map(|(x, m)| x - m).collect();
+                for i in 0..d {
+                    for j in 0..d {
+                        // Symmetrized estimates (reversible dynamics).
+                        c0[i][j] += 0.5 * (a[i] * a[j] + b[i] * b[j]);
+                        ct[i][j] += 0.5 * (a[i] * b[j] + b[i] * a[j]);
+                    }
+                }
+                pairs += 1.0;
+            }
+        }
+        assert!(pairs > 0.0, "trajectories shorter than the lag");
+        for i in 0..d {
+            for j in 0..d {
+                c0[i][j] /= pairs;
+                ct[i][j] /= pairs;
+            }
+        }
+
+        // Whiten: C0 = U S Uᵀ → W = S^{-1/2} Uᵀ. Small regularization for
+        // near-singular feature sets.
+        let (s_vals, u_vecs) = jacobi_eigen_sym(&c0);
+        let eps = 1e-10 * s_vals.first().copied().unwrap_or(1.0).max(1e-30);
+        let mut whiten: Vec<Vec<f64>> = Vec::new(); // rows: whitened directions
+        for (sv, uv) in s_vals.iter().zip(&u_vecs) {
+            if *sv > eps {
+                let inv_sqrt = 1.0 / sv.sqrt();
+                whiten.push(uv.iter().map(|x| x * inv_sqrt).collect());
+            }
+        }
+        let r = whiten.len(); // effective rank
+
+        // M = W Ct Wᵀ (r × r), symmetric.
+        let mut m = vec![vec![0.0; r]; r];
+        for a in 0..r {
+            for b in 0..r {
+                let mut acc = 0.0;
+                for i in 0..d {
+                    for j in 0..d {
+                        acc += whiten[a][i] * ct[i][j] * whiten[b][j];
+                    }
+                }
+                m[a][b] = acc;
+            }
+        }
+        let (lambdas, m_vecs) = jacobi_eigen_sym(&m);
+
+        // Back-transform: component rows are vᵀ W.
+        let mut components = Vec::with_capacity(n_components);
+        let mut autocorrelations = Vec::with_capacity(n_components);
+        for (lambda, mv) in lambdas.iter().zip(&m_vecs).take(n_components) {
+            let mut row = vec![0.0; d];
+            for (coef, wrow) in mv.iter().zip(&whiten) {
+                for (x, w) in row.iter_mut().zip(wrow) {
+                    *x += coef * w;
+                }
+            }
+            components.push(row);
+            autocorrelations.push(*lambda);
+        }
+
+        Tica {
+            mean,
+            components,
+            autocorrelations,
+            lag,
+        }
+    }
+
+    /// Number of kept components.
+    pub fn n_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Project one feature vector onto the TICA components.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.mean.len());
+        self.components
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(features)
+                    .zip(&self.mean)
+                    .map(|((w, x), m)| w * (x - m))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Project a whole trajectory.
+    pub fn transform_trajectory(&self, traj: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        traj.iter().map(|f| self.transform(f)).collect()
+    }
+
+    /// Implied timescales of the components at the fit lag (frames).
+    pub fn timescales(&self) -> Vec<f64> {
+        self.autocorrelations
+            .iter()
+            .map(|&l| {
+                if l >= 1.0 {
+                    f64::INFINITY
+                } else if l <= 0.0 {
+                    0.0
+                } else {
+                    -(self.lag as f64) / l.ln()
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdsim::rng::{rng_from_seed, sample_normal};
+
+    /// Synthetic data: feature 0 is a slow OU process, feature 1 fast,
+    /// feature 2 pure noise, plus a mixing rotation.
+    fn make_data(seed: u64, mix: bool) -> Vec<Vec<Vec<f64>>> {
+        let mut rng = rng_from_seed(seed);
+        let mut trajs = Vec::new();
+        for _ in 0..4 {
+            let mut slow: f64 = 0.0;
+            let mut fast: f64 = 0.0;
+            let mut frames = Vec::with_capacity(3000);
+            for _ in 0..3000 {
+                slow = 0.995 * slow + 0.1 * sample_normal(&mut rng);
+                fast = 0.5 * fast + 0.5 * sample_normal(&mut rng);
+                let noise = sample_normal(&mut rng);
+                let f = if mix {
+                    vec![
+                        0.8 * slow + 0.3 * fast + 0.1 * noise,
+                        -0.4 * slow + 0.7 * fast,
+                        0.2 * fast + 0.9 * noise,
+                    ]
+                } else {
+                    vec![slow, fast, noise]
+                };
+                frames.push(f);
+            }
+            trajs.push(frames);
+        }
+        trajs
+    }
+
+    #[test]
+    fn identifies_the_slow_coordinate() {
+        let trajs = make_data(1, false);
+        let tica = Tica::fit(&trajs, 10, 3);
+        assert_eq!(tica.n_components(), 3);
+        // First autocorrelation ≈ 0.995^10 ≈ 0.95; the others tiny.
+        assert!(
+            tica.autocorrelations[0] > 0.85,
+            "slow mode autocorrelation {}",
+            tica.autocorrelations[0]
+        );
+        assert!(tica.autocorrelations[1] < 0.3);
+        // The first component points along feature 0.
+        let c = &tica.components[0];
+        let norm: f64 = c.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!(
+            c[0].abs() / norm > 0.95,
+            "component not aligned with the slow feature: {c:?}"
+        );
+    }
+
+    #[test]
+    fn unmixes_rotated_features() {
+        let trajs = make_data(2, true);
+        let tica = Tica::fit(&trajs, 10, 2);
+        // Project data; the first TICA coordinate must track the hidden
+        // slow process far better than any raw feature does. Proxy check:
+        // its lag-10 autocorrelation is high.
+        assert!(
+            tica.autocorrelations[0] > 0.8,
+            "slow mode not recovered: {:?}",
+            tica.autocorrelations
+        );
+        // Ordering is descending.
+        assert!(tica.autocorrelations[0] >= tica.autocorrelations[1]);
+    }
+
+    #[test]
+    fn transform_is_mean_free_and_consistent() {
+        let trajs = make_data(3, true);
+        let tica = Tica::fit(&trajs, 5, 2);
+        let projected: Vec<Vec<f64>> = trajs
+            .iter()
+            .flat_map(|t| tica.transform_trajectory(t))
+            .collect();
+        let n = projected.len() as f64;
+        for k in 0..2 {
+            let mean: f64 = projected.iter().map(|p| p[k]).sum::<f64>() / n;
+            assert!(mean.abs() < 0.05, "component {k} not mean-free: {mean}");
+        }
+        // Whitening: unit variance of the projections (up to sampling
+        // noise and the symmetrized estimator's bias).
+        let var0: f64 = projected.iter().map(|p| p[0] * p[0]).sum::<f64>() / n;
+        assert!((var0 - 1.0).abs() < 0.2, "projection variance {var0}");
+    }
+
+    #[test]
+    fn timescales_are_ordered() {
+        let trajs = make_data(4, false);
+        let tica = Tica::fit(&trajs, 10, 3);
+        let ts = tica.timescales();
+        assert!(ts[0] > ts[1]);
+        assert!(ts[0] > 50.0, "slow timescale {:.1} frames", ts[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lag")]
+    fn rejects_zero_lag() {
+        let trajs = make_data(5, false);
+        let _ = Tica::fit(&trajs, 0, 2);
+    }
+
+    #[test]
+    fn handles_degenerate_features() {
+        // A constant feature (zero variance) must not break the fit.
+        let mut trajs = make_data(6, false);
+        for t in trajs.iter_mut() {
+            for f in t.iter_mut() {
+                f.push(42.0);
+            }
+        }
+        let tica = Tica::fit(&trajs, 10, 4);
+        assert!(tica.n_components() <= 4);
+        assert!(tica.autocorrelations[0] > 0.85);
+    }
+}

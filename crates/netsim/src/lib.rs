@@ -1,0 +1,16 @@
+//! # netsim — overlay-network discrete-event simulation
+//!
+//! Models §2.2–2.3 of the Copernicus paper: the small authenticated
+//! overlay of project servers and cluster head-node relays, lowest-latency
+//! routing over trusted links, store-and-forward transfer timing,
+//! heartbeat liveness reporting, and server-side worker-failure detection.
+//! Used by the performance benchmarks (Figs. 6 and 9) to account traffic
+//! per network level, and by the fault-tolerance tests.
+
+pub mod events;
+pub mod network;
+pub mod sim;
+
+pub use events::EventQueue;
+pub use network::{fig1_topology, Link, NodeId, NodeRole, Overlay};
+pub use sim::{HeartbeatConfig, MessageKind, NetRecord, NetSim};

@@ -1,0 +1,138 @@
+//! Property-based tests of the overlay-network simulator.
+
+use netsim::{EventQueue, Link, NodeRole, Overlay};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_nondecreasing_time_order(
+        times in proptest::collection::vec(0.0..1e6f64, 0..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            n += 1;
+        }
+        prop_assert_eq!(n, times.len());
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order(n in 1usize..100) {
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.push(1.0, i);
+        }
+        let mut expected = 0;
+        while let Some((_, i)) = q.pop() {
+            prop_assert_eq!(i, expected);
+            expected += 1;
+        }
+    }
+
+    #[test]
+    fn transfer_time_is_monotone_in_bytes_and_latency(
+        lat in 0.0..2.0f64,
+        bw in 1.0..1e9f64,
+        b1 in 0u64..1_000_000,
+        extra in 0u64..1_000_000,
+    ) {
+        let l = Link::new(lat, bw);
+        prop_assert!(l.transfer_time(b1 + extra) >= l.transfer_time(b1));
+        prop_assert!(l.transfer_time(0) >= lat - 1e-12);
+    }
+
+    #[test]
+    fn routes_follow_trusted_links_and_sum_latency(
+        seed in 0u64..500,
+        n in 2usize..12,
+        density in 0.2..0.9f64,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut net = Overlay::new();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| net.add_node(format!("n{i}"), NodeRole::RelayServer))
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.random::<f64>() < density {
+                    let lat = 0.001 + rng.random::<f64>() * 0.1;
+                    net.connect_trusted(nodes[i], nodes[j], Link::new(lat, 1e6));
+                }
+            }
+        }
+        let a = nodes[0];
+        let b = nodes[n - 1];
+        if let Some(path) = net.route(a, b) {
+            prop_assert_eq!(path[0], a);
+            prop_assert_eq!(*path.last().unwrap(), b);
+            // Every hop is a trusted installed link; latency sums match.
+            let mut total = 0.0;
+            for w in path.windows(2) {
+                let link = net.link(w[0], w[1]);
+                prop_assert!(link.is_some(), "route uses a missing link");
+                prop_assert!(net.is_trusted(w[0], w[1]));
+                total += link.unwrap().latency;
+            }
+            prop_assert!((net.route_latency(a, b).unwrap() - total).abs() < 1e-12);
+            // No repeated nodes (shortest paths are simple).
+            let mut sorted = path.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len());
+        }
+    }
+
+    #[test]
+    fn dijkstra_is_optimal_on_small_graphs(seed in 0u64..300) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let n = 6;
+        let mut net = Overlay::new();
+        let nodes: Vec<_> = (0..n)
+            .map(|i| net.add_node(format!("n{i}"), NodeRole::RelayServer))
+            .collect();
+        let mut lat = vec![vec![f64::INFINITY; n]; n];
+        for i in 0..n {
+            lat[i][i] = 0.0;
+            for j in (i + 1)..n {
+                if rng.random::<f64>() < 0.6 {
+                    let l = 0.01 + rng.random::<f64>();
+                    net.connect_trusted(nodes[i], nodes[j], Link::new(l, 1e6));
+                    lat[i][j] = l;
+                    lat[j][i] = l;
+                }
+            }
+        }
+        // Floyd-Warshall reference.
+        let mut dist = lat.clone();
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let via = dist[i][k] + dist[k][j];
+                    if via < dist[i][j] {
+                        dist[i][j] = via;
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let got = net.route_latency(nodes[i], nodes[j]);
+                if dist[i][j].is_finite() {
+                    prop_assert!(got.is_some());
+                    prop_assert!((got.unwrap() - dist[i][j]).abs() < 1e-9,
+                        "route {i}->{j}: {} vs {}", got.unwrap(), dist[i][j]);
+                } else {
+                    prop_assert!(got.is_none());
+                }
+            }
+        }
+    }
+}

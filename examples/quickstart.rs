@@ -1,0 +1,84 @@
+//! Quickstart: run a small adaptive-sampling project end to end.
+//!
+//! Sets up one project server and four workers in-process, folds a
+//! coarse-grained villin with the MSM controller, and prints the
+//! per-generation progress a Copernicus user would watch on the web
+//! monitor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use copernicus::core::prelude::*;
+use copernicus::core::MdRunExecutor;
+use mdsim::VillinModel;
+use std::sync::Arc;
+
+fn main() {
+    let model = Arc::new(VillinModel::hp35());
+    println!(
+        "villin HP35 Gō model: {} beads, {} native contacts",
+        model.n_beads(),
+        model.n_contacts()
+    );
+
+    // A laptop-scale project: 3 unfolded starts × 4 simulations each,
+    // 10-ns segments, 3 generations.
+    let config = MsmProjectConfig {
+        n_starts: 3,
+        sims_per_start: 4,
+        segment_ns: 10.0,
+        generations: 3,
+        n_clusters: 40,
+        seed: 42,
+        ..MsmProjectConfig::default()
+    };
+    println!(
+        "project: {} trajectories/generation × {} generations, {} ns segments\n",
+        config.n_trajectories_per_generation(),
+        config.generations,
+        config.segment_ns
+    );
+
+    let controller = MsmController::new(model.clone(), config);
+    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+    let result = run_project(
+        Box::new(controller),
+        registry,
+        RuntimeConfig {
+            n_workers: 4,
+            ..RuntimeConfig::default()
+        },
+    );
+
+    let report: MsmProjectReport = serde_json::from_value(result.result).expect("report");
+    println!("gen  trajs  states  min-RMSD(Å)  blind-pred(Å)  folded-pop");
+    for g in &report.generations {
+        println!(
+            "{:>3}  {:>5}  {:>6}  {:>11.2}  {:>13.2}  {:>10.3}",
+            g.generation,
+            g.n_trajectories_total,
+            g.n_active_states,
+            g.min_rmsd_to_native,
+            g.predicted_native_rmsd,
+            g.folded_equilibrium_population,
+        );
+    }
+    println!(
+        "\ncompleted {} commands in {:.1?} ({} bytes of trajectory data returned)",
+        result.commands_completed, result.wall, result.bytes_received
+    );
+    if let Some(gen) = report.first_folded_generation {
+        println!("first folded conformation observed in generation {gen}");
+    }
+    if let Some(k) = &report.kinetics {
+        println!(
+            "kinetics: {:.0}% folded at {:.0} ns, t½ = {}",
+            100.0 * k.final_folded_fraction,
+            k.times_ns.last().unwrap_or(&0.0),
+            k.t_half_ns
+                .map(|t| format!("{t:.0} ns"))
+                .unwrap_or_else(|| "n/a".into())
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Copernicus façade crate: re-exports the workspace public APIs.
+pub use copernicus_core as core;
+pub use clustersim;
+pub use fep;
+pub use mdsim;
+pub use msm;
+pub use netsim;
