@@ -86,6 +86,12 @@ fn main() {
         sim.average_bandwidth(MessageKind::Heartbeat, 3600.0)
     );
     println!(
+        "  per-level carried bytes: relay↔worker {} B, relay↔relay {} B, relay↔server {} B",
+        sim.level_traffic("relay-worker"),
+        sim.level_traffic("relay-relay"),
+        sim.level_traffic("relay-server"),
+    );
+    println!(
         "  WAN hop (Stockholm ↔ Palo Alto): {:.0} ms latency, {:.0} MB/s",
         Link::wan().latency * 1e3,
         Link::wan().bandwidth / 1e6

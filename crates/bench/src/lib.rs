@@ -11,6 +11,7 @@
 use copernicus_core::plugins::msm::TrajectoryArchive;
 use copernicus_core::prelude::*;
 use copernicus_core::MdRunExecutor;
+use copernicus_telemetry::Telemetry;
 use mdsim::units::steps_to_ns;
 use mdsim::vec3::Vec3;
 use mdsim::VillinModel;
@@ -150,6 +151,19 @@ pub fn load_json<T: for<'de> Deserialize<'de>>(name: &str) -> Option<T> {
     serde_json::from_slice(&data).ok()
 }
 
+/// Write a run's telemetry into `results/`: the metrics snapshot
+/// (`<prefix>.snapshot.json`) and the event journal
+/// (`<prefix>.journal.jsonl`). The snapshot is the `copernicus report`
+/// input format.
+pub fn save_telemetry(prefix: &str, telemetry: &Telemetry) -> (PathBuf, PathBuf) {
+    let dir = results_dir();
+    let snapshot = dir.join(format!("{prefix}.snapshot.json"));
+    let journal = dir.join(format!("{prefix}.journal.jsonl"));
+    std::fs::write(&snapshot, telemetry.snapshot_pretty()).expect("cannot write snapshot");
+    std::fs::write(&journal, telemetry.export_journal_jsonl()).expect("cannot write journal");
+    (snapshot, journal)
+}
+
 /// Run (or load from cache) the adaptive villin project at `scale`.
 pub fn adaptive_run(scale: Scale) -> AdaptiveRunData {
     let cache_name = format!("adaptive_run_{}.json", scale.label());
@@ -175,7 +189,10 @@ fn execute_adaptive_run(scale: Scale) -> AdaptiveRunData {
     let horizon_ns = config.kinetics_horizon_ns;
 
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller = MsmController::new(model.clone(), config).with_archive(archive.clone());
+    let telemetry = Telemetry::new();
+    let controller = MsmController::new(model.clone(), config)
+        .with_archive(archive.clone())
+        .with_telemetry(telemetry.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model.clone())));
     let n_workers = std::thread::available_parallelism().map_or(2, |n| n.get());
     let t0 = std::time::Instant::now();
@@ -184,10 +201,13 @@ fn execute_adaptive_run(scale: Scale) -> AdaptiveRunData {
         registry,
         RuntimeConfig {
             n_workers,
+            telemetry: Some(telemetry.clone()),
             ..RuntimeConfig::default()
         },
     );
     let wall_secs = t0.elapsed().as_secs_f64();
+    let (snap_path, _) = save_telemetry(&format!("adaptive_run_{}", scale.label()), &telemetry);
+    eprintln!("[bench] telemetry snapshot: {}", snap_path.display());
     let report: MsmProjectReport =
         serde_json::from_value(result.result).expect("controller report");
 

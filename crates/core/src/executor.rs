@@ -11,6 +11,7 @@ use crate::command::Command;
 use crate::fs::SharedFs;
 use crate::ids::WorkerId;
 use crate::resources::{ExecutableSpec, Platform};
+use copernicus_telemetry::{buckets, labels, names, Event, Telemetry};
 use mdsim::model::villin::VillinModel;
 use mdsim::rng::rng_for_stream;
 use mdsim::trajectory::Trajectory;
@@ -25,6 +26,9 @@ pub struct ExecContext<'a> {
     pub worker: WorkerId,
     /// Shared filesystem for checkpoints (absent on storage-less setups).
     pub shared_fs: Option<&'a SharedFs>,
+    /// Telemetry for instrumented execution (MD step timings, checkpoint
+    /// I/O accounting). `None` keeps the hot paths uninstrumented.
+    pub telemetry: Option<&'a Telemetry>,
 }
 
 /// Errors an execution can produce.
@@ -194,6 +198,13 @@ impl CommandExecutor for MdRunExecutor {
             None
         };
 
+        // Per-step phase timings flow into the shared histograms when the
+        // worker carries telemetry; otherwise the NullSink path keeps the
+        // inner loop untouched.
+        let sink = ctx
+            .telemetry
+            .map(|t| t.step_sink(labels(&[("model", "villin")])));
+
         let mut steps_executed = 0u64;
         while steps_done < spec.n_steps {
             let chunk = if spec.checkpoint_steps > 0 {
@@ -201,7 +212,10 @@ impl CommandExecutor for MdRunExecutor {
             } else {
                 spec.n_steps - steps_done
             };
-            let recorded = sim.run_recording(chunk, spec.record_interval);
+            let recorded = match &sink {
+                Some(s) => sim.run_recording_with_sink(chunk, spec.record_interval, s),
+                None => sim.run_recording(chunk, spec.record_interval),
+            };
             // Drop the duplicate leading frame (already in `trajectory`).
             for (t, f) in recorded.iter().skip(1) {
                 trajectory.push(t, f.to_vec());
@@ -210,21 +224,51 @@ impl CommandExecutor for MdRunExecutor {
             steps_executed += chunk;
 
             if let (Some(fs), true) = (ctx.shared_fs, spec.checkpoint_steps > 0) {
+                let t0 = std::time::Instant::now();
                 let cp = MdCheckpoint {
                     engine: sim.checkpoint(mdsim::rng::splitmix64(spec.seed ^ steps_done)),
                     partial_trajectory: trajectory.clone(),
                     steps_done,
                 };
-                fs.store_checkpoint(
-                    ctx.command.id,
-                    serde_json::to_value(&cp).expect("checkpoint serializes"),
-                );
+                let value = serde_json::to_value(&cp).expect("checkpoint serializes");
+                if let Some(t) = ctx.telemetry {
+                    let bytes = serde_json::to_vec(&value).map(|v| v.len() as u64).unwrap_or(0);
+                    fs.store_checkpoint(ctx.command.id, value);
+                    t.registry()
+                        .histogram(
+                            names::CHECKPOINT_WRITE,
+                            copernicus_telemetry::Labels::new(),
+                            buckets::SECONDS,
+                        )
+                        .record_duration(t0.elapsed());
+                    t.registry()
+                        .counter(
+                            names::CHECKPOINT_BYTES,
+                            copernicus_telemetry::Labels::new(),
+                        )
+                        .add(bytes);
+                    t.journal().record(Event::CheckpointWritten {
+                        command: ctx.command.id.0,
+                        bytes,
+                    });
+                } else {
+                    fs.store_checkpoint(ctx.command.id, value);
+                }
             }
 
             if let Some(limit) = crash_at {
                 if steps_done >= limit {
                     return Err(ExecError::SimulatedCrash);
                 }
+            }
+        }
+
+        if let (Some(t), Some(s)) = (ctx.telemetry, &sink) {
+            let rebuilds = s.rebuilds();
+            if rebuilds > 0 {
+                t.registry()
+                    .counter(names::NEIGHBOR_REBUILDS, labels(&[("model", "villin")]))
+                    .add(rebuilds);
             }
         }
 
@@ -402,6 +446,7 @@ mod tests {
                 command: &cmd,
                 worker: WorkerId(0),
                 shared_fs: None,
+                telemetry: None,
             })
             .unwrap();
         let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
@@ -422,6 +467,7 @@ mod tests {
                 command: cmd,
                 worker: WorkerId(0),
                 shared_fs: None,
+                telemetry: None,
             })
             .unwrap()
         };
@@ -440,6 +486,7 @@ mod tests {
             command: &cmd,
             worker: WorkerId(0),
             shared_fs: Some(&fs),
+                telemetry: None,
         })
         .unwrap();
         let cp = fs.checkpoint(CommandId(2)).expect("checkpoint deposited");
@@ -462,6 +509,7 @@ mod tests {
                 command: &cmd,
                 worker: WorkerId(0),
                 shared_fs: Some(&fs),
+                telemetry: None,
             })
             .unwrap_err();
         assert_eq!(err, ExecError::SimulatedCrash);
@@ -475,6 +523,7 @@ mod tests {
                 command: &cmd,
                 worker: WorkerId(1),
                 shared_fs: Some(&fs),
+                telemetry: None,
             })
             .unwrap();
         let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
@@ -498,6 +547,7 @@ mod tests {
                 command: &cmd,
                 worker: WorkerId(0),
                 shared_fs: None,
+                telemetry: None,
             })
             .unwrap_err();
         assert!(matches!(err, ExecError::BadPayload(_)));
@@ -530,6 +580,7 @@ mod tests {
                 command: &cmd,
                 worker: WorkerId(0),
                 shared_fs: None,
+                telemetry: None,
             })
             .unwrap();
         let parsed: FepSampleOutput = serde_json::from_value(out).unwrap();

@@ -48,12 +48,17 @@ pub use executor::{
 };
 pub use fs::SharedFs;
 pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
-pub use monitor::{Monitor, ProjectStatus};
+pub use monitor::{Monitor, ProjectStatus, LOG_CAPACITY};
 pub use queue::CommandQueue;
 pub use resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
 pub use runtime::{run_project, start_project, RunningProject, RuntimeConfig};
 pub use server::{ProjectResult, Server, ServerConfig};
 pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
+
+/// The structured telemetry layer (metrics registry, event journal,
+/// step-timing sinks), re-exported for downstream crates and binaries.
+pub use copernicus_telemetry as telemetry;
+pub use copernicus_telemetry::Telemetry;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -73,4 +78,5 @@ pub mod prelude {
     pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};
     pub use crate::server::{ProjectResult, ServerConfig};
     pub use crate::worker::WorkerConfig;
+    pub use copernicus_telemetry::Telemetry;
 }

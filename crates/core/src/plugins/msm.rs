@@ -17,6 +17,7 @@ use crate::command::CommandSpec;
 use crate::controller::{Action, Controller, ControllerEvent};
 use crate::executor::{MdRunExecutor, MdRunOutput, MdRunSpec};
 use crate::resources::Resources;
+use copernicus_telemetry::{buckets, names, Event, Labels, Telemetry};
 use mdsim::model::villin::VillinModel;
 use mdsim::rng::{rng_for_stream, SimRng};
 use mdsim::trajectory::Trajectory;
@@ -196,6 +197,9 @@ pub struct MsmController {
     /// Build the Fig. 4 kinetics report at the end (costs one more MSM
     /// propagation).
     pub analyze_kinetics: bool,
+    /// Per-generation clustering timings and `GenerationClustered`
+    /// journal events, when attached.
+    telemetry: Option<Telemetry>,
 }
 
 impl MsmController {
@@ -219,12 +223,21 @@ impl MsmController {
             min_rmsd: f64::INFINITY,
             first_folded_generation: None,
             analyze_kinetics: true,
+            telemetry: None,
         }
     }
 
     /// Attach a shared archive that receives every finished trajectory.
     pub fn with_archive(mut self, archive: TrajectoryArchive) -> Self {
         self.archive = Some(archive);
+        self
+    }
+
+    /// Attach telemetry: each clustering step records its wall time,
+    /// updates the model-size gauge, and journals a
+    /// [`Event::GenerationClustered`] span.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -290,16 +303,31 @@ impl MsmController {
     /// Cluster everything, report, terminate/respawn, extend.
     fn generation_boundary(&mut self) -> Vec<Action> {
         let trajs = self.all_trajectories();
-        let msm = MarkovStateModel::build(
-            &trajs,
-            MsmConfig {
-                n_clusters: self.config.n_clusters,
-                lag_frames: self.config.lag_frames,
-                prior: 1e-4,
-                reversible: true,
-                kmedoids_iters: 0,
-            },
-        );
+        let clustering_span = self
+            .telemetry
+            .as_ref()
+            .map(|t| t.journal().span("msm_clustering"));
+        let (msm, clustering_ns) = copernicus_telemetry::timed(|| {
+            MarkovStateModel::build(
+                &trajs,
+                MsmConfig {
+                    n_clusters: self.config.n_clusters,
+                    lag_frames: self.config.lag_frames,
+                    prior: 1e-4,
+                    reversible: true,
+                    kmedoids_iters: 0,
+                },
+            )
+        });
+        drop(clustering_span);
+        if let Some(t) = &self.telemetry {
+            t.registry()
+                .histogram(names::CLUSTERING_SECS, Labels::new(), buckets::SECONDS)
+                .record(clustering_ns as f64 / 1e9);
+            t.registry()
+                .gauge(names::MSM_STATES, Labels::new())
+                .set(msm.n_states() as f64);
+        }
 
         // Reporting against the (held-out) native structure.
         let native = &self.model.native;
@@ -373,6 +401,14 @@ impl MsmController {
             report.min_rmsd_to_native,
             report.predicted_native_rmsd,
         );
+        if let Some(t) = &self.telemetry {
+            t.journal().record(Event::GenerationClustered {
+                generation: report.generation as u64,
+                n_states: report.n_states as u64,
+                n_trajectories: report.n_trajectories_total as u64,
+                n_respawned: report.n_respawned as u64,
+            });
+        }
         self.reports.push(report);
 
         if done {
@@ -635,6 +671,7 @@ mod tests {
                     command: &cmd,
                     worker: WorkerId(0),
                     shared_fs: None,
+                    telemetry: None,
                 })
                 .expect("execution succeeds");
             let output = CommandOutput::new(&cmd, WorkerId(0), data, 0.0);
@@ -763,6 +800,28 @@ mod tests {
         let g = &report.generations[0];
         assert!(g.folded_pop_stderr.expect("stderr computed") < 0.75);
         assert!((g.folded_equilibrium_population - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn telemetry_records_each_clustering_step() {
+        use copernicus_telemetry::matched_span_pairs;
+        let model = Arc::new(VillinModel::hp35());
+        let t = Telemetry::new();
+        let controller = MsmController::new(model, tiny_config()).with_telemetry(t.clone());
+        let report = run_inline(controller);
+        let hist = t
+            .registry()
+            .find_histogram(names::CLUSTERING_SECS, &Labels::new())
+            .expect("clustering histogram exists");
+        assert_eq!(hist.count(), report.generations.len() as u64);
+        let entries = t.journal().entries();
+        let clustered = entries
+            .iter()
+            .filter(|e| e.event.kind() == "generation_clustered")
+            .count();
+        assert_eq!(clustered, report.generations.len());
+        let pairs = matched_span_pairs(&entries).expect("clustering spans pair up");
+        assert_eq!(pairs, report.generations.len());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::ids::{IdGen, ProjectId, WorkerId};
 use crate::monitor::Monitor;
 use crate::server::{ProjectResult, Server, ServerConfig};
 use crate::worker::{spawn_worker, WorkerConfig, WorkerHandle};
+use copernicus_telemetry::Telemetry;
 use crossbeam::channel::unbounded;
 use std::thread::JoinHandle;
 
@@ -21,6 +22,9 @@ pub struct RuntimeConfig {
     pub n_workers: usize,
     pub worker: WorkerConfig,
     pub server: ServerConfig,
+    /// One telemetry handle shared by the server (dispatch metrics,
+    /// journal) and every worker (command wall time, MD step timings).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for RuntimeConfig {
@@ -29,6 +33,7 @@ impl Default for RuntimeConfig {
             n_workers: 4,
             worker: WorkerConfig::default(),
             server: ServerConfig::default(),
+            telemetry: None,
         }
     }
 }
@@ -67,7 +72,11 @@ pub fn start_project(
         .shared_fs
         .clone()
         .unwrap_or_default();
-    let monitor = Monitor::new();
+    let monitor = config
+        .telemetry
+        .clone()
+        .map(Monitor::with_telemetry)
+        .unwrap_or_default();
     let server = Server::new(
         ProjectId(0),
         controller,
@@ -82,8 +91,10 @@ pub fn start_project(
     let workers: Vec<WorkerHandle> = (0..config.n_workers)
         .map(|_| {
             let mut wc = config.worker.clone();
-            // Every worker shares the same filesystem view as the server.
+            // Every worker shares the same filesystem view as the server,
+            // and the same telemetry registry/journal.
             wc.shared_fs = Some(shared_fs.clone());
+            wc.telemetry = config.telemetry.clone();
             spawn_worker(
                 WorkerId(ids.next_u64()),
                 wc,

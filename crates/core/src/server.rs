@@ -15,8 +15,10 @@ use crate::messages::{ToServer, ToWorker};
 use crate::monitor::Monitor;
 use crate::queue::CommandQueue;
 use crate::resources::WorkerDescription;
+use copernicus_telemetry::{buckets, names, Counter, Event, Gauge, Histogram, Labels, Telemetry};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -60,13 +62,57 @@ struct WorkerState {
     alive: bool,
 }
 
+/// Cached metric handles, created once per server so the dispatch path
+/// never touches the registry map.
+struct ServerMetrics {
+    telemetry: Telemetry,
+    dispatched: Arc<Counter>,
+    completed: Arc<Counter>,
+    failed: Arc<Counter>,
+    requeued: Arc<Counter>,
+    workers_lost: Arc<Counter>,
+    bytes_received: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    running: Arc<Gauge>,
+    workers_connected: Arc<Gauge>,
+    dispatch_latency: Arc<Histogram>,
+    turnaround: Arc<Histogram>,
+}
+
+impl ServerMetrics {
+    fn new(telemetry: Telemetry) -> ServerMetrics {
+        let r = telemetry.registry().clone();
+        let none = Labels::new;
+        ServerMetrics {
+            dispatched: r.counter(names::COMMANDS_DISPATCHED, none()),
+            completed: r.counter(names::COMMANDS_COMPLETED, none()),
+            failed: r.counter(names::COMMANDS_FAILED, none()),
+            requeued: r.counter(names::COMMANDS_REQUEUED, none()),
+            workers_lost: r.counter(names::WORKERS_LOST, none()),
+            bytes_received: r.counter(names::BYTES_RECEIVED, none()),
+            queue_depth: r.gauge(names::QUEUE_DEPTH, none()),
+            running: r.gauge(names::RUNNING_COMMANDS, none()),
+            workers_connected: r.gauge(names::WORKERS_CONNECTED, none()),
+            dispatch_latency: r.histogram(names::DISPATCH_LATENCY, none(), buckets::SECONDS),
+            turnaround: r.histogram(names::COMMAND_TURNAROUND, none(), buckets::SECONDS),
+            telemetry,
+        }
+    }
+
+    fn record(&self, event: Event) {
+        self.telemetry.journal().record(event);
+    }
+}
+
 /// The project server.
 pub struct Server {
     project: ProjectId,
     config: ServerConfig,
     controller: Box<dyn Controller>,
     queue: CommandQueue,
-    running: HashMap<CommandId, (WorkerId, Command)>,
+    running: HashMap<CommandId, (WorkerId, Command, Instant)>,
+    /// When each queued command entered the queue (dispatch latency).
+    queued_at: HashMap<CommandId, Instant>,
     workers: HashMap<WorkerId, WorkerState>,
     shared_fs: SharedFs,
     monitor: Monitor,
@@ -77,6 +123,7 @@ pub struct Server {
     commands_requeued: u64,
     workers_lost: u64,
     bytes_received: u64,
+    metrics: Option<ServerMetrics>,
 }
 
 impl Server {
@@ -88,12 +135,14 @@ impl Server {
         monitor: Monitor,
         inbox: Receiver<ToServer>,
     ) -> Self {
+        let metrics = monitor.telemetry().cloned().map(ServerMetrics::new);
         Server {
             project,
             config,
             controller,
             queue: CommandQueue::new(),
             running: HashMap::new(),
+            queued_at: HashMap::new(),
             workers: HashMap::new(),
             shared_fs,
             monitor,
@@ -104,6 +153,7 @@ impl Server {
             commands_requeued: 0,
             workers_lost: 0,
             bytes_received: 0,
+            metrics,
         }
     }
 
@@ -158,6 +208,12 @@ impl Server {
     fn handle(&mut self, msg: ToServer) {
         match msg {
             ToServer::Announce { worker, desc, reply } => {
+                if let Some(m) = &self.metrics {
+                    m.record(Event::WorkerAnnounced {
+                        worker: worker.0,
+                        cores: desc.resources.cores as u64,
+                    });
+                }
                 self.workers.insert(
                     worker,
                     WorkerState {
@@ -181,9 +237,23 @@ impl Server {
                 ws.last_heartbeat = Instant::now();
                 let ws = self.workers.get(&worker).expect("just fetched");
                 let mut load = self.queue.match_workload(&ws.desc);
+                let now = Instant::now();
                 for cmd in load.iter_mut() {
                     cmd.attempts += 1;
-                    self.running.insert(cmd.id, (worker, cmd.clone()));
+                    if let Some(m) = &self.metrics {
+                        m.dispatched.inc();
+                        if let Some(enqueued) = self.queued_at.remove(&cmd.id) {
+                            m.dispatch_latency
+                                .record(now.duration_since(enqueued).as_secs_f64());
+                        }
+                        m.record(Event::CommandDispatched {
+                            command: cmd.id.0,
+                            worker: worker.0,
+                        });
+                    } else {
+                        self.queued_at.remove(&cmd.id);
+                    }
+                    self.running.insert(cmd.id, (worker, cmd.clone(), now));
                 }
                 let reply = if load.is_empty() {
                     ToWorker::NoWork
@@ -193,14 +263,24 @@ impl Server {
                 let _ = ws.reply.send(reply);
             }
             ToServer::Completed { output } => {
-                if self.running.remove(&output.command).is_none() {
+                let Some((_, _, dispatched_at)) = self.running.remove(&output.command) else {
                     // Duplicate (e.g. a presumed-dead worker delivered
                     // late): the first result won.
                     return;
-                }
+                };
                 self.shared_fs.clear(output.command);
                 self.commands_completed += 1;
                 self.bytes_received += output.bytes;
+                if let Some(m) = &self.metrics {
+                    m.completed.inc();
+                    m.bytes_received.add(output.bytes);
+                    m.turnaround.record(dispatched_at.elapsed().as_secs_f64());
+                    m.record(Event::CommandCompleted {
+                        command: output.command.0,
+                        worker: output.worker.0,
+                        wall_secs: output.wall_secs,
+                    });
+                }
                 let actions = self
                     .controller
                     .on_event(ControllerEvent::CommandFinished(&output));
@@ -210,6 +290,14 @@ impl Server {
                 self.monitor
                     .log(format!("{command} failed on {worker}: {error}"));
                 self.monitor.update(|s| s.commands_failed += 1);
+                if let Some(m) = &self.metrics {
+                    m.failed.inc();
+                    m.record(Event::CommandFailed {
+                        command: command.0,
+                        worker: worker.0,
+                        error,
+                    });
+                }
                 self.running.remove(&command);
             }
             ToServer::Heartbeat { worker } => {
@@ -237,16 +325,29 @@ impl Server {
         for worker in dead {
             self.workers.get_mut(&worker).expect("listed").alive = false;
             self.workers_lost += 1;
+            if let Some(m) = &self.metrics {
+                m.workers_lost.inc();
+                m.record(Event::WorkerLost { worker: worker.0 });
+            }
             let orphaned: Vec<CommandId> = self
                 .running
                 .iter()
-                .filter(|(_, (w, _))| *w == worker)
+                .filter(|(_, (w, _, _))| *w == worker)
                 .map(|(&c, _)| c)
                 .collect();
             for cmd_id in orphaned {
-                let (_, mut cmd) = self.running.remove(&cmd_id).expect("listed");
+                let (_, mut cmd, _) = self.running.remove(&cmd_id).expect("listed");
                 let requeued = if cmd.attempts < self.config.max_attempts {
                     cmd.checkpoint = self.shared_fs.checkpoint(cmd_id);
+                    if let Some(m) = &self.metrics {
+                        m.requeued.inc();
+                        m.record(Event::CommandRequeued {
+                            command: cmd_id.0,
+                            attempts: cmd.attempts as u64,
+                            had_checkpoint: cmd.checkpoint.is_some(),
+                        });
+                    }
+                    self.queued_at.insert(cmd_id, Instant::now());
                     self.queue.enqueue(cmd);
                     self.commands_requeued += 1;
                     Some(cmd_id)
@@ -267,14 +368,17 @@ impl Server {
         for action in actions {
             match action {
                 Action::Spawn(specs) => {
+                    let now = Instant::now();
                     for spec in specs {
                         let cmd =
                             Command::from_spec(self.ids.next_command(), self.project, spec);
+                        self.queued_at.insert(cmd.id, now);
                         self.queue.enqueue(cmd);
                     }
                 }
                 Action::Cancel(id) => {
                     self.queue.remove(id);
+                    self.queued_at.remove(&id);
                 }
                 Action::FinishProject { result } => {
                     self.finished = Some(result);
@@ -305,5 +409,10 @@ impl Server {
             s.workers_lost = lost;
             s.bytes_received = bytes;
         });
+        if let Some(m) = &self.metrics {
+            m.queue_depth.set(queued as f64);
+            m.running.set(running as f64);
+            m.workers_connected.set(connected as f64);
+        }
     }
 }

@@ -8,6 +8,7 @@ use crate::ids::WorkerId;
 use crate::messages::{ToServer, ToWorker};
 use crate::command::CommandOutput;
 use crate::resources::{Platform, Resources, WorkerDescription};
+use copernicus_telemetry::{buckets, labels, names, Telemetry};
 use crossbeam::channel::{bounded, Sender};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -26,6 +27,9 @@ pub struct WorkerConfig {
     /// Whether this worker shares a filesystem with the server (enables
     /// checkpoint deposits).
     pub shared_fs: Option<SharedFs>,
+    /// Telemetry handle: per-command wall-time histograms plus
+    /// instrumented execution (checkpoint I/O, MD step timings).
+    pub telemetry: Option<Telemetry>,
 }
 
 impl Default for WorkerConfig {
@@ -36,6 +40,7 @@ impl Default for WorkerConfig {
             heartbeat_interval: Duration::from_millis(100),
             poll_interval: Duration::from_millis(5),
             shared_fs: None,
+            telemetry: None,
         }
     }
 }
@@ -137,11 +142,22 @@ fn worker_loop(
                         command: &cmd,
                         worker: id,
                         shared_fs: config.shared_fs.as_ref(),
+                        telemetry: config.telemetry.as_ref(),
                     });
                     match result {
                         Ok(data) => {
+                            let wall = t0.elapsed();
+                            if let Some(t) = &config.telemetry {
+                                t.registry()
+                                    .histogram(
+                                        names::COMMAND_WALL,
+                                        labels(&[("kind", &cmd.command_type)]),
+                                        buckets::SECONDS,
+                                    )
+                                    .record_duration(wall);
+                            }
                             let output =
-                                CommandOutput::new(&cmd, id, data, t0.elapsed().as_secs_f64());
+                                CommandOutput::new(&cmd, id, data, wall.as_secs_f64());
                             if server.send(ToServer::Completed { output }).is_err() {
                                 break 'outer;
                             }

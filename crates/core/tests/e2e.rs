@@ -205,6 +205,7 @@ fn worker_crash_is_detected_and_command_resumes_from_checkpoint() {
             watchdog_period: Duration::from_millis(15),
             max_attempts: 5,
         },
+        ..RuntimeConfig::default()
     };
     let result = run_project(Box::new(controller), md_registry(&model), config);
 

@@ -10,7 +10,9 @@ use crate::forces::{Energies, ForceField};
 use crate::integrate::Integrator;
 use crate::state::State;
 use crate::trajectory::Trajectory;
+use copernicus_telemetry::{NullSink, StepPhase, TelemetrySink};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// A point-in-time snapshot sufficient to continue a run on another worker.
 ///
@@ -117,17 +119,66 @@ impl Simulation {
     pub fn run_with(
         &mut self,
         n_steps: u64,
+        observe: impl FnMut(u64, &State, &Energies),
+    ) -> RunStats {
+        self.run_with_sink(n_steps, &NullSink, observe)
+    }
+
+    /// Advance `n_steps`, streaming per-step force/integrate/neighbour
+    /// timings into `sink`. With [`NullSink`] (`S::ENABLED == false`) the
+    /// instrumentation compiles out and this is exactly [`Self::run_with`]
+    /// — the inner loop carries no timing branches.
+    pub fn run_with_sink<S: TelemetrySink>(
+        &mut self,
+        n_steps: u64,
+        sink: &S,
         mut observe: impl FnMut(u64, &State, &Energies),
     ) -> RunStats {
+        let (builds_before, _) = self.forcefield.neighbor_stats();
+        let mut builds_seen = builds_before;
+        if S::ENABLED {
+            self.forcefield.set_timing(true);
+            // Drain anything a previous timed run left behind.
+            self.forcefield.take_force_ns();
+            self.forcefield.take_neighbor_ns();
+        }
         let mut pot_sum = 0.0;
         for _ in 0..n_steps {
+            let step_start = if S::ENABLED { Some(Instant::now()) } else { None };
             let energies =
                 self.integrator
                     .step(&mut self.state, &mut self.forcefield, self.dt, self.dof);
+            if S::ENABLED {
+                let step_ns = step_start
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                let neighbor_ns = self.forcefield.take_neighbor_ns();
+                // ForceField::compute measures the whole evaluation,
+                // neighbour refresh included; report the pure pair-loop
+                // time and let integration be the remainder of the step.
+                let force_ns = self.forcefield.take_force_ns().saturating_sub(neighbor_ns);
+                sink.record_phase_ns(StepPhase::Force, force_ns);
+                sink.record_phase_ns(
+                    StepPhase::Integrate,
+                    step_ns.saturating_sub(force_ns + neighbor_ns),
+                );
+                if neighbor_ns > 0 {
+                    sink.record_phase_ns(StepPhase::Neighbor, neighbor_ns);
+                }
+                let (builds_now, _) = self.forcefield.neighbor_stats();
+                for _ in builds_seen..builds_now {
+                    sink.record_neighbor_rebuild();
+                }
+                builds_seen = builds_now;
+            }
             pot_sum += energies.total();
             observe(self.state.step, &self.state, &energies);
             self.last_energies = Some(energies);
         }
+        if S::ENABLED {
+            self.forcefield.set_timing(false);
+        }
+        let (builds_after, _) = self.forcefield.neighbor_stats();
         RunStats {
             steps: n_steps,
             final_potential: self.potential_energy(),
@@ -137,19 +188,29 @@ impl Simulation {
             } else {
                 self.potential_energy()
             },
-            neighbor_rebuilds: 0,
+            neighbor_rebuilds: builds_after - builds_before,
         }
     }
 
     /// Advance `n_steps`, recording a frame every `record_interval` steps
     /// (plus the initial frame at the current time).
     pub fn run_recording(&mut self, n_steps: u64, record_interval: u64) -> Trajectory {
+        self.run_recording_with_sink(n_steps, record_interval, &NullSink)
+    }
+
+    /// [`Self::run_recording`] with per-step timings streamed into `sink`.
+    pub fn run_recording_with_sink<S: TelemetrySink>(
+        &mut self,
+        n_steps: u64,
+        record_interval: u64,
+        sink: &S,
+    ) -> Trajectory {
         assert!(record_interval > 0, "record interval must be positive");
         let expected = (n_steps / record_interval + 2) as usize;
         let mut traj = Trajectory::with_capacity(expected);
         traj.push(self.state.time, self.state.positions.clone());
         let mut count = 0u64;
-        self.run_with(n_steps, |_, state, _| {
+        self.run_with_sink(n_steps, sink, |_, state, _| {
             count += 1;
             if count % record_interval == 0 {
                 traj.push(state.time, state.positions.clone());
@@ -281,6 +342,51 @@ mod tests {
         );
         sim.run(1000);
         assert!(sim.state.is_finite());
+    }
+
+    #[test]
+    fn recording_sink_sees_every_step() {
+        use copernicus_telemetry::Telemetry;
+        let t = Telemetry::new();
+        let sink = t.step_sink(copernicus_telemetry::Labels::new());
+        let mut sim = oscillator();
+        let stats = sim.run_with_sink(50, &sink, |_, _, _| {});
+        assert_eq!(stats.steps, 50);
+        assert_eq!(sink.force_ns.count(), 50);
+        assert_eq!(sink.integrate_ns.count(), 50);
+        // No neighbour list in the oscillator: no neighbour samples.
+        assert_eq!(sink.neighbor_ns.count(), 0);
+        assert_eq!(stats.neighbor_rebuilds, 0);
+        // The sink path must not leave the force field in timing mode.
+        assert_eq!(sim.forcefield.take_force_ns(), 0);
+        sim.run(10);
+        assert_eq!(sim.forcefield.take_force_ns(), 0);
+    }
+
+    #[test]
+    fn neighbor_rebuilds_are_counted() {
+        use crate::model::{lj_fluid, LjFluidSpec};
+        let mut sim = lj_fluid(
+            LjFluidSpec {
+                n_particles: 64,
+                density: 0.6,
+                temperature: 1.5,
+                cutoff: 1.8,
+                skin: 0.2,
+                threaded: false,
+                ..LjFluidSpec::default()
+            },
+            7,
+        );
+        // The initial build happens at construction (prime_forces), so a
+        // segment long enough to exhaust the skin must rebuild at least
+        // once and RunStats must report it.
+        let stats = sim.run(400);
+        assert!(
+            stats.neighbor_rebuilds >= 1,
+            "expected rebuilds over 400 hot steps, got {}",
+            stats.neighbor_rebuilds
+        );
     }
 
     #[test]

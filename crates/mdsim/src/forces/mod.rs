@@ -27,6 +27,22 @@ pub trait ForceTerm: Send {
     /// this term's potential energy. Implementations must *add* to
     /// `forces`, never overwrite.
     fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64;
+
+    /// Enable/disable internal sub-phase timing (neighbour-list refresh).
+    /// Terms without internal phases ignore this.
+    fn set_neighbor_timing(&mut self, _on: bool) {}
+
+    /// Drain nanoseconds spent refreshing neighbour structures since the
+    /// last call. Only meaningful after `set_neighbor_timing(true)`.
+    fn take_neighbor_ns(&mut self) -> u64 {
+        0
+    }
+
+    /// `(full_builds, updates)` of this term's neighbour structure, if it
+    /// has one. Counters are cumulative over the term's lifetime.
+    fn neighbor_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
 }
 
 /// Energy breakdown from one force evaluation.
@@ -52,11 +68,16 @@ impl Energies {
 #[derive(Default)]
 pub struct ForceField {
     terms: Vec<Box<dyn ForceTerm>>,
+    /// When set, `compute` accumulates its wall time into `force_ns` and
+    /// terms time their neighbour refreshes. Off by default: the flag
+    /// costs one predictable branch per evaluation.
+    timing: bool,
+    force_ns: u64,
 }
 
 impl ForceField {
     pub fn new() -> Self {
-        ForceField { terms: Vec::new() }
+        ForceField::default()
     }
 
     pub fn add(&mut self, term: Box<dyn ForceTerm>) -> &mut Self {
@@ -73,6 +94,35 @@ impl ForceField {
         self.terms.len()
     }
 
+    /// Enable/disable evaluation timing (and neighbour-refresh timing in
+    /// terms that have one).
+    pub fn set_timing(&mut self, on: bool) {
+        self.timing = on;
+        for term in self.terms.iter_mut() {
+            term.set_neighbor_timing(on);
+        }
+    }
+
+    /// Drain nanoseconds spent in `compute` since the last call.
+    pub fn take_force_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.force_ns)
+    }
+
+    /// Drain nanoseconds spent refreshing neighbour structures across all
+    /// terms since the last call.
+    pub fn take_neighbor_ns(&mut self) -> u64 {
+        self.terms.iter_mut().map(|t| t.take_neighbor_ns()).sum()
+    }
+
+    /// Aggregate `(full_builds, updates)` across terms with neighbour
+    /// structures (cumulative lifetime counters).
+    pub fn neighbor_stats(&self) -> (u64, u64) {
+        self.terms
+            .iter()
+            .filter_map(|t| t.neighbor_stats())
+            .fold((0, 0), |(b, u), (tb, tu)| (b + tb, u + tu))
+    }
+
     /// Zero `forces`, evaluate every term, and return the breakdown.
     pub fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> Energies {
         assert_eq!(
@@ -80,6 +130,11 @@ impl ForceField {
             forces.len(),
             "positions/forces length mismatch"
         );
+        let start = if self.timing {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         for f in forces.iter_mut() {
             *f = Vec3::ZERO;
         }
@@ -87,6 +142,9 @@ impl ForceField {
         for term in self.terms.iter_mut() {
             let e = term.compute(positions, bx, forces);
             breakdown.push((term.name(), e));
+        }
+        if let Some(start) = start {
+            self.force_ns += start.elapsed().as_nanos() as u64;
         }
         Energies { terms: breakdown }
     }
@@ -191,6 +249,27 @@ mod tests {
         let pos = vec![v3(0.3, -0.2, 0.9), v3(-1.0, 0.4, 0.1)];
         let err = max_force_error(&mut term, &pos, &SimBox::Open, 1e-5);
         assert!(err < 1e-6, "err = {err}");
+    }
+
+    #[test]
+    fn timing_accumulates_and_drains() {
+        let mut ff = ForceField::new().with(Box::new(Spring { k: 1.0 }));
+        let pos = vec![v3(1.0, 0.0, 0.0)];
+        let mut forces = vec![Vec3::ZERO];
+        // Timing off: nothing accumulates.
+        ff.compute(&pos, &SimBox::Open, &mut forces);
+        assert_eq!(ff.take_force_ns(), 0);
+        // Timing on: compute wall time lands in the accumulator and
+        // take_force_ns drains it.
+        ff.set_timing(true);
+        for _ in 0..100 {
+            ff.compute(&pos, &SimBox::Open, &mut forces);
+        }
+        assert!(ff.take_force_ns() > 0);
+        assert_eq!(ff.take_force_ns(), 0);
+        // A plain term reports no neighbour structure.
+        assert_eq!(ff.neighbor_stats(), (0, 0));
+        assert_eq!(ff.take_neighbor_ns(), 0);
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub struct NonbondedForce {
     parallel: bool,
     /// Minimum pair count before the rayon path is used.
     parallel_threshold: usize,
+    /// When set, neighbour-list refresh time accumulates in `neighbor_ns`.
+    time_neighbor: bool,
+    neighbor_ns: u64,
 }
 
 impl NonbondedForce {
@@ -49,6 +52,8 @@ impl NonbondedForce {
             shift_lj: true,
             parallel: true,
             parallel_threshold: 4096,
+            time_neighbor: false,
+            neighbor_ns: 0,
         }
     }
 
@@ -179,12 +184,30 @@ impl ForceTerm for NonbondedForce {
     }
 
     fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
-        self.list.update(positions, bx, &self.top);
+        if self.time_neighbor {
+            let start = std::time::Instant::now();
+            self.list.update(positions, bx, &self.top);
+            self.neighbor_ns += start.elapsed().as_nanos() as u64;
+        } else {
+            self.list.update(positions, bx, &self.top);
+        }
         if self.parallel && self.list.pairs().len() >= self.parallel_threshold {
             self.compute_parallel(positions, bx, forces)
         } else {
             self.compute_serial(positions, bx, forces)
         }
+    }
+
+    fn set_neighbor_timing(&mut self, on: bool) {
+        self.time_neighbor = on;
+    }
+
+    fn take_neighbor_ns(&mut self) -> u64 {
+        std::mem::take(&mut self.neighbor_ns)
+    }
+
+    fn neighbor_stats(&self) -> Option<(u64, u64)> {
+        Some(self.list_stats())
     }
 }
 

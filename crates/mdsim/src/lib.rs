@@ -57,3 +57,7 @@ pub use thermostat::{Berendsen, NoseHoover, Thermostat, VRescale};
 pub use topology::{Angle, Bond, Dihedral, LjParams, Particle, Topology};
 pub use trajectory::Trajectory;
 pub use vec3::{v3, Vec3};
+
+// Re-export the sink types so engine callers can instrument runs without
+// depending on the telemetry crate directly.
+pub use copernicus_telemetry::{NullSink, RecordingSink, StepPhase, TelemetrySink};

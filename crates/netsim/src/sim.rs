@@ -3,7 +3,8 @@
 //! accounting (Figs. 6 and 9).
 
 use crate::events::EventQueue;
-use crate::network::{NodeId, Overlay};
+use crate::network::{NodeId, NodeRole, Overlay};
+use copernicus_telemetry::{labels, names, Event as JournalEvent, Labels, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -19,6 +20,18 @@ pub enum MessageKind {
     Output,
     /// Control-plane chatter (routing, monitoring).
     Control,
+}
+
+impl MessageKind {
+    /// Stable label value for the `net_bytes` counter series.
+    pub fn tag(self) -> &'static str {
+        match self {
+            MessageKind::Heartbeat => "heartbeat",
+            MessageKind::Workload => "workload",
+            MessageKind::Output => "output",
+            MessageKind::Control => "control",
+        }
+    }
 }
 
 /// A record the simulation emits.
@@ -91,10 +104,12 @@ pub struct NetSim {
     /// (server, worker) → already declared lost.
     declared_lost: HashMap<(NodeId, NodeId), bool>,
     heartbeat_cfg: HeartbeatConfig,
-    /// Undirected per-link byte counters.
-    link_bytes: HashMap<(NodeId, NodeId), u64>,
-    /// Per-kind byte counters (delivered end-to-end payload bytes).
-    kind_bytes: HashMap<MessageKind, u64>,
+    /// Traffic accounting: per-link carried bytes become
+    /// `net_link_bytes{link,level}` counters, delivered payload becomes
+    /// `net_bytes{kind}` counters, and worker losses are journaled. A
+    /// private handle by default; attach a shared one to fold the network
+    /// levels into a project-wide report (Figs. 6 and 9).
+    telemetry: Telemetry,
     records: Vec<NetRecord>,
 }
 
@@ -109,8 +124,7 @@ impl NetSim {
             last_heartbeat: HashMap::new(),
             declared_lost: HashMap::new(),
             heartbeat_cfg: HeartbeatConfig::default(),
-            link_bytes: HashMap::new(),
-            kind_bytes: HashMap::new(),
+            telemetry: Telemetry::new(),
             records: Vec::new(),
         }
     }
@@ -118,6 +132,18 @@ impl NetSim {
     pub fn with_heartbeat_config(mut self, cfg: HeartbeatConfig) -> Self {
         self.heartbeat_cfg = cfg;
         self
+    }
+
+    /// Account traffic into a shared telemetry handle instead of the
+    /// simulator-private one.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry handle traffic is accounted into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     pub fn now(&self) -> f64 {
@@ -205,7 +231,7 @@ impl NetSim {
             self.clock = time;
             self.handle(time, event);
         }
-        self.clock = self.clock.max(t_end.min(self.clock.max(t_end)));
+        self.clock = self.clock.max(t_end);
         self.records[start_records..].to_vec()
     }
 
@@ -222,7 +248,10 @@ impl NetSim {
                 let from = path[hop - 1];
                 let to = path[hop];
                 // Account traffic on the traversed link.
-                *self.link_bytes.entry(link_key(from, to)).or_insert(0) += bytes;
+                self.telemetry
+                    .registry()
+                    .counter(names::NET_LINK_BYTES, self.link_labels(from, to))
+                    .add(bytes);
                 if self.is_failed(to) {
                     self.records.push(NetRecord::Undeliverable {
                         time,
@@ -233,7 +262,10 @@ impl NetSim {
                     return;
                 }
                 if hop + 1 == path.len() {
-                    *self.kind_bytes.entry(kind).or_insert(0) += bytes;
+                    self.telemetry
+                        .registry()
+                        .counter(names::NET_BYTES, labels(&[("kind", kind.tag())]))
+                        .add(bytes);
                     if kind == MessageKind::Heartbeat {
                         self.last_heartbeat.insert((dst, src), time);
                     }
@@ -290,6 +322,9 @@ impl NetSim {
                     .unwrap_or(&f64::NEG_INFINITY);
                 if time - last > 2.0 * self.heartbeat_cfg.interval {
                     self.declared_lost.insert((server, worker), true);
+                    self.telemetry.journal().record(JournalEvent::WorkerLost {
+                        worker: worker.0 as u64,
+                    });
                     self.records.push(NetRecord::WorkerLost {
                         time,
                         server,
@@ -308,14 +343,45 @@ impl NetSim {
         }
     }
 
+    /// Labels identifying an undirected link: its endpoint names and the
+    /// level pair it connects (the Figs. 6/9 breakdown).
+    fn link_labels(&self, a: NodeId, b: NodeId) -> Labels {
+        let (a, b) = link_key(a, b);
+        let link = format!("{}<->{}", self.overlay.name(a), self.overlay.name(b));
+        labels(&[
+            ("link", &link),
+            ("level", level_label(self.overlay.role(a), self.overlay.role(b))),
+        ])
+    }
+
     /// Total bytes carried by a specific link so far.
     pub fn link_traffic(&self, a: NodeId, b: NodeId) -> u64 {
-        *self.link_bytes.get(&link_key(a, b)).unwrap_or(&0)
+        self.telemetry
+            .registry()
+            .find_counter(names::NET_LINK_BYTES, &self.link_labels(a, b))
+            .map(|c| c.get())
+            .unwrap_or(0)
+    }
+
+    /// Total bytes carried across all links of one level pair (e.g.
+    /// `"relay-worker"`).
+    pub fn level_traffic(&self, level: &str) -> u64 {
+        self.telemetry
+            .registry()
+            .counter_series(names::NET_LINK_BYTES)
+            .into_iter()
+            .filter(|(l, _)| l.iter().any(|(k, v)| k == "level" && v == level))
+            .map(|(_, total)| total)
+            .sum()
     }
 
     /// Delivered payload bytes by message kind.
     pub fn traffic_by_kind(&self, kind: MessageKind) -> u64 {
-        *self.kind_bytes.get(&kind).unwrap_or(&0)
+        self.telemetry
+            .registry()
+            .find_counter(names::NET_BYTES, &labels(&[("kind", kind.tag())]))
+            .map(|c| c.get())
+            .unwrap_or(0)
     }
 
     /// Average bandwidth (bytes/s) of a given kind over `elapsed` seconds.
@@ -330,6 +396,36 @@ fn link_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
         (a, b)
     } else {
         (b, a)
+    }
+}
+
+fn role_tag(role: NodeRole) -> &'static str {
+    match role {
+        NodeRole::ProjectServer => "server",
+        NodeRole::RelayServer => "relay",
+        NodeRole::Worker => "worker",
+        NodeRole::Client => "client",
+    }
+}
+
+/// Order-independent level pair, e.g. `"relay-worker"`.
+fn level_label(a: NodeRole, b: NodeRole) -> &'static str {
+    let (mut x, mut y) = (role_tag(a), role_tag(b));
+    if x > y {
+        std::mem::swap(&mut x, &mut y);
+    }
+    match (x, y) {
+        ("client", "client") => "client-client",
+        ("client", "relay") => "client-relay",
+        ("client", "server") => "client-server",
+        ("client", "worker") => "client-worker",
+        ("relay", "relay") => "relay-relay",
+        ("relay", "server") => "relay-server",
+        ("relay", "worker") => "relay-worker",
+        ("server", "server") => "server-server",
+        ("server", "worker") => "server-worker",
+        ("worker", "worker") => "worker-worker",
+        _ => unreachable!("role tags are sorted"),
     }
 }
 
@@ -470,6 +566,50 @@ mod tests {
         let out = sim.average_bandwidth(MessageKind::Output, 3600.0);
         assert!(hb < 100.0, "heartbeat bandwidth {hb} B/s");
         assert!(out > 1000.0 * hb, "output should dwarf heartbeats");
+    }
+
+    #[test]
+    fn traffic_flows_into_shared_telemetry() {
+        let t = Telemetry::new();
+        let mut net = Overlay::new();
+        let s = net.add_node("server", NodeRole::ProjectServer);
+        let m = net.add_node("relay", NodeRole::RelayServer);
+        let w = net.add_node("worker", NodeRole::Worker);
+        net.connect_trusted(s, m, Link::new(0.1, 1e6));
+        net.connect_trusted(m, w, Link::new(0.1, 1e6));
+        let mut sim = NetSim::new(net).with_telemetry(t.clone());
+        sim.send(0.0, w, s, MessageKind::Output, 1000);
+        sim.run_until(100.0);
+        // Each level pair carried the payload once.
+        assert_eq!(sim.level_traffic("relay-worker"), 1000);
+        assert_eq!(sim.level_traffic("relay-server"), 1000);
+        assert_eq!(sim.level_traffic("server-worker"), 0);
+        // The shared registry sees exactly the same accounting: carried
+        // bytes per link, delivered payload per kind.
+        assert_eq!(t.registry().counter_total(names::NET_LINK_BYTES), 2000);
+        assert_eq!(t.registry().counter_total(names::NET_BYTES), 1000);
+        assert_eq!(sim.traffic_by_kind(MessageKind::Output), 1000);
+        assert_eq!(sim.traffic_by_kind(MessageKind::Heartbeat), 0);
+    }
+
+    #[test]
+    fn worker_loss_is_journaled() {
+        let (net, s, w) = pair();
+        let mut sim = NetSim::new(net).with_heartbeat_config(HeartbeatConfig {
+            interval: 10.0,
+            payload_bytes: 200,
+        });
+        sim.start_heartbeats(0.0, w, s);
+        sim.fail_node_at(5.0, w);
+        sim.run_until(200.0);
+        let entries = sim.telemetry().journal().entries();
+        assert_eq!(
+            entries
+                .iter()
+                .filter(|e| e.event.kind() == "worker_lost")
+                .count(),
+            1
+        );
     }
 
     #[test]

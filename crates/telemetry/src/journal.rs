@@ -1,0 +1,524 @@
+//! Structured event journal: typed events with monotonic timestamps,
+//! span-style begin/end pairs, a bounded ring buffer, and JSONL export.
+//!
+//! Timestamps are nanoseconds since the journal was created (monotonic
+//! `Instant`, never wall clock), so two events can always be ordered and
+//! span durations are exact.
+
+use crate::json::Json;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Typed journal events. Numeric ids are plain u64s so this crate does
+/// not depend on the core id newtypes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A command left the queue for a worker.
+    CommandDispatched { command: u64, worker: u64 },
+    /// A worker returned a completed command.
+    CommandCompleted { command: u64, worker: u64, wall_secs: f64 },
+    /// A worker reported an execution error.
+    CommandFailed { command: u64, worker: u64, error: String },
+    /// The watchdog re-queued a command after losing its worker.
+    CommandRequeued { command: u64, attempts: u64, had_checkpoint: bool },
+    /// A worker registered with the server.
+    WorkerAnnounced { worker: u64, cores: u64 },
+    /// The heartbeat watchdog declared a worker dead.
+    WorkerLost { worker: u64 },
+    /// An executor deposited a checkpoint on the shared filesystem.
+    CheckpointWritten { command: u64, bytes: u64 },
+    /// The MSM controller finished clustering a generation.
+    GenerationClustered {
+        generation: u64,
+        n_states: u64,
+        n_trajectories: u64,
+        n_respawned: u64,
+    },
+    /// Start of a named span (paired with `SpanEnd` via `span_id`).
+    SpanBegin { span_id: u64, name: String },
+    /// End of a named span.
+    SpanEnd { span_id: u64, name: String },
+    /// Free-form marker for anything without a dedicated variant.
+    Note { text: String },
+}
+
+impl Event {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::CommandDispatched { .. } => "command_dispatched",
+            Event::CommandCompleted { .. } => "command_completed",
+            Event::CommandFailed { .. } => "command_failed",
+            Event::CommandRequeued { .. } => "command_requeued",
+            Event::WorkerAnnounced { .. } => "worker_announced",
+            Event::WorkerLost { .. } => "worker_lost",
+            Event::CheckpointWritten { .. } => "checkpoint_written",
+            Event::GenerationClustered { .. } => "generation_clustered",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Note { .. } => "note",
+        }
+    }
+
+    fn fields(&self, obj: &mut Json) {
+        match self {
+            Event::CommandDispatched { command, worker } => {
+                obj.set("command", *command).set("worker", *worker);
+            }
+            Event::CommandCompleted {
+                command,
+                worker,
+                wall_secs,
+            } => {
+                obj.set("command", *command)
+                    .set("worker", *worker)
+                    .set("wall_secs", *wall_secs);
+            }
+            Event::CommandFailed {
+                command,
+                worker,
+                error,
+            } => {
+                obj.set("command", *command)
+                    .set("worker", *worker)
+                    .set("error", error.as_str());
+            }
+            Event::CommandRequeued {
+                command,
+                attempts,
+                had_checkpoint,
+            } => {
+                obj.set("command", *command)
+                    .set("attempts", *attempts)
+                    .set("had_checkpoint", *had_checkpoint);
+            }
+            Event::WorkerAnnounced { worker, cores } => {
+                obj.set("worker", *worker).set("cores", *cores);
+            }
+            Event::WorkerLost { worker } => {
+                obj.set("worker", *worker);
+            }
+            Event::CheckpointWritten { command, bytes } => {
+                obj.set("command", *command).set("bytes", *bytes);
+            }
+            Event::GenerationClustered {
+                generation,
+                n_states,
+                n_trajectories,
+                n_respawned,
+            } => {
+                obj.set("generation", *generation)
+                    .set("n_states", *n_states)
+                    .set("n_trajectories", *n_trajectories)
+                    .set("n_respawned", *n_respawned);
+            }
+            Event::SpanBegin { span_id, name } | Event::SpanEnd { span_id, name } => {
+                obj.set("span_id", *span_id).set("span", name.as_str());
+            }
+            Event::Note { text } => {
+                obj.set("text", text.as_str());
+            }
+        }
+    }
+
+    fn from_json(kind: &str, obj: &Json) -> Option<Event> {
+        let u = |key: &str| obj.get(key).and_then(Json::as_u64);
+        let s = |key: &str| obj.get(key).and_then(Json::as_str).map(str::to_string);
+        Some(match kind {
+            "command_dispatched" => Event::CommandDispatched {
+                command: u("command")?,
+                worker: u("worker")?,
+            },
+            "command_completed" => Event::CommandCompleted {
+                command: u("command")?,
+                worker: u("worker")?,
+                wall_secs: obj.get("wall_secs").and_then(Json::as_f64)?,
+            },
+            "command_failed" => Event::CommandFailed {
+                command: u("command")?,
+                worker: u("worker")?,
+                error: s("error")?,
+            },
+            "command_requeued" => Event::CommandRequeued {
+                command: u("command")?,
+                attempts: u("attempts")?,
+                had_checkpoint: matches!(obj.get("had_checkpoint"), Some(Json::Bool(true))),
+            },
+            "worker_announced" => Event::WorkerAnnounced {
+                worker: u("worker")?,
+                cores: u("cores")?,
+            },
+            "worker_lost" => Event::WorkerLost { worker: u("worker")? },
+            "checkpoint_written" => Event::CheckpointWritten {
+                command: u("command")?,
+                bytes: u("bytes")?,
+            },
+            "generation_clustered" => Event::GenerationClustered {
+                generation: u("generation")?,
+                n_states: u("n_states")?,
+                n_trajectories: u("n_trajectories")?,
+                n_respawned: u("n_respawned")?,
+            },
+            "span_begin" => Event::SpanBegin {
+                span_id: u("span_id")?,
+                name: s("span")?,
+            },
+            "span_end" => Event::SpanEnd {
+                span_id: u("span_id")?,
+                name: s("span")?,
+            },
+            "note" => Event::Note { text: s("text")? },
+            _ => return None,
+        })
+    }
+}
+
+/// An event plus its monotonic timestamp (ns since journal creation)
+/// and global sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub seq: u64,
+    pub t_ns: u64,
+    pub event: Event,
+}
+
+impl Entry {
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("seq", self.seq)
+            .set("t_ns", self.t_ns)
+            .set("kind", self.event.kind());
+        self.event.fields(&mut obj);
+        obj
+    }
+
+    pub fn from_json(obj: &Json) -> Option<Entry> {
+        let kind = obj.get("kind")?.as_str()?;
+        Some(Entry {
+            seq: obj.get("seq")?.as_u64()?,
+            t_ns: obj.get("t_ns")?.as_u64()?,
+            event: Event::from_json(kind, obj)?,
+        })
+    }
+}
+
+struct Ring {
+    entries: VecDeque<Entry>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// The journal. Cloning shares the underlying ring.
+#[derive(Clone)]
+pub struct Journal {
+    origin: Instant,
+    ring: Arc<Mutex<Ring>>,
+    next_seq: Arc<AtomicU64>,
+    next_span: Arc<AtomicU64>,
+}
+
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl Journal {
+    pub fn new() -> Journal {
+        Journal::default()
+    }
+
+    pub fn with_capacity(capacity: usize) -> Journal {
+        Journal {
+            origin: Instant::now(),
+            ring: Arc::new(Mutex::new(Ring {
+                entries: VecDeque::with_capacity(capacity.min(1024)),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+            next_seq: Arc::new(AtomicU64::new(0)),
+            next_span: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+
+    /// Record an event; evicts the oldest entry when full.
+    pub fn record(&self, event: Event) {
+        let entry = Entry {
+            seq: self.next_seq.fetch_add(1, Ordering::Relaxed),
+            t_ns: self.now_ns(),
+            event,
+        };
+        let mut ring = self.ring.lock().unwrap();
+        if ring.entries.len() == ring.capacity {
+            ring.entries.pop_front();
+            ring.dropped += 1;
+        }
+        ring.entries.push_back(entry);
+    }
+
+    pub fn note(&self, text: impl Into<String>) {
+        self.record(Event::Note { text: text.into() });
+    }
+
+    /// Begin a span; the returned guard records the matching `SpanEnd`
+    /// when dropped.
+    pub fn span(&self, name: impl Into<String>) -> SpanGuard {
+        let name = name.into();
+        let span_id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        self.record(Event::SpanBegin {
+            span_id,
+            name: name.clone(),
+        });
+        SpanGuard {
+            journal: self.clone(),
+            span_id,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Number of events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().unwrap().dropped
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the retained entries, oldest first.
+    pub fn entries(&self) -> Vec<Entry> {
+        self.ring.lock().unwrap().entries.iter().cloned().collect()
+    }
+
+    /// Export retained entries as JSONL (one compact object per line).
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for entry in self.entries() {
+            out.push_str(&entry.to_json().to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL export back into entries. Fails on the first
+    /// malformed line (reported 1-based).
+    pub fn parse_jsonl(text: &str) -> Result<Vec<Entry>, JournalParseError> {
+        let mut entries = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = Json::parse(line).map_err(|e| JournalParseError {
+                line: i + 1,
+                reason: e.to_string(),
+            })?;
+            let entry = Entry::from_json(&obj).ok_or_else(|| JournalParseError {
+                line: i + 1,
+                reason: "missing or mistyped event fields".to_string(),
+            })?;
+            entries.push(entry);
+        }
+        Ok(entries)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalParseError {
+    pub line: usize,
+    pub reason: String,
+}
+
+impl std::fmt::Display for JournalParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for JournalParseError {}
+
+/// RAII guard ending a span on drop.
+pub struct SpanGuard {
+    journal: Journal,
+    span_id: u64,
+    name: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// Elapsed time since the span began.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.journal.record(Event::SpanEnd {
+            span_id: self.span_id,
+            name: std::mem::take(&mut self.name),
+        });
+    }
+}
+
+/// Check that every `SpanBegin` in `entries` has a matching `SpanEnd`
+/// with the same id and name, and ends after it begins. Returns the
+/// number of matched pairs.
+pub fn matched_span_pairs(entries: &[Entry]) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut open: HashMap<u64, (&str, u64)> = HashMap::new();
+    let mut matched = 0;
+    for entry in entries {
+        match &entry.event {
+            Event::SpanBegin { span_id, name } => {
+                open.insert(*span_id, (name.as_str(), entry.t_ns));
+            }
+            Event::SpanEnd { span_id, name } => {
+                // A begin may have been evicted from the ring; only
+                // verify pairs whose begin we still hold.
+                if let Some((begin_name, begin_t)) = open.remove(span_id) {
+                    if begin_name != name {
+                        return Err(format!(
+                            "span {span_id} began as '{begin_name}' but ended as '{name}'"
+                        ));
+                    }
+                    if entry.t_ns < begin_t {
+                        return Err(format!("span {span_id} ends before it begins"));
+                    }
+                    matched += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if open.is_empty() {
+        Ok(matched)
+    } else {
+        Err(format!("{} span(s) never ended", open.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_eviction_order() {
+        let j = Journal::with_capacity(3);
+        for i in 0..5u64 {
+            j.record(Event::WorkerLost { worker: i });
+        }
+        let entries = j.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        assert_eq!(j.total_recorded(), 5);
+        // Oldest first, and the two oldest (workers 0, 1) were evicted.
+        let workers: Vec<u64> = entries
+            .iter()
+            .map(|e| match e.event {
+                Event::WorkerLost { worker } => worker,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(workers, vec![2, 3, 4]);
+        // Timestamps and seqs are monotonic.
+        assert!(entries.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert!(entries.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_all_variants() {
+        let j = Journal::new();
+        j.record(Event::CommandDispatched { command: 1, worker: 2 });
+        j.record(Event::CommandCompleted {
+            command: 1,
+            worker: 2,
+            wall_secs: 0.25,
+        });
+        j.record(Event::CommandFailed {
+            command: 3,
+            worker: 2,
+            error: "boom \"quoted\"".to_string(),
+        });
+        j.record(Event::CommandRequeued {
+            command: 3,
+            attempts: 2,
+            had_checkpoint: true,
+        });
+        j.record(Event::WorkerAnnounced { worker: 2, cores: 8 });
+        j.record(Event::WorkerLost { worker: 2 });
+        j.record(Event::CheckpointWritten { command: 3, bytes: 512 });
+        j.record(Event::GenerationClustered {
+            generation: 1,
+            n_states: 20,
+            n_trajectories: 6,
+            n_respawned: 2,
+        });
+        j.note("free-form");
+        {
+            let _span = j.span("clustering");
+        }
+        let text = j.export_jsonl();
+        let parsed = Journal::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, j.entries());
+        assert_eq!(matched_span_pairs(&parsed), Ok(1));
+    }
+
+    #[test]
+    fn span_guard_pairs_nest() {
+        let j = Journal::new();
+        {
+            let _outer = j.span("outer");
+            let _inner = j.span("inner");
+        }
+        let entries = j.entries();
+        assert_eq!(entries.len(), 4);
+        assert_eq!(matched_span_pairs(&entries), Ok(2));
+        // Inner ends before outer (drop order).
+        match (&entries[2].event, &entries[3].event) {
+            (Event::SpanEnd { name: a, .. }, Event::SpanEnd { name: b, .. }) => {
+                assert_eq!(a, "inner");
+                assert_eq!(b, "outer");
+            }
+            other => panic!("unexpected tail: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmatched_span_detected() {
+        let j = Journal::new();
+        j.record(Event::SpanBegin {
+            span_id: 9,
+            name: "orphan".to_string(),
+        });
+        assert!(matched_span_pairs(&j.entries()).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_line() {
+        let err = Journal::parse_jsonl("{\"seq\":0}\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = Journal::parse_jsonl("{nope\n").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn end_after_evicted_begin_is_tolerated() {
+        // Simulate a ring that evicted a SpanBegin: the dangling end
+        // must not fail the check.
+        let j = Journal::new();
+        j.record(Event::SpanEnd {
+            span_id: 99,
+            name: "lost".to_string(),
+        });
+        assert_eq!(matched_span_pairs(&j.entries()), Ok(0));
+    }
+}

@@ -1,0 +1,144 @@
+//! Human-readable rendering of a telemetry snapshot, used by the
+//! `copernicus report` subcommand and the bench artifact dumps.
+
+use crate::json::Json;
+
+/// Render a `Telemetry::snapshot()` JSON document as aligned text.
+///
+/// Layout: one line per metric — name, labels, then either the value
+/// (counter/gauge) or count/mean/min/max (histogram) — followed by a
+/// journal summary block when present.
+pub fn render_text(snapshot: &Json) -> String {
+    let mut out = String::new();
+    let metrics = snapshot
+        .get("metrics")
+        .and_then(Json::as_array)
+        .unwrap_or(&[]);
+
+    let mut rows: Vec<(String, String)> = Vec::with_capacity(metrics.len());
+    for m in metrics {
+        let name = m.get("name").and_then(Json::as_str).unwrap_or("?");
+        let labels = match m.get("labels").and_then(Json::as_object) {
+            Some(map) if !map.is_empty() => {
+                let pairs: Vec<String> = map
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.as_str().unwrap_or("?")))
+                    .collect();
+                format!("{{{}}}", pairs.join(","))
+            }
+            _ => String::new(),
+        };
+        let left = format!("{name}{labels}");
+        let right = match m.get("type").and_then(Json::as_str) {
+            Some("counter") => format!("{}", m.get("value").and_then(Json::as_u64).unwrap_or(0)),
+            Some("gauge") => format!("{}", m.get("value").and_then(Json::as_f64).unwrap_or(0.0)),
+            Some("histogram") => {
+                let h = m.get("histogram");
+                let count = h
+                    .and_then(|h| h.get("count"))
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                if count == 0 {
+                    "count=0".to_string()
+                } else {
+                    let f = |key: &str| {
+                        h.and_then(|h| h.get(key))
+                            .and_then(Json::as_f64)
+                            .unwrap_or(0.0)
+                    };
+                    format!(
+                        "count={count} mean={} min={} max={}",
+                        si(f("mean")),
+                        si(f("min")),
+                        si(f("max"))
+                    )
+                }
+            }
+            _ => "?".to_string(),
+        };
+        rows.push((left, right));
+    }
+
+    let width = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    out.push_str("== metrics ==\n");
+    if rows.is_empty() {
+        out.push_str("(none)\n");
+    }
+    for (left, right) in rows {
+        out.push_str(&format!("{left:<width$}  {right}\n"));
+    }
+
+    if let Some(journal) = snapshot.get("journal") {
+        out.push_str("\n== journal ==\n");
+        let g = |key: &str| journal.get(key).and_then(Json::as_u64).unwrap_or(0);
+        out.push_str(&format!(
+            "events recorded={} retained={} dropped={}\n",
+            g("total_recorded"),
+            g("retained"),
+            g("dropped")
+        ));
+    }
+    out
+}
+
+/// Format a number with an SI-style suffix for readability.
+fn si(v: f64) -> String {
+    let a = v.abs();
+    if a >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if a >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if a >= 1e3 {
+        format!("{:.2}k", v / 1e3)
+    } else if a >= 1.0 || a == 0.0 {
+        format!("{v:.2}")
+    } else if a >= 1e-3 {
+        format!("{:.2}m", v * 1e3)
+    } else if a >= 1e-6 {
+        format!("{:.2}u", v * 1e6)
+    } else {
+        format!("{:.2}n", v * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Telemetry;
+
+    #[test]
+    fn renders_counters_gauges_histograms() {
+        let t = Telemetry::new();
+        t.registry()
+            .counter("commands_dispatched", crate::metrics::Labels::new())
+            .add(12);
+        t.registry()
+            .gauge("queue_depth", crate::metrics::Labels::new())
+            .set(3.0);
+        t.registry()
+            .histogram(
+                "dispatch_latency_secs",
+                crate::metrics::Labels::new(),
+                crate::metrics::buckets::SECONDS,
+            )
+            .record(0.002);
+        t.journal().note("hello");
+        let text = render_text(&t.snapshot());
+        assert!(text.contains("commands_dispatched"), "{text}");
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("queue_depth"), "{text}");
+        assert!(text.contains("dispatch_latency_secs"), "{text}");
+        assert!(text.contains("count=1"), "{text}");
+        assert!(text.contains("== journal =="), "{text}");
+        assert!(text.contains("recorded=1"), "{text}");
+    }
+
+    #[test]
+    fn si_suffixes() {
+        assert_eq!(si(0.0), "0.00");
+        assert_eq!(si(1500.0), "1.50k");
+        assert_eq!(si(2.5e6), "2.50M");
+        assert_eq!(si(0.002), "2.00m");
+        assert_eq!(si(3.2e-7), "320.00n");
+    }
+}

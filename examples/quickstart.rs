@@ -11,6 +11,7 @@
 
 use copernicus::core::prelude::*;
 use copernicus::core::MdRunExecutor;
+use copernicus::telemetry::{labels, names, Labels, Telemetry};
 use mdsim::VillinModel;
 use std::sync::Arc;
 
@@ -40,16 +41,24 @@ fn main() {
         config.segment_ns
     );
 
-    let controller = MsmController::new(model.clone(), config);
+    // One telemetry handle shared by the server, the workers and the
+    // controller: dispatch latencies, per-step MD timings, clustering
+    // spans — everything lands in the same registry and journal.
+    let telemetry = Telemetry::new();
+    let controller =
+        MsmController::new(model.clone(), config).with_telemetry(telemetry.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
-    let result = run_project(
+    let running = start_project(
         Box::new(controller),
         registry,
         RuntimeConfig {
             n_workers: 4,
+            telemetry: Some(telemetry.clone()),
             ..RuntimeConfig::default()
         },
     );
+    let monitor = running.monitor.clone();
+    let result = running.join();
 
     let report: MsmProjectReport = serde_json::from_value(result.result).expect("report");
     println!("gen  trajs  states  min-RMSD(Å)  blind-pred(Å)  folded-pop");
@@ -81,4 +90,30 @@ fn main() {
                 .unwrap_or_else(|| "n/a".into())
         );
     }
+
+    // Telemetry headline numbers, then the full artifacts on disk.
+    let reg = telemetry.registry();
+    if let Some(h) = reg.find_histogram(names::FORCE_LOOP_NS, &labels(&[("model", "villin")])) {
+        println!(
+            "\nforce loop: {:.0} ns/step mean over {} instrumented steps",
+            h.mean(),
+            h.count()
+        );
+    }
+    if let Some(h) = reg.find_histogram(names::DISPATCH_LATENCY, &Labels::new()) {
+        println!(
+            "dispatch latency: {:.1} ms mean over {} dispatches",
+            1e3 * h.mean(),
+            h.count()
+        );
+    }
+    let dir = std::path::Path::new("target/quickstart-telemetry");
+    std::fs::create_dir_all(dir).expect("create telemetry dir");
+    std::fs::write(dir.join("snapshot.json"), monitor.report_json()).expect("write snapshot");
+    std::fs::write(dir.join("journal.jsonl"), telemetry.export_journal_jsonl())
+        .expect("write journal");
+    println!(
+        "telemetry written: {0}/snapshot.json, {0}/journal.jsonl",
+        dir.display()
+    );
 }

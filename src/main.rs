@@ -9,32 +9,52 @@
 //! copernicus msm  [config.json] [--workers N]   # adaptive-sampling project
 //! copernicus fep  [config.json] [--workers N]   # BAR free-energy project
 //! copernicus demo                               # built-in quick demo
+//! copernicus report <snapshot.json>             # render a saved telemetry snapshot
 //! ```
+//!
+//! Every run carries a [`Telemetry`] handle through the server, the
+//! workers and the MSM controller; `--report` prints the aligned-text
+//! dump after the run and `--telemetry-dir DIR` writes the JSON metrics
+//! snapshot plus the JSONL event journal for offline analysis.
 
 use copernicus::core::plugins::msm::TrajectoryArchive;
 use copernicus::core::prelude::*;
-use copernicus::core::MdRunExecutor;
+use copernicus::core::{MdRunExecutor, Monitor};
 use copernicus::mdsim::VillinModel;
+use copernicus::telemetry::{render_text, Json, Telemetry};
 use parking_lot::Mutex;
 use std::sync::Arc;
+
+/// Flags shared by all run modes.
+struct Options {
+    n_workers: usize,
+    /// Print the aligned-text telemetry report after the run.
+    report: bool,
+    /// Write `snapshot.json` and `journal.jsonl` into this directory.
+    telemetry_dir: Option<String>,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mode = args.get(1).map(String::as_str).unwrap_or("help");
-    let n_workers = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get()));
-    let config_path = args
-        .get(2)
-        .filter(|a| !a.starts_with("--"))
-        .cloned();
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let opts = Options {
+        n_workers: flag_value("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get())),
+        report: args.iter().any(|a| a == "--report"),
+        telemetry_dir: flag_value("--telemetry-dir"),
+    };
+    let config_path = args.get(2).filter(|a| !a.starts_with("--")).cloned();
 
     match mode {
-        "msm" => run_msm(config_path, n_workers),
-        "fep" => run_fep(config_path, n_workers),
+        "msm" => run_msm(config_path, &opts),
+        "fep" => run_fep(config_path, &opts),
         "demo" => {
             let cfg = MsmProjectConfig {
                 n_starts: 3,
@@ -44,14 +64,22 @@ fn main() {
                 generations: 3,
                 ..MsmProjectConfig::default()
             };
-            run_msm_config(cfg, n_workers);
+            run_msm_config(cfg, &opts);
         }
+        "report" => render_snapshot(config_path),
         _ => {
-            eprintln!("usage: copernicus <msm|fep|demo> [config.json] [--workers N]");
+            eprintln!(
+                "usage: copernicus <msm|fep|demo|report> [config.json] \
+                 [--workers N] [--report] [--telemetry-dir DIR]"
+            );
             eprintln!();
-            eprintln!("  msm   run an adaptive-sampling project (MsmProjectConfig JSON)");
-            eprintln!("  fep   run a BAR free-energy project (FepProjectConfig JSON)");
-            eprintln!("  demo  run a built-in 1-minute adaptive-sampling demo");
+            eprintln!("  msm     run an adaptive-sampling project (MsmProjectConfig JSON)");
+            eprintln!("  fep     run a BAR free-energy project (FepProjectConfig JSON)");
+            eprintln!("  demo    run a built-in 1-minute adaptive-sampling demo");
+            eprintln!("  report  render a saved telemetry snapshot as text");
+            eprintln!();
+            eprintln!("  --report             print the telemetry report after the run");
+            eprintln!("  --telemetry-dir DIR  write snapshot.json + journal.jsonl to DIR");
             std::process::exit(if mode == "help" { 0 } else { 2 });
         }
     }
@@ -73,46 +101,94 @@ fn load_config<T: serde::de::DeserializeOwned + Default>(path: Option<String>) -
     }
 }
 
-fn run_msm(config_path: Option<String>, n_workers: usize) {
-    let cfg: MsmProjectConfig = load_config(config_path);
-    run_msm_config(cfg, n_workers);
+/// `copernicus report <snapshot.json>`: render a snapshot written by
+/// `--telemetry-dir` (or the bench harness) as the aligned-text report.
+fn render_snapshot(path: Option<String>) {
+    let Some(p) = path else {
+        eprintln!("usage: copernicus report <snapshot.json>");
+        std::process::exit(2);
+    };
+    let data = std::fs::read_to_string(&p).unwrap_or_else(|e| {
+        eprintln!("cannot read snapshot {p}: {e}");
+        std::process::exit(2);
+    });
+    let snapshot = Json::parse(&data).unwrap_or_else(|e| {
+        eprintln!("cannot parse snapshot {p}: {e}");
+        std::process::exit(2);
+    });
+    print!("{}", render_text(&snapshot));
 }
 
-fn run_msm_config(cfg: MsmProjectConfig, n_workers: usize) {
+/// Dump telemetry after a run: optional text report to stderr, optional
+/// snapshot + journal files.
+fn finish_telemetry(monitor: &Monitor, telemetry: &Telemetry, opts: &Options) {
+    if opts.report {
+        eprint!("{}", monitor.report_text());
+    }
+    if let Some(dir) = &opts.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create telemetry dir {dir}: {e}");
+            return;
+        }
+        let snapshot = format!("{dir}/snapshot.json");
+        let journal = format!("{dir}/journal.jsonl");
+        if let Err(e) = std::fs::write(&snapshot, monitor.report_json()) {
+            eprintln!("cannot write {snapshot}: {e}");
+        }
+        if let Err(e) = std::fs::write(&journal, telemetry.export_journal_jsonl()) {
+            eprintln!("cannot write {journal}: {e}");
+        }
+        eprintln!("telemetry written: {snapshot}, {journal}");
+    }
+}
+
+fn run_msm(config_path: Option<String>, opts: &Options) {
+    let cfg: MsmProjectConfig = load_config(config_path);
+    run_msm_config(cfg, opts);
+}
+
+fn run_msm_config(cfg: MsmProjectConfig, opts: &Options) {
     eprintln!(
         "MSM project: {} trajectories/generation × {} generations, {} workers",
         cfg.n_trajectories_per_generation(),
         cfg.generations,
-        n_workers
+        opts.n_workers
     );
+    let telemetry = Telemetry::new();
     let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller = MsmController::new(model.clone(), cfg).with_archive(archive.clone());
+    let controller = MsmController::new(model.clone(), cfg)
+        .with_archive(archive.clone())
+        .with_telemetry(telemetry.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
     let running = start_project(
         Box::new(controller),
         registry,
         RuntimeConfig {
-            n_workers,
+            n_workers: opts.n_workers,
+            telemetry: Some(telemetry.clone()),
             ..RuntimeConfig::default()
         },
     );
-    // Live monitoring, as the paper's web interface would show.
+    // Live monitoring, as the paper's web interface would show. The
+    // incremental cursor survives log-ring eviction (long runs drop old
+    // lines rather than growing without bound).
     let monitor = running.monitor.clone();
     let ticker = std::thread::spawn(move || {
-        let mut last_log = 0;
+        let mut seen = 0u64;
         loop {
             std::thread::sleep(std::time::Duration::from_millis(500));
-            let s = monitor.status();
-            for line in &s.log[last_log..] {
+            let (lines, new_seen) = monitor.log_since(seen);
+            seen = new_seen;
+            for line in &lines {
                 eprintln!("[controller] {line}");
             }
-            last_log = s.log.len();
-            if s.finished {
+            if monitor.status().finished {
                 break;
             }
         }
     });
+    let monitor = running.monitor.clone();
     let result = running.join();
     let _ = ticker.join();
     println!(
@@ -123,28 +199,34 @@ fn run_msm_config(cfg: MsmProjectConfig, n_workers: usize) {
         "done: {} commands, {} requeued, {} workers lost, {:.1?}",
         result.commands_completed, result.commands_requeued, result.workers_lost, result.wall
     );
+    finish_telemetry(&monitor, &telemetry, opts);
 }
 
-fn run_fep(config_path: Option<String>, n_workers: usize) {
+fn run_fep(config_path: Option<String>, opts: &Options) {
     let cfg: FepProjectConfig = load_config(config_path);
     let exact = cfg.analytic_delta_f();
     eprintln!(
         "FEP project: k {} → {} over {} windows, {} workers",
-        cfg.k_a, cfg.k_b, cfg.n_windows, n_workers
+        cfg.k_a, cfg.k_b, cfg.n_windows, opts.n_workers
     );
+    let telemetry = Telemetry::new();
     let controller = FepController::new(cfg);
     let registry = ExecutorRegistry::new().with(Arc::new(FepSampleExecutor));
-    let result = run_project(
+    let running = start_project(
         Box::new(controller),
         registry,
         RuntimeConfig {
-            n_workers,
+            n_workers: opts.n_workers,
+            telemetry: Some(telemetry.clone()),
             ..RuntimeConfig::default()
         },
     );
+    let monitor = running.monitor.clone();
+    let result = running.join();
     println!(
         "{}",
         serde_json::to_string_pretty(&result.result).expect("result serializes")
     );
     eprintln!("analytic ΔF for this config: {exact:.4}");
+    finish_telemetry(&monitor, &telemetry, opts);
 }

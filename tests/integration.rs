@@ -177,6 +177,123 @@ fn gromacs_like_engine_behaves_physically() {
 }
 
 #[test]
+fn telemetry_snapshot_is_self_consistent_after_quickstart_run() {
+    // The quickstart scenario with telemetry attached everywhere: the
+    // snapshot must tell one coherent story across server, workers, MD
+    // kernel and controller.
+    use copernicus::telemetry::{matched_span_pairs, names, Json, Labels, Telemetry};
+
+    let telemetry = Telemetry::new();
+    let model = Arc::new(VillinModel::hp35());
+    let controller =
+        MsmController::new(model.clone(), mini_config(2)).with_telemetry(telemetry.clone());
+    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+    let running = start_project(
+        Box::new(controller),
+        registry,
+        RuntimeConfig {
+            n_workers: 2,
+            telemetry: Some(telemetry.clone()),
+            ..RuntimeConfig::default()
+        },
+    );
+    let monitor = running.monitor.clone();
+    let result = running.join();
+
+    // Clean run: every dispatch completed, nothing failed or re-queued.
+    let reg = telemetry.registry();
+    let dispatched = reg.counter_total(names::COMMANDS_DISPATCHED);
+    let completed = reg.counter_total(names::COMMANDS_COMPLETED);
+    let failed = reg.counter_total(names::COMMANDS_FAILED);
+    let requeued = reg.counter_total(names::COMMANDS_REQUEUED);
+    assert_eq!(completed, dispatched - requeued - failed);
+    assert_eq!(failed, 0);
+    assert_eq!(requeued, 0);
+    assert_eq!(completed, result.commands_completed);
+    assert_eq!(reg.counter_total(names::BYTES_RECEIVED), result.bytes_received);
+
+    // Per-level timing histograms all saw traffic.
+    let dispatch_latency = reg
+        .find_histogram(names::DISPATCH_LATENCY, &Labels::new())
+        .expect("dispatch latency histogram");
+    assert_eq!(dispatch_latency.count(), dispatched);
+    assert!(dispatched > 0);
+    let force = reg
+        .find_histogram(
+            names::FORCE_LOOP_NS,
+            &copernicus::telemetry::labels(&[("model", "villin")]),
+        )
+        .expect("force-loop histogram");
+    assert!(force.count() > 0, "MD steps must be instrumented");
+    assert!(force.mean() > 0.0);
+    let clustering = reg
+        .find_histogram(names::CLUSTERING_SECS, &Labels::new())
+        .expect("clustering histogram");
+    assert_eq!(clustering.count(), 2, "one clustering per generation");
+
+    // The journal's spans pair up, and the JSONL export round-trips.
+    let entries = telemetry.journal().entries();
+    assert!(matched_span_pairs(&entries).expect("spans pair up") >= 2);
+    let jsonl = telemetry.export_journal_jsonl();
+    let reparsed = copernicus::telemetry::Journal::parse_jsonl(&jsonl).expect("JSONL parses");
+    assert_eq!(reparsed.len(), entries.len());
+
+    // The monitor's combined report embeds the same numbers.
+    let report = Json::parse(&monitor.report_json()).expect("report JSON parses");
+    assert_eq!(
+        report
+            .get("status")
+            .and_then(|s| s.get("commands_completed"))
+            .and_then(Json::as_u64),
+        Some(result.commands_completed)
+    );
+    assert!(report.get("metrics").is_some());
+}
+
+#[test]
+fn netsim_kind_totals_match_link_accounting() {
+    // Delivered payload (by kind) must equal the carried bytes on each
+    // traversed link: a single-path topology makes that exact.
+    use copernicus::netsim::{HeartbeatConfig, Link, MessageKind, NetSim, NodeRole, Overlay};
+    use copernicus::telemetry::{names, Telemetry};
+
+    let t = Telemetry::new();
+    let mut net = Overlay::new();
+    let server = net.add_node("server", NodeRole::ProjectServer);
+    let relay = net.add_node("relay", NodeRole::RelayServer);
+    let worker = net.add_node("worker", NodeRole::Worker);
+    net.connect_trusted(server, relay, Link::new(0.05, 1e7));
+    net.connect_trusted(relay, worker, Link::new(0.01, 1e8));
+    let mut sim = NetSim::new(net)
+        .with_heartbeat_config(HeartbeatConfig {
+            interval: 60.0,
+            payload_bytes: 200,
+        })
+        .with_telemetry(t.clone());
+    // Heartbeats stop at the relay; outputs traverse both links.
+    sim.start_heartbeats(0.0, worker, relay);
+    sim.send(0.0, worker, server, MessageKind::Output, 1_000_000);
+    sim.send(10.0, worker, server, MessageKind::Output, 500_000);
+    // Past the last 600 s heartbeat's delivery time, so all ten arrive.
+    sim.run_until(630.0);
+
+    let output = sim.traffic_by_kind(MessageKind::Output);
+    let heartbeat = sim.traffic_by_kind(MessageKind::Heartbeat);
+    assert_eq!(output, 1_500_000);
+    assert_eq!(heartbeat, 200 * 10); // due at 60, 120, …, 600
+    // Output crosses two links, heartbeats one.
+    assert_eq!(sim.link_traffic(relay, worker), output + heartbeat);
+    assert_eq!(sim.link_traffic(server, relay), output);
+    assert_eq!(sim.level_traffic("relay-worker"), output + heartbeat);
+    assert_eq!(sim.level_traffic("relay-server"), output);
+    assert_eq!(
+        t.registry().counter_total(names::NET_LINK_BYTES),
+        2 * output + heartbeat
+    );
+    assert_eq!(t.registry().counter_total(names::NET_BYTES), output + heartbeat);
+}
+
+#[test]
 fn villin_model_is_a_two_state_folder() {
     // The substrate behind the whole reproduction: at the sampling
     // temperature the native state is stable and unfolded chains are far
