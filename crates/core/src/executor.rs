@@ -110,6 +110,10 @@ pub struct MdRunSpec {
     /// trajectory and generation this segment belongs to).
     #[serde(default)]
     pub tag: serde_json::Value,
+    /// Force-kernel tuning (threading, parallel threshold, reference
+    /// kernel). `None` keeps the model builder's defaults.
+    #[serde(default)]
+    pub kernel: Option<mdsim::forces::KernelConfig>,
 }
 
 /// Output of an `mdrun` command.
@@ -188,6 +192,10 @@ impl CommandExecutor for MdRunExecutor {
                 (sim, traj, 0)
             }
         };
+
+        if let Some(kernel) = &spec.kernel {
+            sim.configure_kernel(kernel);
+        }
 
         // `attempts` counts dispatches: the server sets it to 1 on the
         // first dispatch (executor unit tests may pass 0). Crash only on
@@ -270,6 +278,17 @@ impl CommandExecutor for MdRunExecutor {
                     .counter(names::NEIGHBOR_REBUILDS, labels(&[("model", "villin")]))
                     .add(rebuilds);
             }
+            // Kernel throughput counters: cumulative pairs streamed by the
+            // inner loop this execution, and the resident packed-list size.
+            let kstats = sim.kernel_stats();
+            if kstats.pairs_evaluated > 0 {
+                t.registry()
+                    .counter(names::NB_PAIRS, labels(&[("model", "villin")]))
+                    .add(kstats.pairs_evaluated);
+            }
+            t.registry()
+                .gauge(names::NB_PACKED_BYTES, labels(&[("model", "villin")]))
+                .set(kstats.packed_bytes as f64);
         }
 
         let output = MdRunOutput {
@@ -432,6 +451,7 @@ mod tests {
             checkpoint_steps: 0,
             inject_crash_at_step: None,
             tag: serde_json::Value::Null,
+            kernel: None,
         }
     }
 

@@ -257,6 +257,7 @@ impl MsmController {
             checkpoint_steps: self.config.checkpoint_steps,
             inject_crash_at_step: None,
             tag: json!({ "lineage": lineage, "generation": self.current_generation }),
+            kernel: None,
         };
         CommandSpec::new(
             MdRunExecutor::COMMAND_TYPE,

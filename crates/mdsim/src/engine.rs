@@ -6,7 +6,7 @@
 //! frames, and can checkpoint/resume — the property §2.3 of the paper relies
 //! on for transparent worker fail-over.
 
-use crate::forces::{Energies, ForceField};
+use crate::forces::{Energies, ForceField, KernelConfig, KernelStats};
 use crate::integrate::Integrator;
 use crate::state::State;
 use crate::trajectory::Trajectory;
@@ -92,6 +92,18 @@ impl Simulation {
 
     pub fn dof(&self) -> usize {
         self.dof
+    }
+
+    /// Push kernel tuning knobs (threading, parallel threshold, reference
+    /// kernel) down to every force term.
+    pub fn configure_kernel(&mut self, cfg: &KernelConfig) {
+        self.forcefield.configure_kernel(cfg);
+    }
+
+    /// Aggregate kernel counters (pairs streamed, packed-list bytes)
+    /// across the force field's instrumented terms.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.forcefield.kernel_stats()
     }
 
     /// Energy breakdown from the most recent force evaluation.
@@ -192,6 +204,80 @@ impl Simulation {
         }
     }
 
+    /// Advance `n_steps` on the force-only fast path: no energy breakdown
+    /// is assembled per step, so terms with a dedicated force-only kernel
+    /// (the non-bonded pair loop) skip energy arithmetic entirely. The
+    /// trajectory is bitwise identical to [`Self::run`]; a single full
+    /// evaluation at the end refreshes [`Self::energies`], so the final
+    /// potential in [`RunStats`] is exact. `mean_potential` is not
+    /// accumulated (it would cost the energies) and reports the final
+    /// potential instead.
+    pub fn run_fast(&mut self, n_steps: u64) -> RunStats {
+        self.run_fast_with_sink(n_steps, &NullSink, |_, _| {})
+    }
+
+    /// [`Self::run_fast`] with per-step timings streamed into `sink` and
+    /// `observe(step, state)` invoked after every step. The observer gets
+    /// no energies — that is the point of the fast path; use
+    /// [`Self::run_with_sink`] when an observable reads them.
+    pub fn run_fast_with_sink<S: TelemetrySink>(
+        &mut self,
+        n_steps: u64,
+        sink: &S,
+        mut observe: impl FnMut(u64, &State),
+    ) -> RunStats {
+        let (builds_before, _) = self.forcefield.neighbor_stats();
+        let mut builds_seen = builds_before;
+        if S::ENABLED {
+            self.forcefield.set_timing(true);
+            self.forcefield.take_force_ns();
+            self.forcefield.take_neighbor_ns();
+        }
+        for _ in 0..n_steps {
+            let step_start = if S::ENABLED { Some(Instant::now()) } else { None };
+            self.integrator
+                .step_force_only(&mut self.state, &mut self.forcefield, self.dt, self.dof);
+            if S::ENABLED {
+                let step_ns = step_start
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                let neighbor_ns = self.forcefield.take_neighbor_ns();
+                let force_ns = self.forcefield.take_force_ns().saturating_sub(neighbor_ns);
+                sink.record_phase_ns(StepPhase::Force, force_ns);
+                sink.record_phase_ns(
+                    StepPhase::Integrate,
+                    step_ns.saturating_sub(force_ns + neighbor_ns),
+                );
+                if neighbor_ns > 0 {
+                    sink.record_phase_ns(StepPhase::Neighbor, neighbor_ns);
+                }
+                let (builds_now, _) = self.forcefield.neighbor_stats();
+                for _ in builds_seen..builds_now {
+                    sink.record_neighbor_rebuild();
+                }
+                builds_seen = builds_now;
+            }
+            observe(self.state.step, &self.state);
+        }
+        if S::ENABLED {
+            self.forcefield.set_timing(false);
+        }
+        // One full evaluation refreshes the energy breakdown; forces are
+        // bitwise unchanged (force-only == full forces), so the dynamic
+        // state stays identical to the slow path.
+        if n_steps > 0 {
+            self.prime_forces();
+        }
+        let (builds_after, _) = self.forcefield.neighbor_stats();
+        RunStats {
+            steps: n_steps,
+            final_potential: self.potential_energy(),
+            final_kinetic: self.state.kinetic_energy(),
+            mean_potential: self.potential_energy(),
+            neighbor_rebuilds: builds_after - builds_before,
+        }
+    }
+
     /// Advance `n_steps`, recording a frame every `record_interval` steps
     /// (plus the initial frame at the current time).
     pub fn run_recording(&mut self, n_steps: u64, record_interval: u64) -> Trajectory {
@@ -199,6 +285,10 @@ impl Simulation {
     }
 
     /// [`Self::run_recording`] with per-step timings streamed into `sink`.
+    ///
+    /// Frame recording reads only positions, so this rides the force-only
+    /// fast path — energies are skipped on every step and refreshed once
+    /// at the end of the segment.
     pub fn run_recording_with_sink<S: TelemetrySink>(
         &mut self,
         n_steps: u64,
@@ -210,7 +300,7 @@ impl Simulation {
         let mut traj = Trajectory::with_capacity(expected);
         traj.push(self.state.time, self.state.positions.clone());
         let mut count = 0u64;
-        self.run_with_sink(n_steps, sink, |_, state, _| {
+        self.run_fast_with_sink(n_steps, sink, |_, state| {
             count += 1;
             if count % record_interval == 0 {
                 traj.push(state.time, state.positions.clone());
@@ -387,6 +477,80 @@ mod tests {
             "expected rebuilds over 400 hot steps, got {}",
             stats.neighbor_rebuilds
         );
+    }
+
+    #[test]
+    fn fast_path_matches_full_path_bitwise() {
+        use crate::model::{lj_fluid, LjFluidSpec};
+        let spec = LjFluidSpec {
+            n_particles: 64,
+            density: 0.6,
+            temperature: 1.5,
+            cutoff: 1.8,
+            skin: 0.2,
+            threaded: false,
+            ..LjFluidSpec::default()
+        };
+        let mut full = lj_fluid(spec, 7);
+        let mut fast = lj_fluid(spec, 7);
+        full.run(50);
+        let stats = fast.run_fast(50);
+        assert_eq!(stats.steps, 50);
+        // Bitwise-identical trajectory and refreshed energies.
+        assert_eq!(full.state.positions, fast.state.positions);
+        assert_eq!(full.state.velocities, fast.state.velocities);
+        assert_eq!(full.state.forces, fast.state.forces);
+        assert_eq!(full.potential_energy(), fast.potential_energy());
+    }
+
+    #[test]
+    fn recording_rides_fast_path_identically() {
+        use crate::model::{lj_fluid, LjFluidSpec};
+        let spec = LjFluidSpec {
+            n_particles: 64,
+            density: 0.6,
+            temperature: 1.5,
+            cutoff: 1.8,
+            skin: 0.2,
+            threaded: false,
+            ..LjFluidSpec::default()
+        };
+        let mut plain = lj_fluid(spec, 3);
+        let mut recording = lj_fluid(spec, 3);
+        plain.run(40);
+        let traj = recording.run_recording(40, 10);
+        assert_eq!(traj.len(), 5);
+        assert_eq!(plain.state.positions, recording.state.positions);
+        assert_eq!(
+            traj.frame(traj.len() - 1),
+            recording.state.positions.as_slice()
+        );
+    }
+
+    #[test]
+    fn kernel_config_is_plumbed_to_terms() {
+        use crate::model::{lj_fluid, LjFluidSpec};
+        let mut sim = lj_fluid(
+            LjFluidSpec {
+                n_particles: 64,
+                density: 0.6,
+                temperature: 1.5,
+                cutoff: 1.8,
+                skin: 0.2,
+                threaded: false,
+                ..LjFluidSpec::default()
+            },
+            1,
+        );
+        sim.configure_kernel(&KernelConfig {
+            threaded: false,
+            parallel_threshold: 123,
+            use_reference: false,
+        });
+        sim.run(5);
+        let stats = sim.kernel_stats();
+        assert!(stats.pairs_evaluated > 0, "pair counter should advance");
+        assert!(stats.packed_bytes > 0, "packed list should be resident");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!
 //! [`BondedForce`]: crate::forces::BondedForce
 
-use crate::forces::ForceTerm;
+use crate::forces::{ForceTerm, KernelStats};
 use crate::pbc::SimBox;
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
@@ -34,6 +34,8 @@ pub struct GoModelForce {
     eps_rep: f64,
     /// Range of the non-native repulsion.
     sigma_rep: f64,
+    /// Cumulative pairs streamed by the kernel (telemetry: pairs/sec).
+    pairs_evaluated: u64,
 }
 
 impl GoModelForce {
@@ -74,6 +76,7 @@ impl GoModelForce {
             eps_contact,
             eps_rep,
             sigma_rep,
+            pairs_evaluated: 0,
         }
     }
 
@@ -104,12 +107,16 @@ impl GoModelForce {
     }
 }
 
-impl ForceTerm for GoModelForce {
-    fn name(&self) -> &'static str {
-        "go-model"
-    }
-
-    fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+impl GoModelForce {
+    /// Shared kernel for full and force-only evaluation. Force arithmetic
+    /// is identical in both instantiations; `ENERGY = false` only drops
+    /// the energy accumulation, so force-only forces are bitwise equal.
+    fn eval<const ENERGY: bool>(
+        &self,
+        positions: &[Vec3],
+        bx: &SimBox,
+        forces: &mut [Vec3],
+    ) -> f64 {
         let mut energy = 0.0;
 
         // Native contacts: V = ε [5 (rn/r)^12 - 6 (rn/r)^10].
@@ -123,7 +130,9 @@ impl ForceTerm for GoModelForce {
             let s2 = c.r_nat * c.r_nat * inv_r2;
             let s10 = s2 * s2 * s2 * s2 * s2;
             let s12 = s10 * s2;
-            energy += self.eps_contact * (5.0 * s12 - 6.0 * s10);
+            if ENERGY {
+                energy += self.eps_contact * (5.0 * s12 - 6.0 * s10);
+            }
             // F·r̂ = 60 ε (s12 - s10)/r → F vector = 60 ε (s12 - s10) dr / r².
             let f_over_r2 = 60.0 * self.eps_contact * (s12 - s10) * inv_r2;
             let f = dr * f_over_r2;
@@ -144,13 +153,40 @@ impl ForceTerm for GoModelForce {
             let s2 = sig2 / r2;
             let s6 = s2 * s2 * s2;
             let s12 = s6 * s6;
-            energy += self.eps_rep * s12;
+            if ENERGY {
+                energy += self.eps_rep * s12;
+            }
             let f = dr * (12.0 * self.eps_rep * s12 / r2);
             forces[i] += f;
             forces[j] -= f;
         }
 
         energy
+    }
+}
+
+impl ForceTerm for GoModelForce {
+    fn name(&self) -> &'static str {
+        "go-model"
+    }
+
+    fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64 {
+        self.pairs_evaluated += (self.contacts.len() + self.rep_pairs.len()) as u64;
+        self.eval::<true>(positions, bx, forces)
+    }
+
+    fn compute_force_only(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) {
+        self.pairs_evaluated += (self.contacts.len() + self.rep_pairs.len()) as u64;
+        self.eval::<false>(positions, bx, forces);
+    }
+
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        Some(KernelStats {
+            pairs_evaluated: self.pairs_evaluated,
+            packed_bytes: (self.rep_pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+                + self.contacts.capacity() * std::mem::size_of::<GoContact>())
+                as u64,
+        })
     }
 }
 
@@ -283,6 +319,41 @@ mod tests {
         ];
         let q = go.fraction_native(&pos, &SimBox::Open, 1.2);
         assert!((q - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_only_forces_are_bitwise_identical() {
+        let mut go = GoModelForce::new(
+            5,
+            vec![
+                GoContact {
+                    i: 0,
+                    j: 3,
+                    r_nat: 1.1,
+                },
+                GoContact {
+                    i: 1,
+                    j: 4,
+                    r_nat: 1.3,
+                },
+            ],
+            3,
+            1.5,
+            1.0,
+            0.9,
+        );
+        let pos = vec![
+            v3(0.0, 0.0, 0.0),
+            v3(1.0, 0.3, 0.0),
+            v3(1.8, 1.0, 0.2),
+            v3(1.1, 1.7, 0.9),
+            v3(0.2, 1.4, 1.4),
+        ];
+        let mut f_full = vec![Vec3::ZERO; 5];
+        let mut f_fast = vec![Vec3::ZERO; 5];
+        go.compute(&pos, &SimBox::Open, &mut f_full);
+        go.compute_force_only(&pos, &SimBox::Open, &mut f_fast);
+        assert_eq!(f_full, f_fast);
     }
 
     #[test]

@@ -17,6 +17,40 @@ pub use nonbonded::NonbondedForce;
 
 use crate::pbc::SimBox;
 use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Tuning knobs for force-kernel execution, plumbed from engine config
+/// down to the terms (see [`ForceField::configure_kernel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Use the rayon-threaded pair loop (the "threads" tier of Fig. 6).
+    pub threaded: bool,
+    /// Minimum pair count before the threaded path engages; below it the
+    /// serial kernel wins on fork/join overhead.
+    pub parallel_threshold: usize,
+    /// Run the pre-packing reference kernel (validation / benchmarking).
+    pub use_reference: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            threaded: true,
+            parallel_threshold: nonbonded::DEFAULT_PAIR_PARALLEL_THRESHOLD,
+            use_reference: false,
+        }
+    }
+}
+
+/// Cumulative kernel counters for telemetry (pairs/sec, packed-list
+/// bytes). Counters are lifetime totals; rates are derived by the caller.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Pairs streamed by the inner loop since construction.
+    pub pairs_evaluated: u64,
+    /// Heap bytes currently held by packed pair storage.
+    pub packed_bytes: u64,
+}
 
 /// One additive term of the potential.
 pub trait ForceTerm: Send {
@@ -27,6 +61,23 @@ pub trait ForceTerm: Send {
     /// this term's potential energy. Implementations must *add* to
     /// `forces`, never overwrite.
     fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> f64;
+
+    /// Accumulate forces only, skipping energy accumulation. Forces must be
+    /// bitwise identical to what [`ForceTerm::compute`] produces. Terms
+    /// with a dedicated force-only kernel override this; the default just
+    /// discards the energy.
+    fn compute_force_only(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) {
+        self.compute(positions, bx, forces);
+    }
+
+    /// Apply kernel tuning knobs. Terms without tunable kernels ignore it.
+    fn configure_kernel(&mut self, _cfg: &KernelConfig) {}
+
+    /// Cumulative kernel counters, if this term has an instrumented pair
+    /// loop.
+    fn kernel_stats(&self) -> Option<KernelStats> {
+        None
+    }
 
     /// Enable/disable internal sub-phase timing (neighbour-list refresh).
     /// Terms without internal phases ignore this.
@@ -123,6 +174,24 @@ impl ForceField {
             .fold((0, 0), |(b, u), (tb, tu)| (b + tb, u + tu))
     }
 
+    /// Push kernel tuning knobs down to every term.
+    pub fn configure_kernel(&mut self, cfg: &KernelConfig) {
+        for term in self.terms.iter_mut() {
+            term.configure_kernel(cfg);
+        }
+    }
+
+    /// Aggregate kernel counters across instrumented terms.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.terms
+            .iter()
+            .filter_map(|t| t.kernel_stats())
+            .fold(KernelStats::default(), |acc, s| KernelStats {
+                pairs_evaluated: acc.pairs_evaluated + s.pairs_evaluated,
+                packed_bytes: acc.packed_bytes + s.packed_bytes,
+            })
+    }
+
     /// Zero `forces`, evaluate every term, and return the breakdown.
     pub fn compute(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) -> Energies {
         assert_eq!(
@@ -147,6 +216,31 @@ impl ForceField {
             self.force_ns += start.elapsed().as_nanos() as u64;
         }
         Energies { terms: breakdown }
+    }
+
+    /// Zero `forces` and evaluate every term's force-only kernel. The fast
+    /// path for steps where nothing reads the energy; resulting forces are
+    /// bitwise identical to [`ForceField::compute`].
+    pub fn compute_force_only(&mut self, positions: &[Vec3], bx: &SimBox, forces: &mut [Vec3]) {
+        assert_eq!(
+            positions.len(),
+            forces.len(),
+            "positions/forces length mismatch"
+        );
+        let start = if self.timing {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        for f in forces.iter_mut() {
+            *f = Vec3::ZERO;
+        }
+        for term in self.terms.iter_mut() {
+            term.compute_force_only(positions, bx, forces);
+        }
+        if let Some(start) = start {
+            self.force_ns += start.elapsed().as_nanos() as u64;
+        }
     }
 
     /// Potential energy only (still evaluates forces internally).
@@ -279,5 +373,20 @@ mod tests {
         let mut forces = vec![v3(100.0, 100.0, 100.0)];
         ff.compute(&pos, &SimBox::Open, &mut forces);
         assert!((forces[0].x + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_only_default_matches_compute() {
+        // The trait's default force-only path delegates to compute, so
+        // forces are identical; it also zeroes stale forces.
+        let mut ff = ForceField::new().with(Box::new(Spring { k: 1.5 }));
+        let pos = vec![v3(1.0, -2.0, 0.5), v3(0.1, 0.2, 0.3)];
+        let mut f_full = vec![Vec3::ZERO; 2];
+        let mut f_fast = vec![v3(9.0, 9.0, 9.0); 2];
+        ff.compute(&pos, &SimBox::Open, &mut f_full);
+        ff.compute_force_only(&pos, &SimBox::Open, &mut f_fast);
+        assert_eq!(f_full, f_fast);
+        // A plain term reports no kernel counters.
+        assert_eq!(ff.kernel_stats(), KernelStats::default());
     }
 }

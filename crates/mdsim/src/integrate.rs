@@ -19,6 +19,14 @@ pub trait Integrator: Send {
     /// Advance by one step, returning the energy breakdown at the new
     /// positions.
     fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) -> Energies;
+
+    /// Advance by one step without assembling an energy breakdown — the
+    /// fast path for steps where no observable reads the energy. The
+    /// trajectory must be bitwise identical to [`Integrator::step`]; the
+    /// default just discards the energies.
+    fn step_force_only(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) {
+        let _ = self.step(state, ff, dt, dof);
+    }
 }
 
 /// Velocity Verlet, optionally coupled to a [`Thermostat`].
@@ -43,23 +51,20 @@ impl VelocityVerlet {
     }
 }
 
-impl Integrator for VelocityVerlet {
-    fn name(&self) -> &'static str {
-        "velocity-verlet"
-    }
-
-    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) -> Energies {
+impl VelocityVerlet {
+    /// First half kick + drift (everything before the force evaluation).
+    fn pre_force(&mut self, state: &mut State, dt: f64) {
         let half = 0.5 * dt;
         for i in 0..state.n_particles() {
             let inv_m = 1.0 / state.masses[i];
             state.velocities[i] += state.forces[i] * (half * inv_m);
             state.positions[i] += state.velocities[i] * dt;
         }
-        let (positions, sim_box) = (&state.positions, &state.sim_box);
-        let energies = {
-            let forces = &mut state.forces;
-            ff.compute(positions, sim_box, forces)
-        };
+    }
+
+    /// Second half kick, thermostat, clock (everything after).
+    fn post_force(&mut self, state: &mut State, dt: f64, dof: usize) {
+        let half = 0.5 * dt;
         for i in 0..state.n_particles() {
             let inv_m = 1.0 / state.masses[i];
             state.velocities[i] += state.forces[i] * (half * inv_m);
@@ -69,7 +74,33 @@ impl Integrator for VelocityVerlet {
         }
         state.step += 1;
         state.time += dt;
+    }
+}
+
+impl Integrator for VelocityVerlet {
+    fn name(&self) -> &'static str {
+        "velocity-verlet"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) -> Energies {
+        self.pre_force(state, dt);
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        let energies = {
+            let forces = &mut state.forces;
+            ff.compute(positions, sim_box, forces)
+        };
+        self.post_force(state, dt, dof);
         energies
+    }
+
+    fn step_force_only(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, dof: usize) {
+        self.pre_force(state, dt);
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        {
+            let forces = &mut state.forces;
+            ff.compute_force_only(positions, sim_box, forces);
+        }
+        self.post_force(state, dt, dof);
     }
 }
 
@@ -95,12 +126,9 @@ impl Langevin {
     }
 }
 
-impl Integrator for Langevin {
-    fn name(&self) -> &'static str {
-        "langevin-baoab"
-    }
-
-    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
+impl Langevin {
+    /// B-A-O-A: everything before the force evaluation.
+    fn pre_force(&mut self, state: &mut State, dt: f64) {
         let half = 0.5 * dt;
         let c1 = (-self.gamma * dt).exp();
         let c2 = (1.0 - c1 * c1).sqrt();
@@ -128,19 +156,43 @@ impl Integrator for Langevin {
         for i in 0..n {
             state.positions[i] += state.velocities[i] * half;
         }
-        // Force evaluation at the new positions.
+    }
+
+    /// Final B kick and clock: everything after the force evaluation.
+    fn post_force(&mut self, state: &mut State, dt: f64) {
+        let half = 0.5 * dt;
+        for i in 0..state.n_particles() {
+            state.velocities[i] += state.forces[i] * (half / state.masses[i]);
+        }
+        state.step += 1;
+        state.time += dt;
+    }
+}
+
+impl Integrator for Langevin {
+    fn name(&self) -> &'static str {
+        "langevin-baoab"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
+        self.pre_force(state, dt);
         let (positions, sim_box) = (&state.positions, &state.sim_box);
         let energies = {
             let forces = &mut state.forces;
             ff.compute(positions, sim_box, forces)
         };
-        // B: half kick.
-        for i in 0..n {
-            state.velocities[i] += state.forces[i] * (half / state.masses[i]);
-        }
-        state.step += 1;
-        state.time += dt;
+        self.post_force(state, dt);
         energies
+    }
+
+    fn step_force_only(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) {
+        self.pre_force(state, dt);
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        {
+            let forces = &mut state.forces;
+            ff.compute_force_only(positions, sim_box, forces);
+        }
+        self.post_force(state, dt);
     }
 }
 
@@ -163,14 +215,10 @@ impl Brownian {
     }
 }
 
-impl Integrator for Brownian {
-    fn name(&self) -> &'static str {
-        "brownian"
-    }
-
-    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
-        let n = state.n_particles();
-        for i in 0..n {
+impl Brownian {
+    /// Position update: everything before the force evaluation.
+    fn pre_force(&mut self, state: &mut State, dt: f64) {
+        for i in 0..state.n_particles() {
             let mobility = 1.0 / (state.masses[i] * self.gamma);
             let sigma = (2.0 * KB * self.temperature * dt * mobility).sqrt();
             let noise = Vec3::new(
@@ -180,6 +228,16 @@ impl Integrator for Brownian {
             );
             state.positions[i] += state.forces[i] * (mobility * dt) + noise * sigma;
         }
+    }
+}
+
+impl Integrator for Brownian {
+    fn name(&self) -> &'static str {
+        "brownian"
+    }
+
+    fn step(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) -> Energies {
+        self.pre_force(state, dt);
         let (positions, sim_box) = (&state.positions, &state.sim_box);
         let energies = {
             let forces = &mut state.forces;
@@ -188,6 +246,17 @@ impl Integrator for Brownian {
         state.step += 1;
         state.time += dt;
         energies
+    }
+
+    fn step_force_only(&mut self, state: &mut State, ff: &mut ForceField, dt: f64, _dof: usize) {
+        self.pre_force(state, dt);
+        let (positions, sim_box) = (&state.positions, &state.sim_box);
+        {
+            let forces = &mut state.forces;
+            ff.compute_force_only(positions, sim_box, forces);
+        }
+        state.step += 1;
+        state.time += dt;
     }
 }
 
@@ -325,6 +394,60 @@ mod tests {
         integ.step(&mut state, &mut ff, 0.5, 3);
         assert_eq!(state.step, 2);
         assert!((state.time - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn force_only_step_matches_full_step_bitwise() {
+        // Two oscillators advanced by step() and step_force_only() must
+        // stay bitwise identical — the engine's fast path depends on it.
+        let run = |fast: bool| -> Vec<Vec3> {
+            let (_top, mut state) = one_particle();
+            let mut ff = oscillator_ff(1.3);
+            prime(&mut state, &mut ff);
+            let mut integ = VelocityVerlet::nve();
+            for _ in 0..200 {
+                if fast {
+                    integ.step_force_only(&mut state, &mut ff, 0.01, 3);
+                } else {
+                    integ.step(&mut state, &mut ff, 0.01, 3);
+                }
+            }
+            state.positions
+        };
+        assert_eq!(run(false), run(true));
+
+        // Same for Langevin (seeded noise) and Brownian.
+        let run_langevin = |fast: bool| -> Vec<Vec3> {
+            let (_top, mut state) = one_particle();
+            let mut ff = oscillator_ff(1.0);
+            prime(&mut state, &mut ff);
+            let mut integ = Langevin::new(1.0, 1.0, rng_from_seed(8));
+            for _ in 0..100 {
+                if fast {
+                    integ.step_force_only(&mut state, &mut ff, 0.01, 3);
+                } else {
+                    integ.step(&mut state, &mut ff, 0.01, 3);
+                }
+            }
+            state.positions
+        };
+        assert_eq!(run_langevin(false), run_langevin(true));
+
+        let run_brownian = |fast: bool| -> Vec<Vec3> {
+            let (_top, mut state) = one_particle();
+            let mut ff = oscillator_ff(1.0);
+            prime(&mut state, &mut ff);
+            let mut integ = Brownian::new(1.0, 2.0, rng_from_seed(4));
+            for _ in 0..100 {
+                if fast {
+                    integ.step_force_only(&mut state, &mut ff, 0.01, 3);
+                } else {
+                    integ.step(&mut state, &mut ff, 0.01, 3);
+                }
+            }
+            state.positions
+        };
+        assert_eq!(run_brownian(false), run_brownian(true));
     }
 
     #[test]

@@ -35,6 +35,11 @@ pub struct LjFluidSpec {
     pub dt: f64,
     /// Enable the rayon-threaded pair loop.
     pub threaded: bool,
+    /// Pair count above which the threaded pair loop engages (when
+    /// `threaded` is set at all).
+    pub parallel_threshold: usize,
+    /// Run the pre-packing reference kernel (benchmark baseline).
+    pub use_reference: bool,
 }
 
 impl Default for LjFluidSpec {
@@ -48,6 +53,8 @@ impl Default for LjFluidSpec {
             charge: 0.0,
             dt: 0.004,
             threaded: true,
+            parallel_threshold: crate::forces::nonbonded::DEFAULT_PAIR_PARALLEL_THRESHOLD,
+            use_reference: false,
         }
     }
 }
@@ -91,6 +98,8 @@ pub fn lj_fluid(spec: LjFluidSpec, seed: u64) -> Simulation {
 
     let mut nb = NonbondedForce::new(top.clone(), spec.cutoff, spec.skin, 78.0);
     nb.set_threading(spec.threaded);
+    nb.set_parallel_threshold(spec.parallel_threshold);
+    nb.set_reference_kernel(spec.use_reference);
     let ff = ForceField::new().with(Box::new(nb));
 
     let mut state = State::new(positions, &top, sim_box);

@@ -28,6 +28,17 @@ impl LjParams {
             epsilon: (self.epsilon * other.epsilon).sqrt(),
         }
     }
+
+    /// The (σ, ε) parameters in C6/C12 form: `c6 = 4εσ⁶`, `c12 = 4εσ¹²`,
+    /// so `V(r) = c12/r¹² − c6/r⁶`. This is the representation the packed
+    /// pair kernel streams over — combining and conversion happen once per
+    /// neighbour-list build, never in the inner loop.
+    #[inline]
+    pub fn c6_c12(self) -> (f64, f64) {
+        let s6 = self.sigma.powi(6);
+        let c6 = 4.0 * self.epsilon * s6;
+        (c6, c6 * s6)
+    }
 }
 
 /// One particle (an atom, or a coarse-grained bead).
@@ -257,6 +268,20 @@ mod tests {
         let c = a.combine(b);
         assert_eq!(c.sigma, 2.0);
         assert_eq!(c.epsilon, 2.0);
+    }
+
+    #[test]
+    fn c6_c12_reproduces_sigma_epsilon_form() {
+        let lj = LjParams::new(1.3, 0.7);
+        let (c6, c12) = lj.c6_c12();
+        // V(r) in both representations at a few radii.
+        for r in [1.0, 1.3, 2.0] {
+            let sr6 = (lj.sigma / r).powi(6);
+            let v_se = 4.0 * lj.epsilon * (sr6 * sr6 - sr6);
+            let r6 = r.powi(6);
+            let v_c = c12 / (r6 * r6) - c6 / r6;
+            assert!((v_se - v_c).abs() < 1e-12 * v_se.abs().max(1.0));
+        }
     }
 
     #[test]

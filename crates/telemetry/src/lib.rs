@@ -59,6 +59,11 @@ pub mod names {
     /// Neighbor-list refresh per step (nanoseconds).
     pub const NEIGHBOR_NS: &str = "md_neighbor_ns_per_step";
     pub const NEIGHBOR_REBUILDS: &str = "md_neighbor_rebuilds";
+    /// Non-bonded pairs streamed by the inner kernel (cumulative count;
+    /// divide by wall time for pairs/sec).
+    pub const NB_PAIRS: &str = "md_nonbonded_pairs";
+    /// Resident bytes of the packed pair list (gauge).
+    pub const NB_PACKED_BYTES: &str = "md_packed_list_bytes";
     /// MSM clustering time per generation (seconds).
     pub const CLUSTERING_SECS: &str = "msm_clustering_secs";
     pub const MSM_STATES: &str = "msm_states";
