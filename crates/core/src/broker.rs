@@ -74,7 +74,9 @@ impl Broker {
                 ToServer::Announce { worker, .. } => format!("announce {worker}"),
                 ToServer::RequestWork { worker } => format!("request {worker}"),
                 ToServer::Completed { output } => format!("completed {}", output.command),
-                ToServer::CommandError { command, .. } => format!("error {command}"),
+                ToServer::CommandError { command, epoch, .. } => {
+                    format!("error {command} (epoch {epoch})")
+                }
                 ToServer::Heartbeat { .. } => String::new(),
             };
             if !tag.is_empty() {
@@ -156,12 +158,13 @@ impl Broker {
                     }
                 }
             }
-            ToServer::CommandError { worker, project, command, error } => {
+            ToServer::CommandError { worker, project, command, epoch, error } => {
                 if let Some(idx) = self.command_owner.remove(&(project, command)) {
                     let _ = self.servers[idx].to_server.send(ToServer::CommandError {
                         worker,
                         project,
                         command,
+                        epoch,
                         error,
                     });
                 }

@@ -8,6 +8,7 @@
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::resources::Resources;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// What a controller asks to be run (before an id is assigned).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -51,8 +52,16 @@ pub struct Command {
     /// Latest checkpoint returned by a (possibly failed) earlier
     /// execution; executors resume from it when present (§2.3).
     pub checkpoint: Option<serde_json::Value>,
-    /// How many times this command has been (re)dispatched.
+    /// How many times this command has been (re)dispatched. Doubles as
+    /// the *attempt epoch*: the server stamps it at dispatch, workers
+    /// echo it back in results, and the server drops results whose
+    /// epoch no longer matches (see `lifecycle`).
     pub attempts: u32,
+    /// Error-retry backoff embargo: `CommandQueue::match_workload`
+    /// skips (but retains) this command until the instant has passed.
+    /// Process-local scheduling state, never serialized.
+    #[serde(skip)]
+    pub not_before: Option<Instant>,
 }
 
 impl Command {
@@ -66,7 +75,13 @@ impl Command {
             payload: spec.payload,
             checkpoint: None,
             attempts: 0,
+            not_before: None,
         }
+    }
+
+    /// Whether the backoff embargo (if any) has expired at `now`.
+    pub fn ready_at(&self, now: Instant) -> bool {
+        self.not_before.is_none_or(|t| t <= now)
     }
 }
 
@@ -77,6 +92,11 @@ pub struct CommandOutput {
     pub project: ProjectId,
     pub worker: WorkerId,
     pub command_type: String,
+    /// The attempt epoch this result belongs to (the command's
+    /// `attempts` value at dispatch). The server uses it to tell a live
+    /// result from a stale duplicate after re-queueing.
+    #[serde(default)]
+    pub epoch: u32,
     pub data: serde_json::Value,
     /// Wall time the execution took, seconds.
     pub wall_secs: f64,
@@ -92,6 +112,7 @@ impl CommandOutput {
             project: cmd.project,
             worker,
             command_type: cmd.command_type.clone(),
+            epoch: cmd.attempts,
             data,
             wall_secs,
             bytes,

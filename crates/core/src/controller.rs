@@ -12,18 +12,38 @@
 use crate::command::{CommandOutput, CommandSpec};
 use crate::ids::{CommandId, WorkerId};
 
+/// Why a command left the lifecycle without a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// Repeated command-level errors exhausted the attempt budget.
+    Error,
+    /// Repeated worker loss exhausted the attempt budget.
+    WorkerLost,
+}
+
 /// Events delivered to a project controller.
 #[derive(Debug)]
 pub enum ControllerEvent<'a> {
     /// The project has been created; produce the initial commands.
     ProjectStarted,
-    /// A command's output has arrived at the project server.
+    /// A command's output has arrived at the project server. Delivered
+    /// exactly once per command: duplicate and stale-epoch results are
+    /// deduplicated by the server before this event fires.
     CommandFinished(&'a CommandOutput),
     /// A worker stopped heartbeating; the listed command was re-queued
     /// (with its latest checkpoint, if any).
     WorkerFailed {
         worker: WorkerId,
         requeued: Option<CommandId>,
+    },
+    /// A command exhausted its attempt budget and was dropped: no
+    /// `CommandFinished` will ever arrive for it. Controllers that
+    /// count completions must account for this event or the project
+    /// hangs.
+    CommandDropped {
+        command: CommandId,
+        attempts: u32,
+        reason: DropReason,
     },
 }
 
@@ -83,6 +103,14 @@ mod tests {
                     }
                 }
                 ControllerEvent::WorkerFailed { .. } => vec![Action::Log("shrug".into())],
+                ControllerEvent::CommandDropped { .. } => {
+                    self.remaining -= 1;
+                    if self.remaining == 0 {
+                        vec![Action::FinishProject { result: json!("done") }]
+                    } else {
+                        vec![]
+                    }
+                }
             }
         }
     }

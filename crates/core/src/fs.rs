@@ -33,13 +33,24 @@ impl SharedFs {
         self.inner.lock().get(&cmd).cloned()
     }
 
-    /// Drop a command's checkpoint (after successful completion).
-    pub fn clear(&self, cmd: CommandId) {
-        self.inner.lock().remove(&cmd);
+    /// Drop a command's checkpoint. Part of every *terminal* lifecycle
+    /// transition (`Completed` and `Dropped`): whatever path retires a
+    /// command must also retire its checkpoint or the shared filesystem
+    /// leaks one entry per fault. Returns the evicted checkpoint, if
+    /// one existed.
+    pub fn clear(&self, cmd: CommandId) -> Option<serde_json::Value> {
+        self.inner.lock().remove(&cmd)
     }
 
     pub fn n_checkpoints(&self) -> usize {
         self.inner.lock().len()
+    }
+
+    /// Ids that still hold a checkpoint (diagnostics for leak asserts).
+    pub fn checkpointed_commands(&self) -> Vec<CommandId> {
+        let mut ids: Vec<CommandId> = self.inner.lock().keys().copied().collect();
+        ids.sort();
+        ids
     }
 }
 

@@ -28,8 +28,11 @@ pub mod broker;
 pub mod command;
 pub mod controller;
 pub mod executor;
+pub mod faults;
 pub mod fs;
 pub mod ids;
+pub mod lifecycle;
+pub mod md_executors;
 pub mod messages;
 pub mod monitor;
 pub mod plugins;
@@ -41,12 +44,14 @@ pub mod worker;
 
 pub use broker::spawn_broker;
 pub use command::{Command, CommandOutput, CommandSpec};
-pub use controller::{Action, Controller, ControllerEvent};
+pub use controller::{Action, Controller, ControllerEvent, DropReason};
 pub use executor::{
     CommandExecutor, ExecContext, ExecError, ExecutorRegistry, FepSampleExecutor, FepSampleOutput,
     FepSampleSpec, MdRunExecutor, MdRunOutput, MdRunSpec, SleepExecutor,
 };
+pub use faults::{ChaosExecutor, ChaosProfile, CrashingExecutor, ExecutionLog, FlakyExecutor};
 pub use fs::SharedFs;
+pub use lifecycle::{Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
 pub use monitor::{Monitor, ProjectStatus, LOG_CAPACITY};
 pub use queue::CommandQueue;
@@ -63,11 +68,12 @@ pub use copernicus_telemetry::Telemetry;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::command::{Command, CommandOutput, CommandSpec};
-    pub use crate::controller::{Action, Controller, ControllerEvent};
+    pub use crate::controller::{Action, Controller, ControllerEvent, DropReason};
     pub use crate::executor::{
         CommandExecutor, ExecutorRegistry, FepSampleExecutor, MdRunExecutor, SleepExecutor,
     };
     pub use crate::fs::SharedFs;
+    pub use crate::lifecycle::{Phase, RetryPolicy};
     pub use crate::ids::{CommandId, ProjectId, WorkerId};
     pub use crate::monitor::{Monitor, ProjectStatus};
     pub use crate::plugins::{

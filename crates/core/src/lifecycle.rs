@@ -1,0 +1,296 @@
+//! The command lifecycle state machine (§2.3 fault semantics).
+//!
+//! Every command moves through an explicit set of phases:
+//!
+//! ```text
+//!            dispatch                    result accepted
+//!   Queued ────────────► Dispatched ─────────────────────► Completed
+//!     ▲                   │      │
+//!     │   retry (budget   │      │  attempts exhausted
+//!     │   left)           │      ▼
+//!     ├──◄── Errored ◄────┤    Dropped
+//!     │      (backoff)    │      ▲
+//!     └──◄── Orphaned ◄───┘      │ attempts exhausted
+//!            (immediate)─────────┘
+//! ```
+//!
+//! `Errored` (a worker reported a command-level failure) and `Orphaned`
+//! (the heartbeat watchdog lost the worker) are transient fault phases:
+//! policy immediately resolves them to a retry — re-queued with the
+//! latest shared-filesystem checkpoint — or to `Dropped` once the
+//! attempt budget is spent. Errored retries carry an exponential
+//! backoff so a deterministically failing command cannot burn its whole
+//! budget in milliseconds; orphan retries re-queue immediately because
+//! worker loss says nothing about the command itself.
+//!
+//! This module is the *pure* half of the machine: phase/verdict types,
+//! the retry policy, and the result-acceptance judge. The effectful
+//! half — queue and running-set edits, checkpoint clearing, controller
+//! notification, telemetry — lives in `Server::transition`, the single
+//! function every message path routes through.
+
+use std::time::Duration;
+
+/// Phases a tracked command can be in. `Completed` and `Dropped` are
+/// terminal: the server forgets the command (and clears its checkpoint)
+/// on entry, so any later result for it is a duplicate by definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// In the command queue, possibly embargoed until a backoff expires.
+    Queued,
+    /// On a worker, tagged with the attempt epoch it was dispatched
+    /// under.
+    Dispatched,
+    /// A transient fault phase: the executor reported an error.
+    Errored,
+    /// A transient fault phase: the worker stopped heartbeating.
+    Orphaned,
+    /// Result accepted and the controller notified — exactly once.
+    Completed,
+    /// Attempt budget exhausted; the controller was told the command
+    /// will never finish.
+    Dropped,
+}
+
+impl Phase {
+    /// Whether the machine may move from `self` to `next`.
+    pub fn can_transition(self, next: Phase) -> bool {
+        use Phase::*;
+        matches!(
+            (self, next),
+            (Queued, Dispatched)
+                // A queued duplicate is completed/cancelled when the
+                // original attempt's result arrives from a resurrected
+                // worker.
+                | (Queued, Completed)
+                | (Queued, Dropped)
+                | (Dispatched, Completed)
+                | (Dispatched, Errored)
+                | (Dispatched, Orphaned)
+                | (Errored, Queued)
+                | (Errored, Dropped)
+                | (Orphaned, Queued)
+                | (Orphaned, Dropped)
+        )
+    }
+
+    pub fn is_terminal(self) -> bool {
+        matches!(self, Phase::Completed | Phase::Dropped)
+    }
+}
+
+/// What kind of fault hit a dispatched command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker reported a command-level error (`ToServer::CommandError`).
+    Error,
+    /// The heartbeat watchdog declared the executing worker lost.
+    WorkerLost,
+}
+
+/// How a fault resolves: re-queue (with an optional backoff embargo) or
+/// give up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Re-queue with the latest checkpoint; the command must not be
+    /// re-dispatched before `delay` has elapsed.
+    Retry { delay: Duration },
+    /// Attempt budget exhausted: drop, clear the checkpoint, notify the
+    /// controller.
+    Drop,
+}
+
+/// Retry policy: attempt budget plus exponential error backoff.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Give up after this many dispatch attempts.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt after an error; doubles per
+    /// subsequent error.
+    pub backoff_base: Duration,
+    /// Upper clamp on the error backoff.
+    pub backoff_max: Duration,
+}
+
+impl RetryPolicy {
+    /// Exponential backoff after `attempts` consumed attempts:
+    /// `base * 2^(attempts-1)`, clamped to `backoff_max`.
+    pub fn backoff(&self, attempts: u32) -> Duration {
+        let exp = attempts.saturating_sub(1).min(16);
+        self.backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_max)
+    }
+
+    /// Resolve a fault on a command that has consumed `attempts`
+    /// dispatch attempts so far.
+    pub fn on_fault(&self, kind: FaultKind, attempts: u32) -> Disposition {
+        if attempts >= self.max_attempts {
+            return Disposition::Drop;
+        }
+        match kind {
+            // Worker loss says nothing about the command: retry now.
+            FaultKind::WorkerLost => Disposition::Retry {
+                delay: Duration::ZERO,
+            },
+            // A command-level error is likely to repeat: back off so a
+            // deterministic failure cannot hot-loop through the budget.
+            FaultKind::Error => Disposition::Retry {
+                delay: self.backoff(attempts),
+            },
+        }
+    }
+}
+
+/// The judge's ruling on an incoming result (completion or error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Count it: transition the command.
+    Accept,
+    /// A success delivered by a resurrected worker while the re-queued
+    /// duplicate sat in the queue: accept it and cancel the duplicate.
+    AcceptCancelQueued,
+    /// A success from a stale attempt while a newer attempt is running:
+    /// accept it (the work is identical) and forget the running
+    /// duplicate — its eventual result becomes a duplicate and is
+    /// dropped.
+    AcceptCancelRunning,
+    /// Stale or duplicate: discard, count in `stale_results_dropped`.
+    DropStale,
+}
+
+/// Judge a *successful* result carrying `result_epoch` against the
+/// command's current phase and epoch (`None` when the command is no
+/// longer tracked, i.e. already terminal).
+///
+/// Successes are accepted from any epoch — the work of attempt 1 is the
+/// same work as attempt 2, and accepting the first result to arrive is
+/// both correct and fastest — but only *once*: terminal commands judge
+/// every further result a duplicate.
+pub fn judge_success(current: Option<(Phase, u32)>, result_epoch: u32) -> Verdict {
+    match current {
+        None => Verdict::DropStale,
+        Some((Phase::Queued, _)) => Verdict::AcceptCancelQueued,
+        Some((Phase::Dispatched, epoch)) if epoch == result_epoch => Verdict::Accept,
+        Some((Phase::Dispatched, _)) => Verdict::AcceptCancelRunning,
+        // Transient/terminal phases never hold between transitions, but
+        // be explicit: anything else is stale.
+        Some(_) => Verdict::DropStale,
+    }
+}
+
+/// Judge an *error* report. Unlike successes, errors are only honoured
+/// for the exact attempt they belong to: an error from a stale epoch
+/// must not burn the current attempt's budget or re-queue a command
+/// that a newer attempt is executing fine.
+pub fn judge_error(current: Option<(Phase, u32)>, result_epoch: u32) -> Verdict {
+    match current {
+        Some((Phase::Dispatched, epoch)) if epoch == result_epoch => Verdict::Accept,
+        _ => Verdict::DropStale,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_and_clamps() {
+        let p = policy();
+        assert_eq!(p.backoff(1), Duration::from_millis(100));
+        assert_eq!(p.backoff(2), Duration::from_millis(200));
+        assert_eq!(p.backoff(3), Duration::from_millis(400));
+        assert_eq!(p.backoff(6), Duration::from_secs(2), "clamped");
+        assert_eq!(p.backoff(40), Duration::from_secs(2), "shift saturates");
+    }
+
+    #[test]
+    fn errors_retry_with_backoff_until_budget() {
+        let p = policy();
+        assert_eq!(
+            p.on_fault(FaultKind::Error, 1),
+            Disposition::Retry { delay: Duration::from_millis(100) }
+        );
+        assert_eq!(
+            p.on_fault(FaultKind::Error, 3),
+            Disposition::Retry { delay: Duration::from_millis(400) }
+        );
+        assert_eq!(p.on_fault(FaultKind::Error, 4), Disposition::Drop);
+        assert_eq!(p.on_fault(FaultKind::Error, 9), Disposition::Drop);
+    }
+
+    #[test]
+    fn worker_loss_retries_immediately() {
+        let p = policy();
+        assert_eq!(
+            p.on_fault(FaultKind::WorkerLost, 3),
+            Disposition::Retry { delay: Duration::ZERO }
+        );
+        assert_eq!(p.on_fault(FaultKind::WorkerLost, 4), Disposition::Drop);
+    }
+
+    #[test]
+    fn success_judging_is_exactly_once() {
+        // Normal path: epoch matches the dispatched attempt.
+        assert_eq!(judge_success(Some((Phase::Dispatched, 2)), 2), Verdict::Accept);
+        // Resurrected worker finishing the original attempt while the
+        // duplicate is queued: accept and cancel the duplicate.
+        assert_eq!(
+            judge_success(Some((Phase::Queued, 1)), 1),
+            Verdict::AcceptCancelQueued
+        );
+        // …or while a newer attempt runs: accept, forget the runner.
+        assert_eq!(
+            judge_success(Some((Phase::Dispatched, 2)), 1),
+            Verdict::AcceptCancelRunning
+        );
+        // After the command is terminal nothing more is accepted.
+        assert_eq!(judge_success(None, 2), Verdict::DropStale);
+    }
+
+    #[test]
+    fn error_judging_requires_exact_epoch() {
+        assert_eq!(judge_error(Some((Phase::Dispatched, 2)), 2), Verdict::Accept);
+        assert_eq!(judge_error(Some((Phase::Dispatched, 2)), 1), Verdict::DropStale);
+        assert_eq!(judge_error(Some((Phase::Queued, 1)), 1), Verdict::DropStale);
+        assert_eq!(judge_error(None, 1), Verdict::DropStale);
+    }
+
+    #[test]
+    fn transition_legality() {
+        use Phase::*;
+        for (from, to) in [
+            (Queued, Dispatched),
+            (Dispatched, Completed),
+            (Dispatched, Errored),
+            (Dispatched, Orphaned),
+            (Errored, Queued),
+            (Errored, Dropped),
+            (Orphaned, Queued),
+            (Orphaned, Dropped),
+            (Queued, Completed),
+            (Queued, Dropped),
+        ] {
+            assert!(from.can_transition(to), "{from:?} -> {to:?}");
+        }
+        for (from, to) in [
+            (Completed, Queued),
+            (Dropped, Queued),
+            (Queued, Errored),
+            (Dispatched, Queued),
+            (Completed, Dropped),
+        ] {
+            assert!(!from.can_transition(to), "{from:?} -> {to:?}");
+        }
+        assert!(Completed.is_terminal() && Dropped.is_terminal());
+        assert!(!Queued.is_terminal() && !Dispatched.is_terminal());
+    }
+}

@@ -1,0 +1,526 @@
+//! MD-backed command executors.
+//!
+//! [`MdRunExecutor`] is the Gromacs stand-in — it runs a coarse-grained
+//! villin segment with mid-run checkpointing to the shared filesystem.
+//! [`FepSampleExecutor`] samples perturbation work values for the BAR
+//! plugin. Both sit on the `mdsim` crate; the dependency-free executor
+//! protocol lives in [`crate::executor`].
+
+use crate::executor::{CommandExecutor, ExecContext, ExecError};
+use crate::resources::{ExecutableSpec, Platform};
+use copernicus_telemetry::{buckets, labels, names, Event};
+use mdsim::model::villin::VillinModel;
+use mdsim::rng::rng_for_stream;
+use mdsim::trajectory::Trajectory;
+use mdsim::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// MD executor
+// ---------------------------------------------------------------------------
+
+/// Payload of an `mdrun` command: one trajectory segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdRunSpec {
+    pub start_positions: Vec<Vec3>,
+    pub temperature: f64,
+    pub n_steps: u64,
+    pub record_interval: u64,
+    pub seed: u64,
+    /// Steps between checkpoint deposits (0 = no checkpointing).
+    pub checkpoint_steps: u64,
+    /// Failure injection: on the *first* attempt, crash after this many
+    /// steps (for fault-tolerance tests). `None` in normal operation.
+    pub inject_crash_at_step: Option<u64>,
+    /// Opaque controller metadata echoed into the output (e.g. which
+    /// trajectory and generation this segment belongs to).
+    #[serde(default)]
+    pub tag: serde_json::Value,
+    /// Force-kernel tuning (threading, parallel threshold, reference
+    /// kernel). `None` keeps the model builder's defaults.
+    #[serde(default)]
+    pub kernel: Option<mdsim::forces::KernelConfig>,
+}
+
+/// Output of an `mdrun` command.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MdRunOutput {
+    pub trajectory: Trajectory,
+    pub final_positions: Vec<Vec3>,
+    /// Steps actually executed in this attempt (checkpoint resume makes
+    /// this smaller than `n_steps`).
+    pub steps_executed: u64,
+    /// The controller tag from the command payload, echoed back.
+    #[serde(default)]
+    pub tag: serde_json::Value,
+}
+
+/// Mid-run checkpoint: engine state plus the frames recorded so far.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct MdCheckpoint {
+    engine: mdsim::engine::Checkpoint,
+    partial_trajectory: Trajectory,
+    steps_done: u64,
+}
+
+/// The Gromacs-equivalent executable: runs villin Gō-model segments.
+pub struct MdRunExecutor {
+    model: Arc<VillinModel>,
+}
+
+impl MdRunExecutor {
+    pub fn new(model: Arc<VillinModel>) -> Self {
+        MdRunExecutor { model }
+    }
+
+    pub const COMMAND_TYPE: &'static str = "mdrun";
+}
+
+impl CommandExecutor for MdRunExecutor {
+    fn executables(&self) -> Vec<ExecutableSpec> {
+        vec![ExecutableSpec::new(
+            Self::COMMAND_TYPE,
+            Platform::Smp,
+            "copernicus-mdsim-0.1",
+        )]
+    }
+
+    fn execute(&self, ctx: ExecContext<'_>) -> Result<serde_json::Value, ExecError> {
+        let spec: MdRunSpec = serde_json::from_value(ctx.command.payload.clone())
+            .map_err(|e| ExecError::BadPayload(e.to_string()))?;
+        if spec.record_interval == 0 || spec.n_steps == 0 {
+            return Err(ExecError::BadPayload(
+                "n_steps and record_interval must be positive".into(),
+            ));
+        }
+
+        // Resume from a checkpoint if the command carries one.
+        let (mut sim, mut trajectory, mut steps_done) = match &ctx.command.checkpoint {
+            Some(cp_json) => {
+                let cp: MdCheckpoint = serde_json::from_value(cp_json.clone())
+                    .map_err(|e| ExecError::BadPayload(format!("bad checkpoint: {e}")))?;
+                let mut sim = self.model.simulation(
+                    cp.engine.state.positions.clone(),
+                    spec.temperature,
+                    cp.engine.rng_reseed,
+                );
+                sim.restore(&cp.engine);
+                (sim, cp.partial_trajectory, cp.steps_done)
+            }
+            None => {
+                let sim = self.model.simulation(
+                    spec.start_positions.clone(),
+                    spec.temperature,
+                    spec.seed,
+                );
+                let mut traj = Trajectory::new();
+                traj.push(0.0, spec.start_positions.clone());
+                (sim, traj, 0)
+            }
+        };
+
+        if let Some(kernel) = &spec.kernel {
+            sim.configure_kernel(kernel);
+        }
+
+        // `attempts` counts dispatches: the server sets it to 1 on the
+        // first dispatch (executor unit tests may pass 0). Crash only on
+        // the first execution of this command.
+        let crash_at = if ctx.command.attempts <= 1 {
+            spec.inject_crash_at_step
+        } else {
+            None
+        };
+
+        // Per-step phase timings flow into the shared histograms when the
+        // worker carries telemetry; otherwise the NullSink path keeps the
+        // inner loop untouched.
+        let sink = ctx
+            .telemetry
+            .map(|t| t.step_sink(labels(&[("model", "villin")])));
+
+        let mut steps_executed = 0u64;
+        while steps_done < spec.n_steps {
+            let chunk = if spec.checkpoint_steps > 0 {
+                spec.checkpoint_steps.min(spec.n_steps - steps_done)
+            } else {
+                spec.n_steps - steps_done
+            };
+            let recorded = match &sink {
+                Some(s) => sim.run_recording_with_sink(chunk, spec.record_interval, s),
+                None => sim.run_recording(chunk, spec.record_interval),
+            };
+            // Drop the duplicate leading frame (already in `trajectory`).
+            for (t, f) in recorded.iter().skip(1) {
+                trajectory.push(t, f.to_vec());
+            }
+            steps_done += chunk;
+            steps_executed += chunk;
+
+            if let (Some(fs), true) = (ctx.shared_fs, spec.checkpoint_steps > 0) {
+                let t0 = std::time::Instant::now();
+                let cp = MdCheckpoint {
+                    engine: sim.checkpoint(mdsim::rng::splitmix64(spec.seed ^ steps_done)),
+                    partial_trajectory: trajectory.clone(),
+                    steps_done,
+                };
+                let value = serde_json::to_value(&cp).expect("checkpoint serializes");
+                if let Some(t) = ctx.telemetry {
+                    let bytes = serde_json::to_vec(&value).map(|v| v.len() as u64).unwrap_or(0);
+                    fs.store_checkpoint(ctx.command.id, value);
+                    t.registry()
+                        .histogram(
+                            names::CHECKPOINT_WRITE,
+                            copernicus_telemetry::Labels::new(),
+                            buckets::SECONDS,
+                        )
+                        .record_duration(t0.elapsed());
+                    t.registry()
+                        .counter(
+                            names::CHECKPOINT_BYTES,
+                            copernicus_telemetry::Labels::new(),
+                        )
+                        .add(bytes);
+                    t.journal().record(Event::CheckpointWritten {
+                        command: ctx.command.id.0,
+                        bytes,
+                    });
+                } else {
+                    fs.store_checkpoint(ctx.command.id, value);
+                }
+            }
+
+            if let Some(limit) = crash_at {
+                if steps_done >= limit {
+                    return Err(ExecError::SimulatedCrash);
+                }
+            }
+        }
+
+        if let (Some(t), Some(s)) = (ctx.telemetry, &sink) {
+            let rebuilds = s.rebuilds();
+            if rebuilds > 0 {
+                t.registry()
+                    .counter(names::NEIGHBOR_REBUILDS, labels(&[("model", "villin")]))
+                    .add(rebuilds);
+            }
+            // Kernel throughput counters: cumulative pairs streamed by the
+            // inner loop this execution, and the resident packed-list size.
+            let kstats = sim.kernel_stats();
+            if kstats.pairs_evaluated > 0 {
+                t.registry()
+                    .counter(names::NB_PAIRS, labels(&[("model", "villin")]))
+                    .add(kstats.pairs_evaluated);
+            }
+            t.registry()
+                .gauge(names::NB_PACKED_BYTES, labels(&[("model", "villin")]))
+                .set(kstats.packed_bytes as f64);
+        }
+
+        let output = MdRunOutput {
+            final_positions: sim.state.positions.clone(),
+            trajectory,
+            steps_executed,
+            tag: spec.tag,
+        };
+        Ok(serde_json::to_value(output).expect("output serializes"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FEP executor
+// ---------------------------------------------------------------------------
+
+/// Payload of a `fep-sample` command: equilibrium sampling of a harmonic
+/// well `k_sample` while evaluating the perturbation energy to `k_eval`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FepSampleSpec {
+    pub k_sample: f64,
+    pub k_eval: f64,
+    pub temperature: f64,
+    pub equil_steps: u64,
+    pub n_steps: u64,
+    pub record_interval: u64,
+    pub seed: u64,
+    /// Opaque controller metadata echoed into the output.
+    #[serde(default)]
+    pub tag: serde_json::Value,
+}
+
+/// Output of a `fep-sample` command.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FepSampleOutput {
+    /// Work values `U_eval(x) − U_sample(x)` at the recorded frames.
+    pub works: Vec<f64>,
+    /// The controller tag from the command payload, echoed back.
+    #[serde(default)]
+    pub tag: serde_json::Value,
+}
+
+/// Samples perturbation work values with real Langevin dynamics.
+pub struct FepSampleExecutor;
+
+impl FepSampleExecutor {
+    pub const COMMAND_TYPE: &'static str = "fep-sample";
+}
+
+impl CommandExecutor for FepSampleExecutor {
+    fn executables(&self) -> Vec<ExecutableSpec> {
+        vec![ExecutableSpec::new(
+            Self::COMMAND_TYPE,
+            Platform::Smp,
+            "copernicus-fep-0.1",
+        )]
+    }
+
+    fn execute(&self, ctx: ExecContext<'_>) -> Result<serde_json::Value, ExecError> {
+        use mdsim::forces::{ForceField, HarmonicRestraint};
+        use mdsim::integrate::Langevin;
+        use mdsim::pbc::SimBox;
+        use mdsim::state::State;
+        use mdsim::topology::{LjParams, Particle, Topology};
+        use mdsim::Simulation;
+
+        let spec: FepSampleSpec = serde_json::from_value(ctx.command.payload.clone())
+            .map_err(|e| ExecError::BadPayload(e.to_string()))?;
+        if spec.record_interval == 0 {
+            return Err(ExecError::BadPayload("record_interval must be positive".into()));
+        }
+
+        let mut top = Topology::new();
+        top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 0.0)));
+        let state = State::new(vec![Vec3::ZERO], &top, SimBox::Open);
+        let ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
+            vec![(0, Vec3::ZERO)],
+            spec.k_sample,
+        )));
+        let integrator = Langevin::new(
+            spec.temperature,
+            1.0,
+            rng_for_stream(spec.seed, 0xfe9),
+        );
+        let mut sim = Simulation::new(state, ff, Box::new(integrator), 0.02, 3);
+
+        sim.run(spec.equil_steps);
+        let dk = 0.5 * (spec.k_eval - spec.k_sample);
+        let mut works = Vec::with_capacity((spec.n_steps / spec.record_interval) as usize);
+        let mut count = 0u64;
+        sim.run_with(spec.n_steps, |_, state, _| {
+            count += 1;
+            if count % spec.record_interval == 0 {
+                works.push(dk * state.positions[0].norm2());
+            }
+        });
+
+        Ok(serde_json::to_value(FepSampleOutput { works, tag: spec.tag }).expect("output serializes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{Command, CommandSpec};
+    use crate::executor::ExecutorRegistry;
+    use crate::fs::SharedFs;
+    use crate::ids::{CommandId, ProjectId, WorkerId};
+    use crate::resources::Resources;
+    use serde_json::json;
+
+    fn model() -> Arc<VillinModel> {
+        Arc::new(VillinModel::hp35())
+    }
+
+    fn md_command(id: u64, spec: &MdRunSpec) -> Command {
+        Command::from_spec(
+            CommandId(id),
+            ProjectId(0),
+            CommandSpec::new(
+                MdRunExecutor::COMMAND_TYPE,
+                Resources::new(1, 100),
+                serde_json::to_value(spec).unwrap(),
+            ),
+        )
+    }
+
+    fn base_spec(m: &VillinModel) -> MdRunSpec {
+        MdRunSpec {
+            start_positions: m.unfolded_start(1),
+            temperature: 0.55,
+            n_steps: 400,
+            record_interval: 100,
+            seed: 5,
+            checkpoint_steps: 0,
+            inject_crash_at_step: None,
+            tag: serde_json::Value::Null,
+            kernel: None,
+        }
+    }
+
+    #[test]
+    fn mdrun_produces_expected_frames() {
+        let m = model();
+        let exec = MdRunExecutor::new(m.clone());
+        let spec = base_spec(&m);
+        let cmd = md_command(1, &spec);
+        let out = exec
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            })
+            .unwrap();
+        let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
+        // initial frame + 4 recorded frames
+        assert_eq!(parsed.trajectory.len(), 5);
+        assert_eq!(parsed.steps_executed, 400);
+        assert_eq!(parsed.final_positions.len(), 35);
+    }
+
+    #[test]
+    fn mdrun_is_deterministic() {
+        let m = model();
+        let exec = MdRunExecutor::new(m.clone());
+        let spec = base_spec(&m);
+        let cmd = md_command(1, &spec);
+        let run = |cmd: &Command| {
+            exec.execute(ExecContext {
+                command: cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            })
+            .unwrap()
+        };
+        assert_eq!(run(&cmd), run(&cmd));
+    }
+
+    #[test]
+    fn mdrun_checkpoints_to_shared_fs() {
+        let m = model();
+        let exec = MdRunExecutor::new(m.clone());
+        let mut spec = base_spec(&m);
+        spec.checkpoint_steps = 100;
+        let cmd = md_command(2, &spec);
+        let fs = SharedFs::new();
+        exec.execute(ExecContext {
+            command: &cmd,
+            worker: WorkerId(0),
+            shared_fs: Some(&fs),
+            telemetry: None,
+        })
+        .unwrap();
+        let cp = fs.checkpoint(CommandId(2)).expect("checkpoint deposited");
+        assert_eq!(cp["steps_done"], 400);
+    }
+
+    #[test]
+    fn crash_injection_then_resume_from_checkpoint() {
+        let m = model();
+        let exec = MdRunExecutor::new(m.clone());
+        let mut spec = base_spec(&m);
+        spec.checkpoint_steps = 100;
+        spec.inject_crash_at_step = Some(200);
+        let mut cmd = md_command(3, &spec);
+        let fs = SharedFs::new();
+
+        // First attempt crashes mid-run.
+        let err = exec
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: Some(&fs),
+                telemetry: None,
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::SimulatedCrash);
+
+        // Server re-queues with the checkpoint; the second dispatch
+        // resumes.
+        cmd.checkpoint = fs.checkpoint(CommandId(3));
+        cmd.attempts = 2;
+        let out = exec
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(1),
+                shared_fs: Some(&fs),
+                telemetry: None,
+            })
+            .unwrap();
+        let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
+        // Full trajectory delivered despite the crash…
+        assert_eq!(parsed.trajectory.len(), 5);
+        // …but only the remaining 200 steps were re-executed.
+        assert_eq!(parsed.steps_executed, 200);
+    }
+
+    #[test]
+    fn bad_payload_is_reported() {
+        let m = model();
+        let exec = MdRunExecutor::new(m);
+        let cmd = Command::from_spec(
+            CommandId(4),
+            ProjectId(0),
+            CommandSpec::new("mdrun", Resources::new(1, 1), json!({"nonsense": true})),
+        );
+        let err = exec
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::BadPayload(_)));
+    }
+
+    #[test]
+    fn fep_sampler_matches_equipartition() {
+        let exec = FepSampleExecutor;
+        let spec = FepSampleSpec {
+            k_sample: 2.0,
+            k_eval: 3.0,
+            temperature: 1.0,
+            equil_steps: 500,
+            n_steps: 40_000,
+            record_interval: 10,
+            seed: 3,
+            tag: serde_json::Value::Null,
+        };
+        let cmd = Command::from_spec(
+            CommandId(5),
+            ProjectId(0),
+            CommandSpec::new(
+                FepSampleExecutor::COMMAND_TYPE,
+                Resources::new(1, 1),
+                serde_json::to_value(&spec).unwrap(),
+            ),
+        );
+        let out = exec
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            })
+            .unwrap();
+        let parsed: FepSampleOutput = serde_json::from_value(out).unwrap();
+        assert_eq!(parsed.works.len(), 4000);
+        // ⟨W⟩ = ½ dk ⟨r²⟩ = ½·1·(3 kT/k_sample) = 0.75.
+        let mean = parsed.works.iter().sum::<f64>() / parsed.works.len() as f64;
+        assert!((mean - 0.75).abs() < 0.08, "⟨W⟩ = {mean}");
+    }
+
+    #[test]
+    fn md_registry_routes_by_type() {
+        let m = model();
+        let registry = ExecutorRegistry::new()
+            .with(Arc::new(MdRunExecutor::new(m)))
+            .with(Arc::new(FepSampleExecutor));
+        assert!(registry.lookup("mdrun").is_some());
+        assert!(registry.lookup("fep-sample").is_some());
+        assert!(registry.lookup("sleep").is_none());
+        assert_eq!(registry.executables().len(), 2);
+    }
+}

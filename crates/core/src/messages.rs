@@ -23,12 +23,16 @@ pub enum ToServer {
     RequestWork { worker: WorkerId },
     /// A command finished successfully.
     Completed { output: CommandOutput },
-    /// A command failed in a reportable way (bad payload etc. — *not* a
-    /// crash, which manifests as silence).
+    /// A command failed in a reportable way (bad payload, executor
+    /// failure — *not* a crash, which manifests as silence).
     CommandError {
         worker: WorkerId,
         project: ProjectId,
         command: CommandId,
+        /// The attempt epoch the failure belongs to (the command's
+        /// `attempts` at dispatch). Stale-epoch errors are dropped by
+        /// the server rather than charged against the current attempt.
+        epoch: u32,
         error: String,
     },
     /// Periodic liveness signal.

@@ -25,6 +25,9 @@ pub struct ProjectStatus {
     pub commands_completed: u64,
     pub commands_failed: u64,
     pub commands_requeued: u64,
+    /// Commands that exhausted their attempt budget and were dropped.
+    #[serde(default)]
+    pub commands_dropped: u64,
     pub workers_connected: usize,
     pub workers_lost: u64,
     /// Total output payload received (ensemble-level traffic).
@@ -116,12 +119,13 @@ impl Monitor {
         let mut out = String::new();
         out.push_str("== project ==\n");
         out.push_str(&format!(
-            "queued={} running={} completed={} failed={} requeued={}\n",
+            "queued={} running={} completed={} failed={} requeued={} dropped={}\n",
             status.commands_queued,
             status.commands_running,
             status.commands_completed,
             status.commands_failed,
             status.commands_requeued,
+            status.commands_dropped,
         ));
         out.push_str(&format!(
             "workers connected={} lost={}  bytes_received={}  finished={}\n",
@@ -147,6 +151,7 @@ fn status_to_json(s: &ProjectStatus) -> Json {
         .set("commands_completed", s.commands_completed)
         .set("commands_failed", s.commands_failed)
         .set("commands_requeued", s.commands_requeued)
+        .set("commands_dropped", s.commands_dropped)
         .set("workers_connected", s.workers_connected)
         .set("workers_lost", s.workers_lost)
         .set("bytes_received", s.bytes_received)

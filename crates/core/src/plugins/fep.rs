@@ -114,6 +114,28 @@ impl FepController {
             serde_json::to_value(&spec).expect("spec serializes"),
         )
     }
+
+    /// Close out the project with a BAR estimate over whatever samples
+    /// arrived (all of them normally; fewer if commands were dropped).
+    fn finish(&self) -> Vec<Action> {
+        let beta = 1.0 / self.config.temperature;
+        let result = stratified_bar(&self.windows, beta);
+        let total_samples = self
+            .windows
+            .iter()
+            .map(|w| w.forward.len() + w.reverse.len())
+            .sum();
+        let report = FepProjectReport {
+            delta_f: result.total_delta_f,
+            std_err: result.total_std_err,
+            per_window_delta_f: result.per_window.iter().map(|r| r.delta_f).collect(),
+            n_windows: self.config.n_windows,
+            total_samples,
+        };
+        vec![Action::FinishProject {
+            result: serde_json::to_value(&report).expect("report serializes"),
+        }]
+    }
 }
 
 impl Controller for FepController {
@@ -159,27 +181,24 @@ impl Controller for FepController {
                 if self.outstanding > 0 {
                     return vec![];
                 }
-                let beta = 1.0 / self.config.temperature;
-                let result = stratified_bar(&self.windows, beta);
-                let total_samples = self
-                    .windows
-                    .iter()
-                    .map(|w| w.forward.len() + w.reverse.len())
-                    .sum();
-                let report = FepProjectReport {
-                    delta_f: result.total_delta_f,
-                    std_err: result.total_std_err,
-                    per_window_delta_f: result.per_window.iter().map(|r| r.delta_f).collect(),
-                    n_windows: self.config.n_windows,
-                    total_samples,
-                };
-                vec![Action::FinishProject {
-                    result: serde_json::to_value(&report).expect("report serializes"),
-                }]
+                self.finish()
             }
             ControllerEvent::WorkerFailed { worker, requeued } => vec![Action::Log(format!(
                 "worker {worker} lost; requeued: {requeued:?}"
             ))],
+            ControllerEvent::CommandDropped { command, attempts, reason } => {
+                // The sampling command will never deliver: settle for the
+                // works gathered so far rather than hanging the project.
+                self.outstanding -= 1;
+                let mut actions = vec![Action::Log(format!(
+                    "{command} dropped after {attempts} attempts ({reason:?}); \
+                     continuing with reduced sampling"
+                ))];
+                if self.outstanding == 0 {
+                    actions.extend(self.finish());
+                }
+                actions
+            }
         }
     }
 }

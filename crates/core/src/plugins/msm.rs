@@ -606,6 +606,20 @@ impl Controller for MsmController {
                     "worker {worker} lost; requeued: {requeued:?}"
                 ))]
             }
+            ControllerEvent::CommandDropped { command, attempts, reason } => {
+                // The segment will never arrive; its lineage simply does
+                // not advance this generation. Account for it so the
+                // generation barrier still closes.
+                self.outstanding -= 1;
+                let mut actions = vec![Action::Log(format!(
+                    "{command} dropped after {attempts} attempts ({reason:?}); \
+                     lineage skips this generation"
+                ))];
+                if self.outstanding == 0 {
+                    actions.extend(self.generation_boundary());
+                }
+                actions
+            }
         }
     }
 }

@@ -4,13 +4,22 @@
 //! One [`Server`] owns one project (the paper's servers can hold several;
 //! run several `Server`s for that). It consumes [`ToServer`] messages
 //! from workers, matches workloads, feeds completions to the controller
-//! plugin, and re-queues commands of lost workers with their latest
-//! shared-filesystem checkpoint (§2.3).
+//! plugin, and re-queues commands of lost or erroring workers with their
+//! latest shared-filesystem checkpoint (§2.3).
+//!
+//! Every command moves through the explicit lifecycle in [`lifecycle`]:
+//! `Queued → Dispatched → Completed | Errored | Orphaned | Dropped`.
+//! All queue/running-set edits, checkpoint clears, controller
+//! notifications and fault accounting happen inside the single
+//! [`Server::transition`] function, which every message path routes
+//! through — so exactly-once controller accounting holds under any
+//! interleaving of errors, worker loss, and resurrection.
 
-use crate::command::Command;
-use crate::controller::{Action, Controller, ControllerEvent};
+use crate::command::{Command, CommandOutput};
+use crate::controller::{Action, Controller, ControllerEvent, DropReason};
 use crate::fs::SharedFs;
 use crate::ids::{CommandId, IdGen, ProjectId, WorkerId};
+use crate::lifecycle::{self, Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 use crate::messages::{ToServer, ToWorker};
 use crate::monitor::Monitor;
 use crate::queue::CommandQueue;
@@ -31,6 +40,12 @@ pub struct ServerConfig {
     pub watchdog_period: Duration,
     /// Give up on a command after this many dispatch attempts.
     pub max_attempts: u32,
+    /// Backoff before re-dispatching a command whose attempt *errored*
+    /// (doubles per error, clamped to `retry_backoff_max`). Orphaned
+    /// commands (worker loss) re-queue immediately.
+    pub retry_backoff_base: Duration,
+    /// Upper clamp on the error-retry backoff.
+    pub retry_backoff_max: Duration,
 }
 
 impl Default for ServerConfig {
@@ -39,6 +54,19 @@ impl Default for ServerConfig {
             heartbeat_interval: Duration::from_millis(500),
             watchdog_period: Duration::from_millis(100),
             max_attempts: 5,
+            retry_backoff_base: Duration::from_millis(200),
+            retry_backoff_max: Duration::from_secs(30),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The lifecycle retry policy these knobs describe.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.max_attempts,
+            backoff_base: self.retry_backoff_base,
+            backoff_max: self.retry_backoff_max,
         }
     }
 }
@@ -50,6 +78,11 @@ pub struct ProjectResult {
     pub result: serde_json::Value,
     pub commands_completed: u64,
     pub commands_requeued: u64,
+    /// Commands that exhausted `max_attempts` and were dropped; each
+    /// produced exactly one `ControllerEvent::CommandDropped`.
+    pub commands_dropped: u64,
+    /// Duplicate or stale-epoch results discarded by the dedup layer.
+    pub stale_results_dropped: u64,
     pub workers_lost: u64,
     pub bytes_received: u64,
     pub wall: Duration,
@@ -62,6 +95,42 @@ struct WorkerState {
     alive: bool,
 }
 
+/// A dispatched command: who runs it, under which attempt epoch, and
+/// the command itself (kept for re-queueing on fault).
+struct InFlight {
+    worker: WorkerId,
+    dispatched_at: Instant,
+    cmd: Command,
+}
+
+impl InFlight {
+    fn epoch(&self) -> u32 {
+        self.cmd.attempts
+    }
+}
+
+/// One step of the lifecycle machine; see [`Server::transition`].
+enum Transition {
+    /// Queued → Dispatched. The command has been pulled from the queue
+    /// by the workload matcher; stamp and track it.
+    Dispatch { cmd: Command, worker: WorkerId },
+    /// Dispatched (or a stale duplicate) → Completed.
+    Complete { output: CommandOutput },
+    /// Dispatched → Errored | Orphaned, resolving to a re-queue or a
+    /// drop via the retry policy.
+    Fault {
+        command: CommandId,
+        worker: WorkerId,
+        kind: FaultKind,
+        /// The attempt epoch the report belongs to; `None` for
+        /// watchdog-originated faults (always the current attempt).
+        epoch: Option<u32>,
+        error: Option<String>,
+    },
+    /// Queued → (gone): controller cancelled not-yet-dispatched work.
+    Cancel { command: CommandId },
+}
+
 /// Cached metric handles, created once per server so the dispatch path
 /// never touches the registry map.
 struct ServerMetrics {
@@ -70,6 +139,8 @@ struct ServerMetrics {
     completed: Arc<Counter>,
     failed: Arc<Counter>,
     requeued: Arc<Counter>,
+    dropped: Arc<Counter>,
+    stale_results: Arc<Counter>,
     workers_lost: Arc<Counter>,
     bytes_received: Arc<Counter>,
     queue_depth: Arc<Gauge>,
@@ -77,6 +148,7 @@ struct ServerMetrics {
     workers_connected: Arc<Gauge>,
     dispatch_latency: Arc<Histogram>,
     turnaround: Arc<Histogram>,
+    retry_backoff: Arc<Histogram>,
 }
 
 impl ServerMetrics {
@@ -88,6 +160,8 @@ impl ServerMetrics {
             completed: r.counter(names::COMMANDS_COMPLETED, none()),
             failed: r.counter(names::COMMANDS_FAILED, none()),
             requeued: r.counter(names::COMMANDS_REQUEUED, none()),
+            dropped: r.counter(names::COMMANDS_DROPPED, none()),
+            stale_results: r.counter(names::STALE_RESULTS_DROPPED, none()),
             workers_lost: r.counter(names::WORKERS_LOST, none()),
             bytes_received: r.counter(names::BYTES_RECEIVED, none()),
             queue_depth: r.gauge(names::QUEUE_DEPTH, none()),
@@ -95,6 +169,7 @@ impl ServerMetrics {
             workers_connected: r.gauge(names::WORKERS_CONNECTED, none()),
             dispatch_latency: r.histogram(names::DISPATCH_LATENCY, none(), buckets::SECONDS),
             turnaround: r.histogram(names::COMMAND_TURNAROUND, none(), buckets::SECONDS),
+            retry_backoff: r.histogram(names::RETRY_BACKOFF, none(), buckets::SECONDS),
             telemetry,
         }
     }
@@ -108,9 +183,10 @@ impl ServerMetrics {
 pub struct Server {
     project: ProjectId,
     config: ServerConfig,
+    policy: RetryPolicy,
     controller: Box<dyn Controller>,
     queue: CommandQueue,
-    running: HashMap<CommandId, (WorkerId, Command, Instant)>,
+    running: HashMap<CommandId, InFlight>,
     /// When each queued command entered the queue (dispatch latency).
     queued_at: HashMap<CommandId, Instant>,
     workers: HashMap<WorkerId, WorkerState>,
@@ -121,6 +197,8 @@ pub struct Server {
     finished: Option<serde_json::Value>,
     commands_completed: u64,
     commands_requeued: u64,
+    commands_dropped: u64,
+    stale_results_dropped: u64,
     workers_lost: u64,
     bytes_received: u64,
     metrics: Option<ServerMetrics>,
@@ -139,6 +217,7 @@ impl Server {
         Server {
             project,
             config,
+            policy: config.retry_policy(),
             controller,
             queue: CommandQueue::new(),
             running: HashMap::new(),
@@ -151,6 +230,8 @@ impl Server {
             finished: None,
             commands_completed: 0,
             commands_requeued: 0,
+            commands_dropped: 0,
+            stale_results_dropped: 0,
             workers_lost: 0,
             bytes_received: 0,
             metrics,
@@ -199,9 +280,253 @@ impl Server {
             result: self.finished.unwrap_or(serde_json::Value::Null),
             commands_completed: self.commands_completed,
             commands_requeued: self.commands_requeued,
+            commands_dropped: self.commands_dropped,
+            stale_results_dropped: self.stale_results_dropped,
             workers_lost: self.workers_lost,
             bytes_received: self.bytes_received,
             wall: t0.elapsed(),
+        }
+    }
+
+    /// The lifecycle phase (and attempt epoch) a command is currently
+    /// in, or `None` once it reached a terminal phase and was forgotten.
+    fn phase_of(&self, id: CommandId) -> Option<(Phase, u32)> {
+        if let Some(inflight) = self.running.get(&id) {
+            return Some((Phase::Dispatched, inflight.epoch()));
+        }
+        self.queue.get(id).map(|cmd| (Phase::Queued, cmd.attempts))
+    }
+
+    /// The single lifecycle transition function. Every message path —
+    /// dispatch, completion, command error, watchdog orphaning,
+    /// controller cancel — funnels through here, so invariants
+    /// (exactly-once controller accounting, checkpoint clearing on
+    /// terminal phases, attempt budgets) live in one place.
+    ///
+    /// Returns the stamped command for `Transition::Dispatch`, `None`
+    /// otherwise.
+    fn transition(&mut self, transition: Transition) -> Option<Command> {
+        match transition {
+            Transition::Dispatch { mut cmd, worker } => {
+                debug_assert!(Phase::Queued.can_transition(Phase::Dispatched));
+                let now = Instant::now();
+                cmd.attempts += 1;
+                cmd.not_before = None;
+                if let Some(enqueued) = self.queued_at.remove(&cmd.id) {
+                    if let Some(m) = &self.metrics {
+                        m.dispatch_latency
+                            .record(now.duration_since(enqueued).as_secs_f64());
+                    }
+                }
+                if let Some(m) = &self.metrics {
+                    m.dispatched.inc();
+                    m.record(Event::CommandDispatched {
+                        command: cmd.id.0,
+                        worker: worker.0,
+                    });
+                }
+                self.running.insert(
+                    cmd.id,
+                    InFlight {
+                        worker,
+                        dispatched_at: now,
+                        cmd: cmd.clone(),
+                    },
+                );
+                Some(cmd)
+            }
+
+            Transition::Complete { output } => {
+                let id = output.command;
+                let phase = self.phase_of(id);
+                match lifecycle::judge_success(phase, output.epoch) {
+                    Verdict::DropStale => {
+                        self.drop_stale_result(id, output.epoch, "duplicate completion");
+                        return None;
+                    }
+                    Verdict::Accept => {
+                        let inflight = self.running.remove(&id).expect("judged Dispatched");
+                        self.complete(output, Some(inflight.dispatched_at));
+                    }
+                    Verdict::AcceptCancelQueued => {
+                        // A resurrected worker delivered the original
+                        // attempt's result while the re-queued duplicate
+                        // sat in the queue: take the result, cancel the
+                        // duplicate so it cannot run (and finish) again.
+                        debug_assert!(Phase::Queued.can_transition(Phase::Completed));
+                        self.queue.remove(id);
+                        self.queued_at.remove(&id);
+                        self.monitor
+                            .log(format!("{id} completed by resurrected worker; queued duplicate cancelled"));
+                        self.complete(output, None);
+                    }
+                    Verdict::AcceptCancelRunning => {
+                        // Result from a stale attempt while a newer
+                        // attempt runs: the work is identical, so take
+                        // the first result and forget the runner — its
+                        // eventual result will judge as a duplicate.
+                        self.running.remove(&id);
+                        self.monitor.log(format!(
+                            "{id} completed by stale attempt; running duplicate's result will be dropped"
+                        ));
+                        self.complete(output, None);
+                    }
+                }
+                None
+            }
+
+            Transition::Fault { command, worker, kind, epoch, error } => {
+                if let Some(epoch) = epoch {
+                    if lifecycle::judge_error(self.phase_of(command), epoch) == Verdict::DropStale
+                    {
+                        self.drop_stale_result(command, epoch, "stale error report");
+                        return None;
+                    }
+                }
+                let Some(inflight) = self.running.remove(&command) else {
+                    // Watchdog faults always target running commands;
+                    // error reports were judged above.
+                    debug_assert!(epoch.is_none(), "judged error must be running");
+                    return None;
+                };
+                debug_assert!(Phase::Dispatched.can_transition(match kind {
+                    FaultKind::Error => Phase::Errored,
+                    FaultKind::WorkerLost => Phase::Orphaned,
+                }));
+                let mut cmd = inflight.cmd;
+                let attempts = cmd.attempts;
+
+                if kind == FaultKind::Error {
+                    let error = error.as_deref().unwrap_or("unknown error");
+                    self.monitor
+                        .log(format!("{command} failed on {worker}: {error}"));
+                    self.monitor.update(|s| s.commands_failed += 1);
+                    if let Some(m) = &self.metrics {
+                        m.failed.inc();
+                        m.record(Event::CommandFailed {
+                            command: command.0,
+                            worker: worker.0,
+                            error: error.to_string(),
+                        });
+                    }
+                }
+
+                match self.policy.on_fault(kind, attempts) {
+                    Disposition::Retry { delay } => {
+                        // Re-queue with the latest shared-filesystem
+                        // checkpoint so the next attempt resumes instead
+                        // of restarting (§2.3), under an error backoff
+                        // embargo so a deterministic failure cannot burn
+                        // the whole budget in milliseconds.
+                        let now = Instant::now();
+                        cmd.checkpoint = self.shared_fs.checkpoint(command);
+                        cmd.not_before = (!delay.is_zero()).then(|| now + delay);
+                        if let Some(m) = &self.metrics {
+                            m.requeued.inc();
+                            if kind == FaultKind::Error {
+                                m.retry_backoff.record(delay.as_secs_f64());
+                            }
+                            m.record(Event::CommandRequeued {
+                                command: command.0,
+                                attempts: attempts as u64,
+                                had_checkpoint: cmd.checkpoint.is_some(),
+                            });
+                        }
+                        self.queued_at.insert(command, now);
+                        self.queue.enqueue(cmd);
+                        self.commands_requeued += 1;
+                        if kind == FaultKind::WorkerLost {
+                            let actions = self.controller.on_event(ControllerEvent::WorkerFailed {
+                                worker,
+                                requeued: Some(command),
+                            });
+                            self.apply_actions(actions);
+                        }
+                    }
+                    Disposition::Drop => {
+                        // Terminal: clear the checkpoint, tell the
+                        // controller this command will never finish.
+                        self.shared_fs.clear(command);
+                        self.queued_at.remove(&command);
+                        self.commands_dropped += 1;
+                        self.monitor
+                            .log(format!("{command} dropped after {attempts} attempts"));
+                        if let Some(m) = &self.metrics {
+                            m.dropped.inc();
+                            m.record(Event::CommandDropped {
+                                command: command.0,
+                                attempts: attempts as u64,
+                            });
+                        }
+                        let reason = match kind {
+                            FaultKind::Error => DropReason::Error,
+                            FaultKind::WorkerLost => DropReason::WorkerLost,
+                        };
+                        if kind == FaultKind::WorkerLost {
+                            let actions = self.controller.on_event(ControllerEvent::WorkerFailed {
+                                worker,
+                                requeued: None,
+                            });
+                            self.apply_actions(actions);
+                        }
+                        let actions = self.controller.on_event(ControllerEvent::CommandDropped {
+                            command,
+                            attempts,
+                            reason,
+                        });
+                        self.apply_actions(actions);
+                    }
+                }
+                None
+            }
+
+            Transition::Cancel { command } => {
+                self.queue.remove(command);
+                self.queued_at.remove(&command);
+                // A re-queued command may carry a checkpoint from an
+                // earlier attempt; cancelling is terminal, so drop it.
+                self.shared_fs.clear(command);
+                None
+            }
+        }
+    }
+
+    /// Accept a completion: clear the checkpoint, account, notify the
+    /// controller — exactly once per command, by construction (the
+    /// judge sends every later result to `drop_stale_result`).
+    fn complete(&mut self, output: CommandOutput, dispatched_at: Option<Instant>) {
+        self.shared_fs.clear(output.command);
+        self.queued_at.remove(&output.command);
+        self.commands_completed += 1;
+        self.bytes_received += output.bytes;
+        if let Some(m) = &self.metrics {
+            m.completed.inc();
+            m.bytes_received.add(output.bytes);
+            if let Some(at) = dispatched_at {
+                m.turnaround.record(at.elapsed().as_secs_f64());
+            }
+            m.record(Event::CommandCompleted {
+                command: output.command.0,
+                worker: output.worker.0,
+                wall_secs: output.wall_secs,
+            });
+        }
+        let actions = self
+            .controller
+            .on_event(ControllerEvent::CommandFinished(&output));
+        self.apply_actions(actions);
+    }
+
+    fn drop_stale_result(&mut self, id: CommandId, epoch: u32, what: &str) {
+        self.stale_results_dropped += 1;
+        self.monitor
+            .log(format!("{id}: {what} (epoch {epoch}) dropped"));
+        if let Some(m) = &self.metrics {
+            m.stale_results.inc();
+            m.record(Event::StaleResultDropped {
+                command: id.0,
+                epoch: epoch as u64,
+            });
         }
     }
 
@@ -229,85 +554,64 @@ impl Server {
                     return; // unannounced worker: ignore
                 };
                 // A presumed-dead worker asking for work is evidently
-                // alive: resurrect it (its old commands were re-queued;
-                // duplicate completions are deduplicated).
-                if !ws.alive {
-                    ws.alive = true;
-                }
+                // alive: resurrect it. Its old commands were re-queued;
+                // any results it still delivers are deduplicated by
+                // attempt epoch in `transition`.
+                let was_dead = !ws.alive;
+                ws.alive = true;
                 ws.last_heartbeat = Instant::now();
-                let ws = self.workers.get(&worker).expect("just fetched");
-                let mut load = self.queue.match_workload(&ws.desc);
-                let now = Instant::now();
-                for cmd in load.iter_mut() {
-                    cmd.attempts += 1;
-                    if let Some(m) = &self.metrics {
-                        m.dispatched.inc();
-                        if let Some(enqueued) = self.queued_at.remove(&cmd.id) {
-                            m.dispatch_latency
-                                .record(now.duration_since(enqueued).as_secs_f64());
-                        }
-                        m.record(Event::CommandDispatched {
-                            command: cmd.id.0,
-                            worker: worker.0,
-                        });
-                    } else {
-                        self.queued_at.remove(&cmd.id);
-                    }
-                    self.running.insert(cmd.id, (worker, cmd.clone(), now));
+                let desc = ws.desc.clone();
+                let reply = ws.reply.clone();
+                if was_dead {
+                    self.resurrect(worker);
                 }
-                let reply = if load.is_empty() {
+                let matched = self.queue.match_workload(&desc, Instant::now());
+                let mut load = Vec::with_capacity(matched.len());
+                for cmd in matched {
+                    let stamped = self
+                        .transition(Transition::Dispatch { cmd, worker })
+                        .expect("dispatch returns the stamped command");
+                    load.push(stamped);
+                }
+                let reply_msg = if load.is_empty() {
                     ToWorker::NoWork
                 } else {
                     ToWorker::Workload(load)
                 };
-                let _ = ws.reply.send(reply);
+                let _ = reply.send(reply_msg);
             }
             ToServer::Completed { output } => {
-                let Some((_, _, dispatched_at)) = self.running.remove(&output.command) else {
-                    // Duplicate (e.g. a presumed-dead worker delivered
-                    // late): the first result won.
-                    return;
-                };
-                self.shared_fs.clear(output.command);
-                self.commands_completed += 1;
-                self.bytes_received += output.bytes;
-                if let Some(m) = &self.metrics {
-                    m.completed.inc();
-                    m.bytes_received.add(output.bytes);
-                    m.turnaround.record(dispatched_at.elapsed().as_secs_f64());
-                    m.record(Event::CommandCompleted {
-                        command: output.command.0,
-                        worker: output.worker.0,
-                        wall_secs: output.wall_secs,
-                    });
-                }
-                let actions = self
-                    .controller
-                    .on_event(ControllerEvent::CommandFinished(&output));
-                self.apply_actions(actions);
+                self.transition(Transition::Complete { output });
             }
-            ToServer::CommandError { worker, project: _, command, error } => {
-                self.monitor
-                    .log(format!("{command} failed on {worker}: {error}"));
-                self.monitor.update(|s| s.commands_failed += 1);
-                if let Some(m) = &self.metrics {
-                    m.failed.inc();
-                    m.record(Event::CommandFailed {
-                        command: command.0,
-                        worker: worker.0,
-                        error,
-                    });
-                }
-                self.running.remove(&command);
+            ToServer::CommandError { worker, project: _, command, epoch, error } => {
+                self.transition(Transition::Fault {
+                    command,
+                    worker,
+                    kind: FaultKind::Error,
+                    epoch: Some(epoch),
+                    error: Some(error),
+                });
             }
             ToServer::Heartbeat { worker } => {
                 if let Some(ws) = self.workers.get_mut(&worker) {
                     ws.last_heartbeat = Instant::now();
                     // Heartbeats resurrect workers that were presumed
                     // dead during a long controller step.
+                    let was_dead = !ws.alive;
                     ws.alive = true;
+                    if was_dead {
+                        self.resurrect(worker);
+                    }
                 }
             }
+        }
+    }
+
+    fn resurrect(&mut self, worker: WorkerId) {
+        self.monitor
+            .log(format!("{worker} resurrected after presumed loss"));
+        if let Some(m) = &self.metrics {
+            m.record(Event::WorkerResurrected { worker: worker.0 });
         }
     }
 
@@ -332,34 +636,17 @@ impl Server {
             let orphaned: Vec<CommandId> = self
                 .running
                 .iter()
-                .filter(|(_, (w, _, _))| *w == worker)
+                .filter(|(_, inflight)| inflight.worker == worker)
                 .map(|(&c, _)| c)
                 .collect();
-            for cmd_id in orphaned {
-                let (_, mut cmd, _) = self.running.remove(&cmd_id).expect("listed");
-                let requeued = if cmd.attempts < self.config.max_attempts {
-                    cmd.checkpoint = self.shared_fs.checkpoint(cmd_id);
-                    if let Some(m) = &self.metrics {
-                        m.requeued.inc();
-                        m.record(Event::CommandRequeued {
-                            command: cmd_id.0,
-                            attempts: cmd.attempts as u64,
-                            had_checkpoint: cmd.checkpoint.is_some(),
-                        });
-                    }
-                    self.queued_at.insert(cmd_id, Instant::now());
-                    self.queue.enqueue(cmd);
-                    self.commands_requeued += 1;
-                    Some(cmd_id)
-                } else {
-                    self.monitor
-                        .log(format!("{cmd_id} dropped after {} attempts", cmd.attempts));
-                    None
-                };
-                let actions = self
-                    .controller
-                    .on_event(ControllerEvent::WorkerFailed { worker, requeued });
-                self.apply_actions(actions);
+            for command in orphaned {
+                self.transition(Transition::Fault {
+                    command,
+                    worker,
+                    kind: FaultKind::WorkerLost,
+                    epoch: None,
+                    error: None,
+                });
             }
         }
     }
@@ -377,8 +664,7 @@ impl Server {
                     }
                 }
                 Action::Cancel(id) => {
-                    self.queue.remove(id);
-                    self.queued_at.remove(&id);
+                    self.transition(Transition::Cancel { command: id });
                 }
                 Action::FinishProject { result } => {
                     self.finished = Some(result);
@@ -394,9 +680,10 @@ impl Server {
         let queued = self.queue.len();
         let running = self.running.len();
         let connected = self.workers.values().filter(|w| w.alive).count();
-        let (completed, requeued, lost, bytes) = (
+        let (completed, requeued, dropped, lost, bytes) = (
             self.commands_completed,
             self.commands_requeued,
+            self.commands_dropped,
             self.workers_lost,
             self.bytes_received,
         );
@@ -406,6 +693,7 @@ impl Server {
             s.workers_connected = connected;
             s.commands_completed = completed;
             s.commands_requeued = requeued;
+            s.commands_dropped = dropped;
             s.workers_lost = lost;
             s.bytes_received = bytes;
         });

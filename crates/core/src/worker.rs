@@ -10,8 +10,7 @@ use crate::command::CommandOutput;
 use crate::resources::{Platform, Resources, WorkerDescription};
 use copernicus_telemetry::{buckets, labels, names, Telemetry};
 use crossbeam::channel::{bounded, Sender};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -45,18 +44,71 @@ impl Default for WorkerConfig {
     }
 }
 
+/// Shutdown gate shared between the worker loop and its heartbeat
+/// ticker. The ticker parks on a condvar with the heartbeat interval as
+/// timeout, so closing the gate wakes it *immediately* — joining a
+/// worker costs microseconds instead of a full heartbeat period.
+#[derive(Default)]
+struct Gate {
+    closed: Mutex<bool>,
+    wake: Condvar,
+}
+
+impl Gate {
+    /// Signal shutdown and wake every parked waiter.
+    fn close(&self) {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.wake.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        *self.closed.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Park for up to `timeout`; returns `true` if the gate is closed
+    /// (shutdown), `false` on an ordinary tick.
+    fn wait(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut closed = self.closed.lock().unwrap_or_else(|e| e.into_inner());
+        while !*closed {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .wake
+                .wait_timeout(closed, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            closed = guard;
+        }
+        true
+    }
+}
+
 /// Handle to a spawned worker thread.
 pub struct WorkerHandle {
     pub id: WorkerId,
     thread: JoinHandle<()>,
     heartbeat: JoinHandle<()>,
+    gate: Arc<Gate>,
 }
 
 impl WorkerHandle {
     /// Wait for the worker to exit (after server shutdown or crash).
+    /// The heartbeat ticker is woken through the shutdown gate, so this
+    /// returns as soon as the worker loop ends rather than after a
+    /// trailing heartbeat sleep.
     pub fn join(self) {
         let _ = self.thread.join();
+        // The loop closed the gate on exit; closing again is a no-op but
+        // guards against a worker thread that panicked before closing.
+        self.gate.close();
         let _ = self.heartbeat.join();
+    }
+
+    /// Whether the worker loop has exited (crashed or shut down).
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
     }
 }
 
@@ -67,32 +119,38 @@ pub fn spawn_worker(
     registry: ExecutorRegistry,
     server: Sender<ToServer>,
 ) -> WorkerHandle {
-    let alive = Arc::new(AtomicBool::new(true));
+    let gate = Arc::new(Gate::default());
 
     // Heartbeat ticker: a separate thread so a long-running command does
     // not silence the worker (mirrors the real client's design).
     let heartbeat = {
-        let alive = alive.clone();
+        let gate = gate.clone();
         let server = server.clone();
         let interval = config.heartbeat_interval;
         std::thread::spawn(move || {
-            while alive.load(Ordering::Relaxed) {
+            while !gate.is_closed() {
                 if server.send(ToServer::Heartbeat { worker: id }).is_err() {
                     break;
                 }
-                std::thread::sleep(interval);
+                if gate.wait(interval) {
+                    break;
+                }
             }
         })
     };
 
-    let thread = std::thread::spawn(move || {
-        worker_loop(id, config, registry, server, alive);
-    });
+    let thread = {
+        let gate = gate.clone();
+        std::thread::spawn(move || {
+            worker_loop(id, config, registry, server, &gate);
+        })
+    };
 
     WorkerHandle {
         id,
         thread,
         heartbeat,
+        gate,
     }
 }
 
@@ -101,7 +159,7 @@ fn worker_loop(
     config: WorkerConfig,
     registry: ExecutorRegistry,
     server: Sender<ToServer>,
-    alive: Arc<AtomicBool>,
+    gate: &Gate,
 ) {
     let (reply_tx, reply_rx) = bounded::<ToWorker>(4);
     let desc = WorkerDescription {
@@ -117,7 +175,7 @@ fn worker_loop(
         })
         .is_err()
     {
-        alive.store(false, Ordering::Relaxed);
+        gate.close();
         return;
     }
 
@@ -133,6 +191,7 @@ fn worker_loop(
                             worker: id,
                             project: cmd.project,
                             command: cmd.id,
+                            epoch: cmd.attempts,
                             error: format!("no executable for '{}'", cmd.command_type),
                         });
                         continue;
@@ -166,12 +225,13 @@ fn worker_loop(
                             // Die silently: no report, no more heartbeats.
                             break 'outer;
                         }
-                        Err(ExecError::BadPayload(e)) => {
+                        Err(err @ (ExecError::BadPayload(_) | ExecError::Failed(_))) => {
                             let _ = server.send(ToServer::CommandError {
                                 worker: id,
                                 project: cmd.project,
                                 command: cmd.id,
-                                error: e,
+                                epoch: cmd.attempts,
+                                error: err.report().unwrap_or("unknown").to_string(),
                             });
                         }
                     }
@@ -183,5 +243,5 @@ fn worker_loop(
             Ok(ToWorker::Shutdown) | Err(_) => break,
         }
     }
-    alive.store(false, Ordering::Relaxed);
+    gate.close();
 }

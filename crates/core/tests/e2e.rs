@@ -181,6 +181,18 @@ impl Controller for CrashyController {
                 self.failures_seen += 1;
                 vec![]
             }
+            // Not expected in this test; counted as done so a regression
+            // fails the completion assert instead of hanging the project.
+            ControllerEvent::CommandDropped { .. } => {
+                self.done += 1;
+                if self.done == self.n {
+                    vec![Action::FinishProject {
+                        result: json!({ "failures_seen": self.failures_seen }),
+                    }]
+                } else {
+                    vec![]
+                }
+            }
         }
     }
 }
@@ -205,16 +217,28 @@ fn worker_crash_is_detected_and_command_resumes_from_checkpoint() {
             heartbeat_interval: Duration::from_millis(30),
             watchdog_period: Duration::from_millis(15),
             max_attempts: 5,
+            ..ServerConfig::default()
         },
         ..RuntimeConfig::default()
     };
-    let result = run_project(Box::new(controller), md_registry(&model), config);
+    let running = start_project(Box::new(controller), md_registry(&model), config);
+    let shared_fs = running.shared_fs.clone();
+    let result = running.join();
 
     assert_eq!(result.commands_completed, 3, "all commands must complete");
     assert_eq!(result.workers_lost, 1, "exactly one worker died");
     assert_eq!(result.commands_requeued, 1, "its command was re-queued");
+    assert_eq!(result.commands_dropped, 0);
     let report = result.result;
     assert_eq!(report["failures_seen"], 1);
+    // Terminal transitions must retire checkpoints: the shared filesystem
+    // ends empty even though the crashed command deposited checkpoints.
+    assert_eq!(
+        shared_fs.n_checkpoints(),
+        0,
+        "leaked checkpoints for {:?}",
+        shared_fs.checkpointed_commands()
+    );
 }
 
 #[test]

@@ -23,10 +23,19 @@ pub enum Event {
     CommandFailed { command: u64, worker: u64, error: String },
     /// The watchdog re-queued a command after losing its worker.
     CommandRequeued { command: u64, attempts: u64, had_checkpoint: bool },
+    /// A command exhausted its attempt budget and left the lifecycle
+    /// without a result; the controller was told it will never finish.
+    CommandDropped { command: u64, attempts: u64 },
+    /// A result (completion or error) arrived carrying a stale attempt
+    /// epoch, or for a command already in a terminal state, and was
+    /// discarded so the controller's accounting stays exactly-once.
+    StaleResultDropped { command: u64, epoch: u64 },
     /// A worker registered with the server.
     WorkerAnnounced { worker: u64, cores: u64 },
     /// The heartbeat watchdog declared a worker dead.
     WorkerLost { worker: u64 },
+    /// A worker presumed dead spoke again and was marked alive.
+    WorkerResurrected { worker: u64 },
     /// An executor deposited a checkpoint on the shared filesystem.
     CheckpointWritten { command: u64, bytes: u64 },
     /// The MSM controller finished clustering a generation.
@@ -51,8 +60,11 @@ impl Event {
             Event::CommandCompleted { .. } => "command_completed",
             Event::CommandFailed { .. } => "command_failed",
             Event::CommandRequeued { .. } => "command_requeued",
+            Event::CommandDropped { .. } => "command_dropped",
+            Event::StaleResultDropped { .. } => "stale_result_dropped",
             Event::WorkerAnnounced { .. } => "worker_announced",
             Event::WorkerLost { .. } => "worker_lost",
+            Event::WorkerResurrected { .. } => "worker_resurrected",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::GenerationClustered { .. } => "generation_clustered",
             Event::SpanBegin { .. } => "span_begin",
@@ -93,10 +105,16 @@ impl Event {
                     .set("attempts", *attempts)
                     .set("had_checkpoint", *had_checkpoint);
             }
+            Event::CommandDropped { command, attempts } => {
+                obj.set("command", *command).set("attempts", *attempts);
+            }
+            Event::StaleResultDropped { command, epoch } => {
+                obj.set("command", *command).set("epoch", *epoch);
+            }
             Event::WorkerAnnounced { worker, cores } => {
                 obj.set("worker", *worker).set("cores", *cores);
             }
-            Event::WorkerLost { worker } => {
+            Event::WorkerLost { worker } | Event::WorkerResurrected { worker } => {
                 obj.set("worker", *worker);
             }
             Event::CheckpointWritten { command, bytes } => {
@@ -145,11 +163,20 @@ impl Event {
                 attempts: u("attempts")?,
                 had_checkpoint: matches!(obj.get("had_checkpoint"), Some(Json::Bool(true))),
             },
+            "command_dropped" => Event::CommandDropped {
+                command: u("command")?,
+                attempts: u("attempts")?,
+            },
+            "stale_result_dropped" => Event::StaleResultDropped {
+                command: u("command")?,
+                epoch: u("epoch")?,
+            },
             "worker_announced" => Event::WorkerAnnounced {
                 worker: u("worker")?,
                 cores: u("cores")?,
             },
             "worker_lost" => Event::WorkerLost { worker: u("worker")? },
+            "worker_resurrected" => Event::WorkerResurrected { worker: u("worker")? },
             "checkpoint_written" => Event::CheckpointWritten {
                 command: u("command")?,
                 bytes: u("bytes")?,
@@ -453,8 +480,11 @@ mod tests {
             attempts: 2,
             had_checkpoint: true,
         });
+        j.record(Event::CommandDropped { command: 3, attempts: 5 });
+        j.record(Event::StaleResultDropped { command: 3, epoch: 1 });
         j.record(Event::WorkerAnnounced { worker: 2, cores: 8 });
         j.record(Event::WorkerLost { worker: 2 });
+        j.record(Event::WorkerResurrected { worker: 2 });
         j.record(Event::CheckpointWritten { command: 3, bytes: 512 });
         j.record(Event::GenerationClustered {
             generation: 1,

@@ -38,6 +38,13 @@ pub mod names {
     pub const COMMANDS_COMPLETED: &str = "commands_completed";
     pub const COMMANDS_FAILED: &str = "commands_failed";
     pub const COMMANDS_REQUEUED: &str = "commands_requeued";
+    /// Commands that exhausted their attempt budget and were dropped.
+    pub const COMMANDS_DROPPED: &str = "commands_dropped";
+    /// Results (completions or errors) discarded as duplicates of an
+    /// already-accepted result or as carrying a stale attempt epoch.
+    pub const STALE_RESULTS_DROPPED: &str = "stale_results_dropped";
+    /// Backoff delay applied before re-queueing an errored command (s).
+    pub const RETRY_BACKOFF: &str = "retry_backoff_secs";
     pub const WORKERS_CONNECTED: &str = "workers_connected";
     pub const WORKERS_LOST: &str = "workers_lost";
     pub const QUEUE_DEPTH: &str = "queue_depth";
