@@ -9,58 +9,72 @@
 //! first one with matching commands wins, completions are routed back to
 //! the server that issued the command, and heartbeats reach every
 //! server. Workers are shut down once every project has finished.
+//!
+//! To its workers the broker *is* a server: it consumes messages
+//! through a [`ServerTransport`] like any server does. Upstream it
+//! plays worker to each real server, holding one proxy
+//! [`ChannelWorkerTransport`] per (server, worker) pair so each
+//! server's replies come back tagged with the worker they belong to.
 
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::messages::{ToServer, ToWorker};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::transport::{
+    channel, ChannelHub, ChannelWorkerTransport, ServerRecvError, ServerTransport, WorkerRecvError,
+    WorkerTransport,
+};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one upstream offer waits between liveness checks. A server
+/// deep in a controller step (clustering) can take arbitrarily long to
+/// answer; the broker just keeps waiting unless the link closes.
+const OFFER_PATIENCE: Duration = Duration::from_secs(1);
 
 struct ServerLink {
-    to_server: Sender<ToServer>,
-    /// Per-worker proxy reply channels (broker-side receivers).
-    proxies: HashMap<WorkerId, (Sender<ToWorker>, Receiver<ToWorker>)>,
+    hub: ChannelHub,
+    /// Per-worker proxy transports (broker plays worker to the server).
+    proxies: HashMap<WorkerId, ChannelWorkerTransport>,
     /// Finished or disconnected.
     done: bool,
-}
-
-struct WorkerEntry {
-    reply: Sender<ToWorker>,
 }
 
 /// The relay. Create with [`spawn_broker`].
 pub struct Broker {
     servers: Vec<ServerLink>,
-    workers: HashMap<WorkerId, WorkerEntry>,
     /// Which server issued each in-flight command. Command ids are only
     /// unique per project, so the key includes the project.
     command_owner: HashMap<(ProjectId, CommandId), usize>,
     /// Rotates the first server tried, for fairness between projects.
     next_first: usize,
-    inbox: Receiver<ToServer>,
+    /// The worker-facing side: the broker is the workers' "server".
+    transport: Box<dyn ServerTransport>,
 }
 
 impl Broker {
-    fn new(servers: Vec<Sender<ToServer>>, inbox: Receiver<ToServer>) -> Self {
+    fn new(servers: Vec<ChannelHub>, transport: Box<dyn ServerTransport>) -> Self {
         Broker {
             servers: servers
                 .into_iter()
-                .map(|to_server| ServerLink {
-                    to_server,
+                .map(|hub| ServerLink {
+                    hub,
                     proxies: HashMap::new(),
                     done: false,
                 })
                 .collect(),
-            workers: HashMap::new(),
             command_owner: HashMap::new(),
             next_first: 0,
-            inbox,
+            transport,
         }
     }
 
     fn run(mut self) {
-        while let Ok(msg) = self.inbox.recv() {
-            self.handle(msg);
+        loop {
+            match self.transport.recv_timeout(Duration::from_millis(100)) {
+                Ok(msg) => self.handle(msg),
+                Err(ServerRecvError::Timeout) => {}
+                Err(ServerRecvError::Closed) => break,
+            }
         }
     }
 
@@ -84,15 +98,13 @@ impl Broker {
             }
         }
         match msg {
-            ToServer::Announce { worker, desc, reply } => {
+            ToServer::Announce { worker, desc } => {
                 for link in self.servers.iter_mut().filter(|s| !s.done) {
-                    let proxy = unbounded::<ToWorker>();
-                    if link
-                        .to_server
-                        .send(ToServer::Announce {
+                    let mut proxy = link.hub.attach(worker);
+                    if proxy
+                        .announce(ToServer::Announce {
                             worker,
                             desc: desc.clone(),
-                            reply: proxy.0.clone(),
                         })
                         .is_err()
                     {
@@ -101,13 +113,8 @@ impl Broker {
                     }
                     link.proxies.insert(worker, proxy);
                 }
-                self.workers.insert(worker, WorkerEntry { reply });
             }
             ToServer::RequestWork { worker } => {
-                let Some(entry) = self.workers.get(&worker) else {
-                    return;
-                };
-                let worker_reply = entry.reply.clone();
                 let n = self.servers.len();
                 let first = self.next_first;
                 self.next_first = (self.next_first + 1) % n.max(1);
@@ -131,7 +138,7 @@ impl Broker {
                             for cmd in &cmds {
                                 self.command_owner.insert((cmd.project, cmd.id), idx);
                             }
-                            let _ = worker_reply.send(ToWorker::Workload(cmds));
+                            self.transport.send(worker, ToWorker::Workload(cmds));
                             return;
                         }
                         Offer::NoWork => continue,
@@ -141,16 +148,19 @@ impl Broker {
                         }
                     }
                 }
-                let _ = worker_reply.send(if self.all_done() {
-                    ToWorker::Shutdown
-                } else {
-                    ToWorker::NoWork
-                });
+                self.transport.send(
+                    worker,
+                    if self.all_done() {
+                        ToWorker::Shutdown
+                    } else {
+                        ToWorker::NoWork
+                    },
+                );
             }
             ToServer::Completed { output } => {
                 if let Some(idx) = self.command_owner.remove(&(output.project, output.command)) {
                     if self.servers[idx]
-                        .to_server
+                        .hub
                         .send(ToServer::Completed { output })
                         .is_err()
                     {
@@ -158,9 +168,15 @@ impl Broker {
                     }
                 }
             }
-            ToServer::CommandError { worker, project, command, epoch, error } => {
+            ToServer::CommandError {
+                worker,
+                project,
+                command,
+                epoch,
+                error,
+            } => {
                 if let Some(idx) = self.command_owner.remove(&(project, command)) {
-                    let _ = self.servers[idx].to_server.send(ToServer::CommandError {
+                    let _ = self.servers[idx].hub.send(ToServer::CommandError {
                         worker,
                         project,
                         command,
@@ -171,11 +187,7 @@ impl Broker {
             }
             ToServer::Heartbeat { worker } => {
                 for link in self.servers.iter_mut().filter(|s| !s.done) {
-                    if link
-                        .to_server
-                        .send(ToServer::Heartbeat { worker })
-                        .is_err()
-                    {
+                    if link.hub.send(ToServer::Heartbeat { worker }).is_err() {
                         link.done = true;
                     }
                 }
@@ -186,24 +198,23 @@ impl Broker {
     /// Offer a work request to one server and wait for its verdict.
     fn offer_to_server(&mut self, idx: usize, worker: WorkerId) -> Offer {
         let link = &mut self.servers[idx];
-        let Some((_, proxy_rx)) = link.proxies.get(&worker) else {
+        let Some(proxy) = link.proxies.get_mut(&worker) else {
             return Offer::NoWork; // worker never announced to this server
         };
-        if link
-            .to_server
-            .send(ToServer::RequestWork { worker })
-            .is_err()
-        {
+        if proxy.send(ToServer::RequestWork { worker }).is_err() {
             return Offer::ServerDone;
         }
-        // Drain until the reply to *this* request arrives; unsolicited
+        // Wait until the reply to *this* request arrives; unsolicited
         // Shutdown broadcasts mean the server finished its project.
         loop {
-            match proxy_rx.recv() {
+            match proxy.recv_timeout(OFFER_PATIENCE) {
                 Ok(ToWorker::Workload(cmds)) => return Offer::Workload(cmds),
                 Ok(ToWorker::NoWork) => return Offer::NoWork,
                 Ok(ToWorker::Shutdown) => return Offer::ServerDone,
-                Err(_) => return Offer::ServerDone,
+                // Channel transports never reconnect, and a slow server
+                // is just slow: keep waiting.
+                Err(WorkerRecvError::Timeout) | Err(WorkerRecvError::Reconnected) => {}
+                Err(WorkerRecvError::Closed(_)) => return Offer::ServerDone,
             }
         }
     }
@@ -215,17 +226,15 @@ enum Offer {
     ServerDone,
 }
 
-/// Spawn a broker thread in front of the given server inboxes. Returns
-/// the sender workers should talk to, plus the broker's join handle
+/// Spawn a broker thread in front of the given server hubs. Returns
+/// the hub workers should attach to, plus the broker's join handle
 /// (exits when all workers have disconnected).
-pub fn spawn_broker(
-    servers: Vec<Sender<ToServer>>,
-) -> (Sender<ToServer>, JoinHandle<()>) {
+pub fn spawn_broker(servers: Vec<ChannelHub>) -> (ChannelHub, JoinHandle<()>) {
     assert!(!servers.is_empty(), "broker needs at least one server");
-    let (tx, rx) = unbounded();
-    let broker = Broker::new(servers, rx);
+    let (hub, transport) = channel();
+    let broker = Broker::new(servers, Box::new(transport));
     let handle = std::thread::spawn(move || broker.run());
-    (tx, handle)
+    (hub, handle)
 }
 
 #[cfg(test)]
@@ -260,11 +269,7 @@ mod tests {
                 ControllerEvent::ProjectStarted => {
                     let specs = (0..self.n)
                         .map(|_| {
-                            CommandSpec::new(
-                                "sleep",
-                                Resources::new(1, 1),
-                                json!({ "millis": 2 }),
-                            )
+                            CommandSpec::new("sleep", Resources::new(1, 1), json!({ "millis": 2 }))
                         })
                         .collect();
                     vec![Action::Spawn(specs)]
@@ -286,10 +291,10 @@ mod tests {
 
     #[test]
     fn one_worker_pool_serves_two_projects() {
-        let mut server_txs = Vec::new();
+        let mut server_hubs = Vec::new();
         let mut server_threads = Vec::new();
         for (p, label) in ["alpha", "beta"].iter().enumerate() {
-            let (tx, rx) = unbounded();
+            let (hub, transport) = channel();
             let server = Server::new(
                 ProjectId(p as u64),
                 Box::new(SleepProject {
@@ -300,25 +305,26 @@ mod tests {
                 ServerConfig::default(),
                 SharedFs::new(),
                 Monitor::new(),
-                rx,
+                Box::new(transport),
             );
-            server_txs.push(tx);
+            server_hubs.push(hub);
             server_threads.push(std::thread::spawn(move || server.run()));
         }
-        let (broker_tx, broker_handle) = spawn_broker(server_txs);
+        let (broker_hub, broker_handle) = spawn_broker(server_hubs);
 
         let registry = ExecutorRegistry::new().with(Arc::new(SleepExecutor));
         let workers: Vec<_> = (0..3)
             .map(|i| {
+                let id = WorkerId(i);
                 spawn_worker(
-                    WorkerId(i),
+                    id,
                     WorkerConfig::default(),
                     registry.clone(),
-                    broker_tx.clone(),
+                    Box::new(broker_hub.attach(id)),
                 )
             })
             .collect();
-        drop(broker_tx);
+        drop(broker_hub);
 
         let mut results: Vec<_> = server_threads
             .into_iter()

@@ -1,0 +1,615 @@
+//! Binary codec for the worker↔server message set.
+//!
+//! Frames on the wire (see `copernicus-wire`) carry opaque byte
+//! payloads; this module maps [`ToServer`]/[`ToWorker`] to and from
+//! those bytes. The encoding is deliberately boring: big-endian
+//! fixed-width integers, `u32`-length-prefixed UTF-8 strings, one tag
+//! byte per enum variant, one presence byte per `Option`. JSON payload
+//! fields ([`serde_json::Value`]) travel as JSON text in a
+//! length-prefixed string — they are already schema-free, so re-encoding
+//! them binary would buy nothing.
+//!
+//! Decoding is total: any input — truncated, oversized counts, garbage
+//! tags, invalid UTF-8, malformed JSON, trailing bytes — yields a
+//! [`CodecError`], never a panic or an allocation proportional to a
+//! length field the buffer cannot actually back.
+
+use crate::command::{Command, CommandOutput};
+use crate::ids::{CommandId, ProjectId, WorkerId};
+use crate::messages::{ToServer, ToWorker};
+use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
+use std::fmt;
+
+/// Why a byte buffer could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(what: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(what.into()))
+}
+
+// ---------------------------------------------------------------- writer
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_i32(out: &mut Vec<u8>, v: i32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_json(out: &mut Vec<u8>, v: &serde_json::Value) {
+    // `Value` serialization cannot fail; the fallback keeps this path
+    // infallible without an unwrap in release builds.
+    let text = serde_json::to_string(v).unwrap_or_else(|_| "null".to_string());
+    put_str(out, &text);
+}
+
+fn put_opt_json(out: &mut Vec<u8>, v: &Option<serde_json::Value>) {
+    match v {
+        Some(v) => {
+            put_u8(out, 1);
+            put_json(out, v);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+// ---------------------------------------------------------------- reader
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return err(format!(
+                "truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32, CodecError> {
+        Ok(i32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(u64::from_be_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    fn str(&mut self) -> Result<String, CodecError> {
+        let len = self.u32()? as usize;
+        // The length is attacker-controlled until checked against the
+        // buffer; `take` rejects anything the buffer cannot back, so no
+        // allocation happens on a lying prefix.
+        let bytes = self.take(len)?;
+        match std::str::from_utf8(bytes) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("string field is not valid UTF-8"),
+        }
+    }
+
+    fn json(&mut self) -> Result<serde_json::Value, CodecError> {
+        let text = self.str()?;
+        let value: serde_json::Value = match serde_json::from_str(&text) {
+            Ok(v) => v,
+            Err(_) => return err("JSON field does not parse"),
+        };
+        Ok(value)
+    }
+
+    fn opt_json(&mut self) -> Result<Option<serde_json::Value>, CodecError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.json()?)),
+            other => err(format!("bad Option presence byte {other}")),
+        }
+    }
+
+    /// A collection length. Every element costs at least one byte, so a
+    /// count exceeding the remaining buffer is a lie — reject it before
+    /// reserving anything.
+    fn count(&mut self) -> Result<usize, CodecError> {
+        let n = self.u32()? as usize;
+        if n > self.remaining() {
+            return err(format!(
+                "count {n} exceeds remaining {} bytes",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return err(format!("{} trailing bytes after message", self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------- components
+
+fn put_platform(out: &mut Vec<u8>, p: Platform) {
+    put_u8(
+        out,
+        match p {
+            Platform::Smp => 0,
+            Platform::Mpi => 1,
+            Platform::Gpu => 2,
+        },
+    );
+}
+
+fn get_platform(r: &mut Reader) -> Result<Platform, CodecError> {
+    match r.u8()? {
+        0 => Ok(Platform::Smp),
+        1 => Ok(Platform::Mpi),
+        2 => Ok(Platform::Gpu),
+        other => err(format!("unknown platform tag {other}")),
+    }
+}
+
+fn put_resources(out: &mut Vec<u8>, res: &Resources) {
+    put_u64(out, res.cores as u64);
+    put_u64(out, res.memory_mb);
+}
+
+fn get_resources(r: &mut Reader) -> Result<Resources, CodecError> {
+    let cores = r.u64()?;
+    let memory_mb = r.u64()?;
+    if cores == 0 {
+        return err("resources with zero cores");
+    }
+    Ok(Resources {
+        cores: cores as usize,
+        memory_mb,
+    })
+}
+
+fn put_description(out: &mut Vec<u8>, desc: &WorkerDescription) {
+    put_platform(out, desc.platform);
+    put_resources(out, &desc.resources);
+    put_u32(out, desc.executables.len() as u32);
+    for e in &desc.executables {
+        put_str(out, &e.command_type);
+        put_platform(out, e.platform);
+        put_str(out, &e.version);
+    }
+}
+
+fn get_description(r: &mut Reader) -> Result<WorkerDescription, CodecError> {
+    let platform = get_platform(r)?;
+    let resources = get_resources(r)?;
+    let n = r.count()?;
+    let mut executables = Vec::new();
+    for _ in 0..n {
+        let command_type = r.str()?;
+        let platform = get_platform(r)?;
+        let version = r.str()?;
+        executables.push(ExecutableSpec {
+            command_type,
+            platform,
+            version,
+        });
+    }
+    Ok(WorkerDescription {
+        platform,
+        resources,
+        executables,
+    })
+}
+
+fn put_command(out: &mut Vec<u8>, cmd: &Command) {
+    put_u64(out, cmd.id.0);
+    put_u64(out, cmd.project.0);
+    put_str(out, &cmd.command_type);
+    put_i32(out, cmd.priority);
+    put_resources(out, &cmd.required);
+    put_json(out, &cmd.payload);
+    put_opt_json(out, &cmd.checkpoint);
+    put_u32(out, cmd.attempts);
+    // `not_before` is process-local scheduling state; like serde's
+    // `#[serde(skip)]`, it does not cross the wire.
+}
+
+fn get_command(r: &mut Reader) -> Result<Command, CodecError> {
+    Ok(Command {
+        id: CommandId(r.u64()?),
+        project: ProjectId(r.u64()?),
+        command_type: r.str()?,
+        priority: r.i32()?,
+        required: get_resources(r)?,
+        payload: r.json()?,
+        checkpoint: r.opt_json()?,
+        attempts: r.u32()?,
+        not_before: None,
+    })
+}
+
+fn put_output(out: &mut Vec<u8>, o: &CommandOutput) {
+    put_u64(out, o.command.0);
+    put_u64(out, o.project.0);
+    put_u64(out, o.worker.0);
+    put_str(out, &o.command_type);
+    put_u32(out, o.epoch);
+    put_json(out, &o.data);
+    put_f64(out, o.wall_secs);
+    put_u64(out, o.bytes);
+}
+
+fn get_output(r: &mut Reader) -> Result<CommandOutput, CodecError> {
+    Ok(CommandOutput {
+        command: CommandId(r.u64()?),
+        project: ProjectId(r.u64()?),
+        worker: WorkerId(r.u64()?),
+        command_type: r.str()?,
+        epoch: r.u32()?,
+        data: r.json()?,
+        wall_secs: r.f64()?,
+        bytes: r.u64()?,
+    })
+}
+
+// ------------------------------------------------------------- messages
+
+const TS_ANNOUNCE: u8 = 0;
+const TS_REQUEST_WORK: u8 = 1;
+const TS_COMPLETED: u8 = 2;
+const TS_COMMAND_ERROR: u8 = 3;
+const TS_HEARTBEAT: u8 = 4;
+
+/// Encode a worker→server message.
+pub fn encode_to_server(msg: &ToServer) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ToServer::Announce { worker, desc } => {
+            put_u8(&mut out, TS_ANNOUNCE);
+            put_u64(&mut out, worker.0);
+            put_description(&mut out, desc);
+        }
+        ToServer::RequestWork { worker } => {
+            put_u8(&mut out, TS_REQUEST_WORK);
+            put_u64(&mut out, worker.0);
+        }
+        ToServer::Completed { output } => {
+            put_u8(&mut out, TS_COMPLETED);
+            put_output(&mut out, output);
+        }
+        ToServer::CommandError {
+            worker,
+            project,
+            command,
+            epoch,
+            error,
+        } => {
+            put_u8(&mut out, TS_COMMAND_ERROR);
+            put_u64(&mut out, worker.0);
+            put_u64(&mut out, project.0);
+            put_u64(&mut out, command.0);
+            put_u32(&mut out, *epoch);
+            put_str(&mut out, error);
+        }
+        ToServer::Heartbeat { worker } => {
+            put_u8(&mut out, TS_HEARTBEAT);
+            put_u64(&mut out, worker.0);
+        }
+    }
+    out
+}
+
+/// Decode a worker→server message. Total over arbitrary input.
+pub fn decode_to_server(buf: &[u8]) -> Result<ToServer, CodecError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        TS_ANNOUNCE => ToServer::Announce {
+            worker: WorkerId(r.u64()?),
+            desc: get_description(&mut r)?,
+        },
+        TS_REQUEST_WORK => ToServer::RequestWork {
+            worker: WorkerId(r.u64()?),
+        },
+        TS_COMPLETED => ToServer::Completed {
+            output: get_output(&mut r)?,
+        },
+        TS_COMMAND_ERROR => ToServer::CommandError {
+            worker: WorkerId(r.u64()?),
+            project: ProjectId(r.u64()?),
+            command: CommandId(r.u64()?),
+            epoch: r.u32()?,
+            error: r.str()?,
+        },
+        TS_HEARTBEAT => ToServer::Heartbeat {
+            worker: WorkerId(r.u64()?),
+        },
+        other => return err(format!("unknown ToServer tag {other}")),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+const TW_WORKLOAD: u8 = 0;
+const TW_NO_WORK: u8 = 1;
+const TW_SHUTDOWN: u8 = 2;
+
+/// Encode a server→worker message.
+pub fn encode_to_worker(msg: &ToWorker) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ToWorker::Workload(commands) => {
+            put_u8(&mut out, TW_WORKLOAD);
+            put_u32(&mut out, commands.len() as u32);
+            for cmd in commands {
+                put_command(&mut out, cmd);
+            }
+        }
+        ToWorker::NoWork => put_u8(&mut out, TW_NO_WORK),
+        ToWorker::Shutdown => put_u8(&mut out, TW_SHUTDOWN),
+    }
+    out
+}
+
+/// Decode a server→worker message. Total over arbitrary input.
+pub fn decode_to_worker(buf: &[u8]) -> Result<ToWorker, CodecError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        TW_WORKLOAD => {
+            let n = r.count()?;
+            let mut commands = Vec::new();
+            for _ in 0..n {
+                commands.push(get_command(&mut r)?);
+            }
+            ToWorker::Workload(commands)
+        }
+        TW_NO_WORK => ToWorker::NoWork,
+        TW_SHUTDOWN => ToWorker::Shutdown,
+        other => return err(format!("unknown ToWorker tag {other}")),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandSpec;
+    use serde_json::json;
+
+    fn sample_command() -> Command {
+        let mut cmd = Command::from_spec(
+            CommandId(7),
+            ProjectId(3),
+            CommandSpec::new("mdrun", Resources::new(4, 2048), json!({"steps": 5000}))
+                .with_priority(-2),
+        );
+        cmd.attempts = 2;
+        cmd.checkpoint = Some(json!({"frame": 120}));
+        cmd
+    }
+
+    fn sample_desc() -> WorkerDescription {
+        WorkerDescription {
+            platform: Platform::Gpu,
+            resources: Resources::new(8, 16_000),
+            executables: vec![
+                ExecutableSpec::new("mdrun", Platform::Gpu, "4.5"),
+                ExecutableSpec::new("fep-sample", Platform::Smp, "1.0"),
+            ],
+        }
+    }
+
+    #[test]
+    fn to_server_variants_roundtrip() {
+        let msgs = vec![
+            ToServer::Announce {
+                worker: WorkerId(11),
+                desc: sample_desc(),
+            },
+            ToServer::RequestWork {
+                worker: WorkerId(5),
+            },
+            ToServer::Completed {
+                output: CommandOutput::new(
+                    &sample_command(),
+                    WorkerId(9),
+                    json!({"frames": vec![1.5, 2.5]}),
+                    0.25,
+                ),
+            },
+            ToServer::CommandError {
+                worker: WorkerId(1),
+                project: ProjectId(2),
+                command: CommandId(3),
+                epoch: 4,
+                error: "bad payload: missing \"steps\"".to_string(),
+            },
+            ToServer::Heartbeat {
+                worker: WorkerId(42),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode_to_server(&msg);
+            let back = decode_to_server(&bytes).expect("roundtrip");
+            // Compare via re-encoding: the message types don't carry
+            // PartialEq, and byte equality is the stronger property here.
+            assert_eq!(encode_to_server(&back), bytes);
+            assert_eq!(back.worker(), msg.worker());
+        }
+    }
+
+    #[test]
+    fn to_worker_variants_roundtrip() {
+        let msgs = vec![
+            ToWorker::Workload(vec![sample_command()]),
+            ToWorker::Workload(vec![]),
+            ToWorker::NoWork,
+            ToWorker::Shutdown,
+        ];
+        for msg in msgs {
+            let bytes = encode_to_worker(&msg);
+            let back = decode_to_worker(&bytes).expect("roundtrip");
+            assert_eq!(encode_to_worker(&back), bytes);
+        }
+    }
+
+    #[test]
+    fn workload_preserves_command_fields() {
+        let bytes = encode_to_worker(&ToWorker::Workload(vec![sample_command()]));
+        let ToWorker::Workload(cmds) = decode_to_worker(&bytes).unwrap() else {
+            panic!("wrong variant");
+        };
+        let cmd = &cmds[0];
+        assert_eq!(cmd.id, CommandId(7));
+        assert_eq!(cmd.project, ProjectId(3));
+        assert_eq!(cmd.command_type, "mdrun");
+        assert_eq!(cmd.priority, -2);
+        assert_eq!(cmd.attempts, 2);
+        assert_eq!(cmd.payload["steps"], 5000);
+        assert_eq!(cmd.checkpoint.as_ref().unwrap()["frame"], 120);
+        assert!(cmd.not_before.is_none());
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking() {
+        let full = encode_to_server(&ToServer::Announce {
+            worker: WorkerId(11),
+            desc: sample_desc(),
+        });
+        for len in 0..full.len() {
+            assert!(
+                decode_to_server(&full[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+        let full = encode_to_worker(&ToWorker::Workload(vec![sample_command()]));
+        for len in 0..full.len() {
+            assert!(
+                decode_to_worker(&full[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_and_bad_tags_are_rejected() {
+        assert!(decode_to_server(&[]).is_err());
+        assert!(decode_to_server(&[99]).is_err());
+        assert!(decode_to_worker(&[200, 1, 2, 3]).is_err());
+        let noise: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(37)).collect();
+        assert!(decode_to_server(&noise).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_server(&ToServer::Heartbeat {
+            worker: WorkerId(1),
+        });
+        bytes.push(0);
+        assert!(decode_to_server(&bytes).is_err());
+    }
+
+    #[test]
+    fn lying_count_is_rejected_before_allocation() {
+        // Workload claiming u32::MAX commands backed by no bytes.
+        let mut bytes = vec![TW_WORKLOAD];
+        bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(decode_to_worker(&bytes).is_err());
+    }
+
+    #[test]
+    fn lying_string_length_is_rejected() {
+        // CommandError whose error-string length claims far more than
+        // the buffer holds.
+        let mut bytes = vec![TS_COMMAND_ERROR];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&3u64.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&0xFFFF_FFFFu32.to_be_bytes());
+        bytes.extend_from_slice(b"short");
+        assert!(decode_to_server(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut bytes = vec![TS_COMMAND_ERROR];
+        bytes.extend_from_slice(&1u64.to_be_bytes());
+        bytes.extend_from_slice(&2u64.to_be_bytes());
+        bytes.extend_from_slice(&3u64.to_be_bytes());
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        bytes.extend_from_slice(&2u32.to_be_bytes());
+        bytes.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(decode_to_server(&bytes).is_err());
+    }
+
+    #[test]
+    fn malformed_json_payload_is_rejected() {
+        // Hand-build a Completed whose data field holds non-JSON text.
+        let mut bytes = vec![TS_COMPLETED];
+        bytes.extend_from_slice(&1u64.to_be_bytes()); // command
+        bytes.extend_from_slice(&2u64.to_be_bytes()); // project
+        bytes.extend_from_slice(&3u64.to_be_bytes()); // worker
+        bytes.extend_from_slice(&1u32.to_be_bytes()); // command_type len
+        bytes.push(b't');
+        bytes.extend_from_slice(&0u32.to_be_bytes()); // epoch
+        bytes.extend_from_slice(&7u32.to_be_bytes()); // data len
+        bytes.extend_from_slice(b"not js("); // malformed JSON
+        bytes.extend_from_slice(&0.5f64.to_bits().to_be_bytes());
+        bytes.extend_from_slice(&0u64.to_be_bytes());
+        assert!(decode_to_server(&bytes).is_err());
+    }
+}

@@ -106,7 +106,9 @@ pub struct CommandOutput {
 
 impl CommandOutput {
     pub fn new(cmd: &Command, worker: WorkerId, data: serde_json::Value, wall_secs: f64) -> Self {
-        let bytes = serde_json::to_vec(&data).map(|v| v.len() as u64).unwrap_or(0);
+        let bytes = serde_json::to_vec(&data)
+            .map(|v| v.len() as u64)
+            .unwrap_or(0);
         CommandOutput {
             command: cmd.id,
             project: cmd.project,

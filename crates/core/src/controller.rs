@@ -88,16 +88,16 @@ mod tests {
             match event {
                 ControllerEvent::ProjectStarted => {
                     let specs = (0..self.remaining)
-                        .map(|i| {
-                            CommandSpec::new("noop", Resources::new(1, 1), json!({ "i": i }))
-                        })
+                        .map(|i| CommandSpec::new("noop", Resources::new(1, 1), json!({ "i": i })))
                         .collect();
                     vec![Action::Spawn(specs)]
                 }
                 ControllerEvent::CommandFinished(_) => {
                     self.remaining -= 1;
                     if self.remaining == 0 {
-                        vec![Action::FinishProject { result: json!("done") }]
+                        vec![Action::FinishProject {
+                            result: json!("done"),
+                        }]
                     } else {
                         vec![]
                     }
@@ -106,7 +106,9 @@ mod tests {
                 ControllerEvent::CommandDropped { .. } => {
                     self.remaining -= 1;
                     if self.remaining == 0 {
-                        vec![Action::FinishProject { result: json!("done") }]
+                        vec![Action::FinishProject {
+                            result: json!("done"),
+                        }]
                     } else {
                         vec![]
                     }

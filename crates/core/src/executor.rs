@@ -79,7 +79,8 @@ impl ExecutorRegistry {
 
     pub fn register(&mut self, executor: Arc<dyn CommandExecutor>) -> &mut Self {
         for spec in executor.executables() {
-            self.by_type.insert(spec.command_type.clone(), executor.clone());
+            self.by_type
+                .insert(spec.command_type.clone(), executor.clone());
         }
         self
     }
@@ -146,10 +147,7 @@ mod tests {
 
     #[test]
     fn error_report_text() {
-        assert_eq!(
-            ExecError::BadPayload("bad".into()).report(),
-            Some("bad")
-        );
+        assert_eq!(ExecError::BadPayload("bad".into()).report(), Some("bad"));
         assert_eq!(ExecError::Failed("io".into()).report(), Some("io"));
         assert_eq!(ExecError::SimulatedCrash.report(), None);
     }

@@ -207,9 +207,7 @@ impl CommandExecutor for ChaosExecutor {
 
     fn execute(&self, ctx: ExecContext<'_>) -> Result<serde_json::Value, ExecError> {
         let n = self.log.bump(ctx.command.id);
-        let roll = mix(
-            mix(self.profile.seed ^ ctx.command.id.0).wrapping_add(n as u64),
-        ) % 100;
+        let roll = mix(mix(self.profile.seed ^ ctx.command.id.0).wrapping_add(n as u64)) % 100;
         if roll < self.profile.error_pct as u64 {
             return Err(ExecError::Failed(format!("chaos error (roll {roll})")));
         }
@@ -251,14 +249,8 @@ mod tests {
         let log = ExecutionLog::new();
         let exec = FlakyExecutor::new(2, log.clone());
         let c = cmd(1, FlakyExecutor::COMMAND_TYPE, 1);
-        assert!(matches!(
-            exec.execute(ctx(&c)),
-            Err(ExecError::Failed(_))
-        ));
-        assert!(matches!(
-            exec.execute(ctx(&c)),
-            Err(ExecError::Failed(_))
-        ));
+        assert!(matches!(exec.execute(ctx(&c)), Err(ExecError::Failed(_))));
+        assert!(matches!(exec.execute(ctx(&c)), Err(ExecError::Failed(_))));
         let out = exec.execute(ctx(&c)).expect("third execution succeeds");
         assert_eq!(out["executions"], 3);
         assert_eq!(log.executions(CommandId(1)), 3);
@@ -282,7 +274,11 @@ mod tests {
 
     #[test]
     fn chaos_is_deterministic_per_seed() {
-        let profile = ChaosProfile { seed: 42, error_pct: 30, crash_pct: 20 };
+        let profile = ChaosProfile {
+            seed: 42,
+            error_pct: 30,
+            crash_pct: 20,
+        };
         let run = || {
             let exec = ChaosExecutor::new(profile, ExecutionLog::new());
             (0..50)

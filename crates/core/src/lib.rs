@@ -25,6 +25,7 @@
 //! ```
 
 pub mod broker;
+pub mod codec;
 pub mod command;
 pub mod controller;
 pub mod executor;
@@ -40,6 +41,8 @@ pub mod queue;
 pub mod resources;
 pub mod runtime;
 pub mod server;
+pub mod tcp;
+pub mod transport;
 pub mod worker;
 
 pub use broker::spawn_broker;
@@ -51,14 +54,27 @@ pub use executor::{
 };
 pub use faults::{ChaosExecutor, ChaosProfile, CrashingExecutor, ExecutionLog, FlakyExecutor};
 pub use fs::SharedFs;
-pub use lifecycle::{Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
+pub use lifecycle::{Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 pub use monitor::{Monitor, ProjectStatus, LOG_CAPACITY};
 pub use queue::CommandQueue;
 pub use resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
 pub use runtime::{run_project, start_project, RunningProject, RuntimeConfig};
-pub use server::{ProjectResult, Server, ServerConfig};
+pub use server::{ConfigError, ProjectResult, Server, ServerConfig, ServerConfigBuilder};
+pub use tcp::{
+    connect_workers, serve_project, ServingProject, TcpServerTransport, TcpWorkerTransport,
+};
+pub use transport::{
+    ChannelHub, ServerRecvError, ServerTransport, TransportClosed, WorkerRecvError, WorkerSender,
+    WorkerTransport,
+};
 pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
+
+/// The framed, authenticated TCP link layer, re-exported so binaries
+/// and tests reach `AuthKey`, `ReconnectPolicy` etc. without a direct
+/// dependency on `copernicus-wire`.
+pub use copernicus_wire as wire;
+pub use copernicus_wire::AuthKey;
 
 /// The structured telemetry layer (metrics registry, event journal,
 /// step-timing sinks), re-exported for downstream crates and binaries.
@@ -73,8 +89,8 @@ pub mod prelude {
         CommandExecutor, ExecutorRegistry, FepSampleExecutor, MdRunExecutor, SleepExecutor,
     };
     pub use crate::fs::SharedFs;
-    pub use crate::lifecycle::{Phase, RetryPolicy};
     pub use crate::ids::{CommandId, ProjectId, WorkerId};
+    pub use crate::lifecycle::{Phase, RetryPolicy};
     pub use crate::monitor::{Monitor, ProjectStatus};
     pub use crate::plugins::{
         FepController, FepProjectConfig, FepProjectReport, MsmController, MsmProjectConfig,
@@ -83,6 +99,9 @@ pub mod prelude {
     pub use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
     pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};
     pub use crate::server::{ProjectResult, ServerConfig};
+    pub use crate::tcp::{connect_workers, serve_project};
+    pub use crate::transport::{ServerTransport, WorkerTransport};
     pub use crate::worker::WorkerConfig;
     pub use copernicus_telemetry::Telemetry;
+    pub use copernicus_wire::AuthKey;
 }

@@ -217,11 +217,15 @@ mod tests {
         let p = policy();
         assert_eq!(
             p.on_fault(FaultKind::Error, 1),
-            Disposition::Retry { delay: Duration::from_millis(100) }
+            Disposition::Retry {
+                delay: Duration::from_millis(100)
+            }
         );
         assert_eq!(
             p.on_fault(FaultKind::Error, 3),
-            Disposition::Retry { delay: Duration::from_millis(400) }
+            Disposition::Retry {
+                delay: Duration::from_millis(400)
+            }
         );
         assert_eq!(p.on_fault(FaultKind::Error, 4), Disposition::Drop);
         assert_eq!(p.on_fault(FaultKind::Error, 9), Disposition::Drop);
@@ -232,7 +236,9 @@ mod tests {
         let p = policy();
         assert_eq!(
             p.on_fault(FaultKind::WorkerLost, 3),
-            Disposition::Retry { delay: Duration::ZERO }
+            Disposition::Retry {
+                delay: Duration::ZERO
+            }
         );
         assert_eq!(p.on_fault(FaultKind::WorkerLost, 4), Disposition::Drop);
     }
@@ -240,7 +246,10 @@ mod tests {
     #[test]
     fn success_judging_is_exactly_once() {
         // Normal path: epoch matches the dispatched attempt.
-        assert_eq!(judge_success(Some((Phase::Dispatched, 2)), 2), Verdict::Accept);
+        assert_eq!(
+            judge_success(Some((Phase::Dispatched, 2)), 2),
+            Verdict::Accept
+        );
         // Resurrected worker finishing the original attempt while the
         // duplicate is queued: accept and cancel the duplicate.
         assert_eq!(
@@ -258,8 +267,14 @@ mod tests {
 
     #[test]
     fn error_judging_requires_exact_epoch() {
-        assert_eq!(judge_error(Some((Phase::Dispatched, 2)), 2), Verdict::Accept);
-        assert_eq!(judge_error(Some((Phase::Dispatched, 2)), 1), Verdict::DropStale);
+        assert_eq!(
+            judge_error(Some((Phase::Dispatched, 2)), 2),
+            Verdict::Accept
+        );
+        assert_eq!(
+            judge_error(Some((Phase::Dispatched, 2)), 1),
+            Verdict::DropStale
+        );
         assert_eq!(judge_error(Some((Phase::Queued, 1)), 1), Verdict::DropStale);
         assert_eq!(judge_error(None, 1), Verdict::DropStale);
     }

@@ -167,7 +167,9 @@ impl CommandExecutor for MdRunExecutor {
                 };
                 let value = serde_json::to_value(&cp).expect("checkpoint serializes");
                 if let Some(t) = ctx.telemetry {
-                    let bytes = serde_json::to_vec(&value).map(|v| v.len() as u64).unwrap_or(0);
+                    let bytes = serde_json::to_vec(&value)
+                        .map(|v| v.len() as u64)
+                        .unwrap_or(0);
                     fs.store_checkpoint(ctx.command.id, value);
                     t.registry()
                         .histogram(
@@ -177,10 +179,7 @@ impl CommandExecutor for MdRunExecutor {
                         )
                         .record_duration(t0.elapsed());
                     t.registry()
-                        .counter(
-                            names::CHECKPOINT_BYTES,
-                            copernicus_telemetry::Labels::new(),
-                        )
+                        .counter(names::CHECKPOINT_BYTES, copernicus_telemetry::Labels::new())
                         .add(bytes);
                     t.journal().record(Event::CheckpointWritten {
                         command: ctx.command.id.0,
@@ -285,7 +284,9 @@ impl CommandExecutor for FepSampleExecutor {
         let spec: FepSampleSpec = serde_json::from_value(ctx.command.payload.clone())
             .map_err(|e| ExecError::BadPayload(e.to_string()))?;
         if spec.record_interval == 0 {
-            return Err(ExecError::BadPayload("record_interval must be positive".into()));
+            return Err(ExecError::BadPayload(
+                "record_interval must be positive".into(),
+            ));
         }
 
         let mut top = Topology::new();
@@ -295,11 +296,7 @@ impl CommandExecutor for FepSampleExecutor {
             vec![(0, Vec3::ZERO)],
             spec.k_sample,
         )));
-        let integrator = Langevin::new(
-            spec.temperature,
-            1.0,
-            rng_for_stream(spec.seed, 0xfe9),
-        );
+        let integrator = Langevin::new(spec.temperature, 1.0, rng_for_stream(spec.seed, 0xfe9));
         let mut sim = Simulation::new(state, ff, Box::new(integrator), 0.02, 3);
 
         sim.run(spec.equil_steps);
@@ -313,7 +310,11 @@ impl CommandExecutor for FepSampleExecutor {
             }
         });
 
-        Ok(serde_json::to_value(FepSampleOutput { works, tag: spec.tag }).expect("output serializes"))
+        Ok(serde_json::to_value(FepSampleOutput {
+            works,
+            tag: spec.tag,
+        })
+        .expect("output serializes"))
     }
 }
 

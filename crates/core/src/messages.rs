@@ -1,23 +1,29 @@
 //! Wire messages between workers and the project server.
 //!
-//! In the real deployment these travel as SSL request/response pairs over
-//! the overlay network (modeled in the `netsim` crate); inside one
-//! process they travel over crossbeam channels. The message set is the
-//! same either way.
+//! Both enums are **pure data**: `Clone + Serialize + Deserialize`,
+//! no channels, no handles. Reply routing is the transport's job (see
+//! [`crate::transport`]): in-process transports pair each worker with a
+//! crossbeam channel, the TCP transport pairs it with an authenticated
+//! connection. The message set is identical either way, which is what
+//! lets one `Server`/`Worker` implementation run in both modes (§2.2 of
+//! the paper: the same request/response protocol over SSL links or
+//! inside one process).
 
 use crate::command::{Command, CommandOutput};
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::resources::WorkerDescription;
-use crossbeam::channel::Sender;
+use serde::{Deserialize, Serialize};
 
 /// Messages a worker (or client) sends to a server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ToServer {
     /// A worker presents itself: platform, resources, executables
-    /// (§2.3), plus its reply channel.
+    /// (§2.3). Where replies go is transport state, not message
+    /// content — the transport learns the return path from the
+    /// connection (or channel) this arrived on.
     Announce {
         worker: WorkerId,
         desc: WorkerDescription,
-        reply: Sender<ToWorker>,
     },
     /// Ask for a workload.
     RequestWork { worker: WorkerId },
@@ -39,8 +45,23 @@ pub enum ToServer {
     Heartbeat { worker: WorkerId },
 }
 
+impl ToServer {
+    /// The worker this message speaks for. Transports use it to bind a
+    /// connection to a worker identity (and the watchdog to a liveness
+    /// record) without peeking into variant internals.
+    pub fn worker(&self) -> WorkerId {
+        match self {
+            ToServer::Announce { worker, .. }
+            | ToServer::RequestWork { worker }
+            | ToServer::CommandError { worker, .. }
+            | ToServer::Heartbeat { worker } => *worker,
+            ToServer::Completed { output } => output.worker,
+        }
+    }
+}
+
 /// Messages a server sends to a worker.
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum ToWorker {
     /// Commands to execute.
     Workload(Vec<Command>),

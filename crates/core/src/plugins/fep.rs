@@ -95,9 +95,8 @@ impl FepController {
         k_sample: f64,
         k_eval: f64,
     ) -> CommandSpec {
-        let seed = mdsim::rng::splitmix64(
-            self.config.seed ^ ((window as u64) << 8) ^ (reverse as u64),
-        );
+        let seed =
+            mdsim::rng::splitmix64(self.config.seed ^ ((window as u64) << 8) ^ (reverse as u64));
         let spec = FepSampleSpec {
             k_sample,
             k_eval,
@@ -163,8 +162,7 @@ impl Controller for FepController {
                 ]
             }
             ControllerEvent::CommandFinished(output) => {
-                let parsed: FepSampleOutput = match serde_json::from_value(output.data.clone())
-                {
+                let parsed: FepSampleOutput = match serde_json::from_value(output.data.clone()) {
                     Ok(p) => p,
                     Err(e) => {
                         return vec![Action::Log(format!("bad fep output: {e}"))];
@@ -186,7 +184,11 @@ impl Controller for FepController {
             ControllerEvent::WorkerFailed { worker, requeued } => vec![Action::Log(format!(
                 "worker {worker} lost; requeued: {requeued:?}"
             ))],
-            ControllerEvent::CommandDropped { command, attempts, reason } => {
+            ControllerEvent::CommandDropped {
+                command,
+                attempts,
+                reason,
+            } => {
                 // The sampling command will never deliver: settle for the
                 // works gathered so far rather than hanging the project.
                 self.outstanding -= 1;

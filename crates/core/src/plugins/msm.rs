@@ -448,8 +448,7 @@ impl MsmController {
         // Weights over active states: high weight = under-explored. Early
         // generations (unstable partitioning) use even weighting
         // regardless of the configured policy (§3.2).
-        let effective_weighting = if self.current_generation < self.config.even_until_generation
-        {
+        let effective_weighting = if self.current_generation < self.config.even_until_generation {
             Weighting::Even
         } else {
             self.config.weighting
@@ -472,9 +471,8 @@ impl MsmController {
 
         // Terminate the lineages sitting in the best-explored states
         // (lowest weight; unassignable states get weight 0).
-        let state_weight = |state: usize| -> f64 {
-            msm.active_index(state).map(|k| weights[k]).unwrap_or(0.0)
-        };
+        let state_weight =
+            |state: usize| -> f64 { msm.active_index(state).map(|k| weights[k]).unwrap_or(0.0) };
         let mut order: Vec<usize> = (0..self.lineages.len()).collect();
         order.sort_by(|&a, &b| {
             state_weight(lineage_state[a])
@@ -551,8 +549,7 @@ impl MsmController {
     fn kinetics_report(&self, msm: &MarkovStateModel) -> KineticsReport {
         let folded_states = msm.states_near(&self.model.native, self.config.folded_rmsd);
         let p0 = msm.initial_distribution();
-        let frame_ns =
-            mdsim::units::steps_to_ns(self.config.record_interval, self.model.params.dt);
+        let frame_ns = mdsim::units::steps_to_ns(self.config.record_interval, self.model.params.dt);
         let lag_ns = frame_ns * self.config.lag_frames as f64;
         let n_steps = (self.config.kinetics_horizon_ns / lag_ns).ceil().max(1.0) as usize;
         let series = propagate_series(&msm.tmatrix, &p0, n_steps);
@@ -606,7 +603,11 @@ impl Controller for MsmController {
                     "worker {worker} lost; requeued: {requeued:?}"
                 ))]
             }
-            ControllerEvent::CommandDropped { command, attempts, reason } => {
+            ControllerEvent::CommandDropped {
+                command,
+                attempts,
+                reason,
+            } => {
                 // The segment will never arrive; its lineage simply does
                 // not advance this generation. Account for it so the
                 // generation barrier still closes.
@@ -656,9 +657,9 @@ mod tests {
         let mut finish: Option<serde_json::Value> = None;
 
         let apply = |actions: Vec<Action>,
-                         pending: &mut Vec<Command>,
-                         next_id: &mut u64,
-                         finish: &mut Option<serde_json::Value>| {
+                     pending: &mut Vec<Command>,
+                     next_id: &mut u64,
+                     finish: &mut Option<serde_json::Value>| {
             for a in actions {
                 match a {
                     Action::Spawn(specs) => {
@@ -719,8 +720,7 @@ mod tests {
     fn adaptive_loop_extends_and_respawns() {
         let model = Arc::new(VillinModel::hp35());
         let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-        let controller =
-            MsmController::new(model, tiny_config()).with_archive(archive.clone());
+        let controller = MsmController::new(model, tiny_config()).with_archive(archive.clone());
         let report = run_inline(controller);
         assert_eq!(report.generations.len(), 3);
         // Generation 0: 4 lineages; respawns keep the live count at 4.
@@ -733,12 +733,7 @@ mod tests {
         // Archive holds terminated + final live = 2 + 2 + 4.
         assert_eq!(archive.lock().len(), 8);
         // Surviving lineages grow: live trajectories span 3 segments.
-        let longest = archive
-            .lock()
-            .iter()
-            .map(|t| t.len())
-            .max()
-            .unwrap();
+        let longest = archive.lock().iter().map(|t| t.len()).max().unwrap();
         let frames_per_seg = (5.0 * 0.8 / 0.01 / 40.0) as usize; // 10
         assert!(
             longest >= 2 * frames_per_seg,

@@ -33,9 +33,7 @@ impl CommandQueue {
 
     /// Insert a command in priority order (stable for equal priorities).
     pub fn enqueue(&mut self, cmd: Command) {
-        let pos = self
-            .items
-            .partition_point(|c| c.priority >= cmd.priority);
+        let pos = self.items.partition_point(|c| c.priority >= cmd.priority);
         self.items.insert(pos, cmd);
     }
 

@@ -56,7 +56,11 @@ pub struct ExecutableSpec {
 }
 
 impl ExecutableSpec {
-    pub fn new(command_type: impl Into<String>, platform: Platform, version: impl Into<String>) -> Self {
+    pub fn new(
+        command_type: impl Into<String>,
+        platform: Platform,
+        version: impl Into<String>,
+    ) -> Self {
         ExecutableSpec {
             command_type: command_type.into(),
             platform,

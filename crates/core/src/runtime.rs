@@ -11,9 +11,9 @@ use crate::fs::SharedFs;
 use crate::ids::{IdGen, ProjectId, WorkerId};
 use crate::monitor::Monitor;
 use crate::server::{ProjectResult, Server, ServerConfig};
+use crate::transport;
 use crate::worker::{spawn_worker, WorkerConfig, WorkerHandle};
 use copernicus_telemetry::Telemetry;
-use crossbeam::channel::unbounded;
 use std::thread::JoinHandle;
 
 /// Runtime configuration.
@@ -66,12 +66,8 @@ pub fn start_project(
     registry: ExecutorRegistry,
     config: RuntimeConfig,
 ) -> RunningProject {
-    let (to_server, inbox) = unbounded();
-    let shared_fs = config
-        .worker
-        .shared_fs
-        .clone()
-        .unwrap_or_default();
+    let (hub, server_transport) = transport::channel();
+    let shared_fs = config.worker.shared_fs.clone().unwrap_or_default();
     let monitor = config
         .telemetry
         .clone()
@@ -83,7 +79,7 @@ pub fn start_project(
         config.server,
         shared_fs.clone(),
         monitor.clone(),
-        inbox,
+        Box::new(server_transport),
     );
     let server_thread = std::thread::spawn(move || server.run());
 
@@ -95,12 +91,8 @@ pub fn start_project(
             // and the same telemetry registry/journal.
             wc.shared_fs = Some(shared_fs.clone());
             wc.telemetry = config.telemetry.clone();
-            spawn_worker(
-                WorkerId(ids.next_u64()),
-                wc,
-                registry.clone(),
-                to_server.clone(),
-            )
+            let id = WorkerId(ids.next_u64());
+            spawn_worker(id, wc, registry.clone(), Box::new(hub.attach(id)))
         })
         .collect();
 

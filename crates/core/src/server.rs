@@ -24,14 +24,23 @@ use crate::messages::{ToServer, ToWorker};
 use crate::monitor::Monitor;
 use crate::queue::CommandQueue;
 use crate::resources::WorkerDescription;
+use crate::transport::{ServerRecvError, ServerTransport};
 use copernicus_telemetry::{buckets, names, Counter, Event, Gauge, Histogram, Labels, Telemetry};
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use copernicus_wire::AuthKey;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+///
+/// Construct through [`ServerConfig::builder`], which validates the
+/// knobs against each other (a watchdog slower than the heartbeat it
+/// polices, a zero attempt budget, a bind address without a key — all
+/// rejected at build time instead of misbehaving at runtime). Plain
+/// struct literals over `..Default::default()` still compile for
+/// test-local tweaks, but the builder is the supported front door.
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Heartbeat interval workers are expected to honour (paper default
     /// 120 s; tests use milliseconds).
@@ -46,6 +55,12 @@ pub struct ServerConfig {
     pub retry_backoff_base: Duration,
     /// Upper clamp on the error-retry backoff.
     pub retry_backoff_max: Duration,
+    /// TCP listen address for networked mode (e.g. `"0.0.0.0:7923"`,
+    /// or `"127.0.0.1:0"` for an ephemeral test port). `None` runs the
+    /// server on in-process channels only.
+    pub bind: Option<String>,
+    /// Pre-shared link key; required whenever `bind` is set.
+    pub auth_key: Option<AuthKey>,
 }
 
 impl Default for ServerConfig {
@@ -56,11 +71,20 @@ impl Default for ServerConfig {
             max_attempts: 5,
             retry_backoff_base: Duration::from_millis(200),
             retry_backoff_max: Duration::from_secs(30),
+            bind: None,
+            auth_key: None,
         }
     }
 }
 
 impl ServerConfig {
+    /// Start building a validated configuration.
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            config: ServerConfig::default(),
+        }
+    }
+
     /// The lifecycle retry policy these knobs describe.
     pub fn retry_policy(&self) -> RetryPolicy {
         RetryPolicy {
@@ -68,6 +92,99 @@ impl ServerConfig {
             backoff_base: self.retry_backoff_base,
             backoff_max: self.retry_backoff_max,
         }
+    }
+
+    /// The cross-knob invariants the builder enforces; exposed so
+    /// hand-rolled literals can opt into the same checking.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.max_attempts == 0 {
+            return Err(ConfigError(
+                "max_attempts must be at least 1 (0 would drop every command at dispatch)".into(),
+            ));
+        }
+        if self.heartbeat_interval.is_zero() {
+            return Err(ConfigError("heartbeat_interval must be non-zero".into()));
+        }
+        if self.watchdog_period.is_zero() {
+            return Err(ConfigError("watchdog_period must be non-zero".into()));
+        }
+        if self.watchdog_period > self.heartbeat_interval {
+            return Err(ConfigError(format!(
+                "watchdog_period ({:?}) must not exceed heartbeat_interval ({:?}): \
+                 a slower watchdog cannot police the heartbeat it watches",
+                self.watchdog_period, self.heartbeat_interval
+            )));
+        }
+        if self.retry_backoff_base > self.retry_backoff_max {
+            return Err(ConfigError(format!(
+                "retry_backoff_base ({:?}) exceeds retry_backoff_max ({:?})",
+                self.retry_backoff_base, self.retry_backoff_max
+            )));
+        }
+        if self.bind.is_some() && self.auth_key.is_none() {
+            return Err(ConfigError(
+                "bind is set but auth_key is not: refusing an unauthenticated listener".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A rejected [`ServerConfig`]; the message names the offending knobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid server config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`ServerConfig`] —
+/// `ServerConfig::builder().retry(policy).bind(addr, key).build()?`.
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    config: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.config.heartbeat_interval = interval;
+        self
+    }
+
+    pub fn watchdog_period(mut self, period: Duration) -> Self {
+        self.config.watchdog_period = period;
+        self
+    }
+
+    /// Set the whole fault-retry policy at once.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.config.max_attempts = policy.max_attempts;
+        self.config.retry_backoff_base = policy.backoff_base;
+        self.config.retry_backoff_max = policy.backoff_max;
+        self
+    }
+
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.config.max_attempts = attempts;
+        self
+    }
+
+    /// Serve over TCP: listen on `addr`, accept only peers holding
+    /// `key`. Taking both together makes an unauthenticated listener
+    /// unrepresentable through the builder.
+    pub fn bind(mut self, addr: impl Into<String>, key: AuthKey) -> Self {
+        self.config.bind = Some(addr.into());
+        self.config.auth_key = Some(key);
+        self
+    }
+
+    pub fn build(self) -> Result<ServerConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -90,7 +207,6 @@ pub struct ProjectResult {
 
 struct WorkerState {
     desc: WorkerDescription,
-    reply: Sender<ToWorker>,
     last_heartbeat: Instant,
     alive: bool,
 }
@@ -193,7 +309,7 @@ pub struct Server {
     shared_fs: SharedFs,
     monitor: Monitor,
     ids: IdGen,
-    inbox: Receiver<ToServer>,
+    transport: Box<dyn ServerTransport>,
     finished: Option<serde_json::Value>,
     commands_completed: u64,
     commands_requeued: u64,
@@ -211,13 +327,14 @@ impl Server {
         config: ServerConfig,
         shared_fs: SharedFs,
         monitor: Monitor,
-        inbox: Receiver<ToServer>,
+        transport: Box<dyn ServerTransport>,
     ) -> Self {
         let metrics = monitor.telemetry().cloned().map(ServerMetrics::new);
+        let policy = config.retry_policy();
         Server {
             project,
             config,
-            policy: config.retry_policy(),
+            policy,
             controller,
             queue: CommandQueue::new(),
             running: HashMap::new(),
@@ -226,7 +343,7 @@ impl Server {
             shared_fs,
             monitor,
             ids: IdGen::new(),
-            inbox,
+            transport,
             finished: None,
             commands_completed: 0,
             commands_requeued: 0,
@@ -247,22 +364,21 @@ impl Server {
         let mut last_watchdog = Instant::now();
 
         while self.finished.is_none() {
-            match self.inbox.recv_timeout(self.config.watchdog_period) {
+            match self.transport.recv_timeout(self.config.watchdog_period) {
                 Ok(msg) => self.handle(msg),
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
+                Err(ServerRecvError::Timeout) => {}
+                Err(ServerRecvError::Closed) => break,
             }
             // Drain the backlog before judging liveness: a long
             // controller step (clustering) must not turn queued-up
             // heartbeats into false worker deaths.
             while self.finished.is_none() {
-                match self.inbox.try_recv() {
-                    Ok(msg) => self.handle(msg),
-                    Err(_) => break,
+                match self.transport.try_recv() {
+                    Some(msg) => self.handle(msg),
+                    None => break,
                 }
             }
-            if self.finished.is_none() && last_watchdog.elapsed() >= self.config.watchdog_period
-            {
+            if self.finished.is_none() && last_watchdog.elapsed() >= self.config.watchdog_period {
                 self.check_heartbeats();
                 last_watchdog = Instant::now();
             }
@@ -270,9 +386,7 @@ impl Server {
         }
 
         // Tell every connected worker to exit.
-        for ws in self.workers.values() {
-            let _ = ws.reply.send(ToWorker::Shutdown);
-        }
+        self.transport.broadcast(ToWorker::Shutdown);
         self.monitor.update(|s| s.finished = true);
 
         ProjectResult {
@@ -356,8 +470,9 @@ impl Server {
                         debug_assert!(Phase::Queued.can_transition(Phase::Completed));
                         self.queue.remove(id);
                         self.queued_at.remove(&id);
-                        self.monitor
-                            .log(format!("{id} completed by resurrected worker; queued duplicate cancelled"));
+                        self.monitor.log(format!(
+                            "{id} completed by resurrected worker; queued duplicate cancelled"
+                        ));
                         self.complete(output, None);
                     }
                     Verdict::AcceptCancelRunning => {
@@ -375,10 +490,15 @@ impl Server {
                 None
             }
 
-            Transition::Fault { command, worker, kind, epoch, error } => {
+            Transition::Fault {
+                command,
+                worker,
+                kind,
+                epoch,
+                error,
+            } => {
                 if let Some(epoch) = epoch {
-                    if lifecycle::judge_error(self.phase_of(command), epoch) == Verdict::DropStale
-                    {
+                    if lifecycle::judge_error(self.phase_of(command), epoch) == Verdict::DropStale {
                         self.drop_stale_result(command, epoch, "stale error report");
                         return None;
                     }
@@ -532,7 +652,7 @@ impl Server {
 
     fn handle(&mut self, msg: ToServer) {
         match msg {
-            ToServer::Announce { worker, desc, reply } => {
+            ToServer::Announce { worker, desc } => {
                 if let Some(m) = &self.metrics {
                     m.record(Event::WorkerAnnounced {
                         worker: worker.0,
@@ -543,7 +663,6 @@ impl Server {
                     worker,
                     WorkerState {
                         desc,
-                        reply,
                         last_heartbeat: Instant::now(),
                         alive: true,
                     },
@@ -561,7 +680,6 @@ impl Server {
                 ws.alive = true;
                 ws.last_heartbeat = Instant::now();
                 let desc = ws.desc.clone();
-                let reply = ws.reply.clone();
                 if was_dead {
                     self.resurrect(worker);
                 }
@@ -578,12 +696,18 @@ impl Server {
                 } else {
                     ToWorker::Workload(load)
                 };
-                let _ = reply.send(reply_msg);
+                self.transport.send(worker, reply_msg);
             }
             ToServer::Completed { output } => {
                 self.transition(Transition::Complete { output });
             }
-            ToServer::CommandError { worker, project: _, command, epoch, error } => {
+            ToServer::CommandError {
+                worker,
+                project: _,
+                command,
+                epoch,
+                error,
+            } => {
                 self.transition(Transition::Fault {
                     command,
                     worker,
@@ -657,8 +781,7 @@ impl Server {
                 Action::Spawn(specs) => {
                     let now = Instant::now();
                     for spec in specs {
-                        let cmd =
-                            Command::from_spec(self.ids.next_command(), self.project, spec);
+                        let cmd = Command::from_spec(self.ids.next_command(), self.project, spec);
                         self.queued_at.insert(cmd.id, now);
                         self.queue.enqueue(cmd);
                     }
@@ -702,5 +825,83 @@ impl Server {
             m.running.set(running as f64);
             m.workers_connected.set(connected as f64);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_sane_defaults() {
+        let config = ServerConfig::builder().build().expect("defaults are valid");
+        assert_eq!(config.max_attempts, 5);
+        assert!(config.bind.is_none());
+    }
+
+    #[test]
+    fn builder_round_trips_a_retry_policy() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(100),
+        };
+        let config = ServerConfig::builder().retry(policy).build().unwrap();
+        let back = config.retry_policy();
+        assert_eq!(back.max_attempts, 3);
+        assert_eq!(back.backoff_base, Duration::from_millis(10));
+        assert_eq!(back.backoff_max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn builder_rejects_zero_attempt_budget() {
+        let err = ServerConfig::builder().max_attempts(0).build().unwrap_err();
+        assert!(err.0.contains("max_attempts"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_watchdog_slower_than_heartbeat() {
+        let err = ServerConfig::builder()
+            .heartbeat_interval(Duration::from_millis(100))
+            .watchdog_period(Duration::from_millis(500))
+            .build()
+            .unwrap_err();
+        assert!(err.0.contains("watchdog_period"), "{err}");
+    }
+
+    #[test]
+    fn builder_rejects_inverted_backoff_clamp() {
+        let err = ServerConfig::builder()
+            .retry(RetryPolicy {
+                max_attempts: 3,
+                backoff_base: Duration::from_secs(60),
+                backoff_max: Duration::from_secs(1),
+            })
+            .build()
+            .unwrap_err();
+        assert!(err.0.contains("retry_backoff_base"), "{err}");
+    }
+
+    #[test]
+    fn literal_with_bind_but_no_key_fails_validation() {
+        // The builder makes this unrepresentable; a hand-rolled literal
+        // is caught by the shared validate().
+        let config = ServerConfig {
+            bind: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.0.contains("auth_key"), "{err}");
+    }
+
+    #[test]
+    fn builder_bind_carries_its_key() {
+        let key = AuthKey::from_passphrase("hunter2");
+        let config = ServerConfig::builder()
+            .bind("127.0.0.1:0", key)
+            .build()
+            .unwrap();
+        assert_eq!(config.bind.as_deref(), Some("127.0.0.1:0"));
+        assert!(config.auth_key.is_some());
     }
 }

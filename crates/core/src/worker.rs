@@ -1,15 +1,25 @@
 //! The worker client: announces itself, polls for workloads, executes
 //! commands, heartbeats, and (for fault-tolerance tests) can crash on
 //! cue.
+//!
+//! The loop is written against [`WorkerTransport`], so the same code
+//! serves both in-process channel workers and TCP workers dialing a
+//! remote server. The transport differences that matter here:
+//!
+//! * a reply can *time out* (server busy in a long controller step) —
+//!   the worker simply re-requests; the server dedups by attempt epoch;
+//! * a TCP link can drop and come back ([`WorkerRecvError::Reconnected`])
+//!   — the announce was replayed by the transport, so the worker
+//!   re-requests work and carries on.
 
+use crate::command::CommandOutput;
 use crate::executor::{ExecContext, ExecError, ExecutorRegistry};
 use crate::fs::SharedFs;
 use crate::ids::WorkerId;
 use crate::messages::{ToServer, ToWorker};
-use crate::command::CommandOutput;
 use crate::resources::{Platform, Resources, WorkerDescription};
+use crate::transport::{WorkerRecvError, WorkerTransport};
 use copernicus_telemetry::{buckets, labels, names, Telemetry};
-use crossbeam::channel::{bounded, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -23,6 +33,11 @@ pub struct WorkerConfig {
     pub heartbeat_interval: Duration,
     /// Poll period while the queue is empty.
     pub poll_interval: Duration,
+    /// How long to wait for the reply to one work request before
+    /// re-requesting. Bounds how long a lost reply (dropped TCP link,
+    /// server mid-clustering) stalls the worker; duplicated requests
+    /// are safe under the server's attempt-epoch dedup.
+    pub reply_timeout: Duration,
     /// Whether this worker shares a filesystem with the server (enables
     /// checkpoint deposits).
     pub shared_fs: Option<SharedFs>,
@@ -38,6 +53,7 @@ impl Default for WorkerConfig {
             resources: Resources::new(1, 1024),
             heartbeat_interval: Duration::from_millis(100),
             poll_interval: Duration::from_millis(5),
+            reply_timeout: Duration::from_secs(30),
             shared_fs: None,
             telemetry: None,
         }
@@ -112,24 +128,26 @@ impl WorkerHandle {
     }
 }
 
-/// Spawn a worker thread serving the given executor registry.
+/// Spawn a worker thread serving the given executor registry over the
+/// given transport (in-process channel or TCP — the loop cannot tell).
 pub fn spawn_worker(
     id: WorkerId,
     config: WorkerConfig,
     registry: ExecutorRegistry,
-    server: Sender<ToServer>,
+    transport: Box<dyn WorkerTransport>,
 ) -> WorkerHandle {
     let gate = Arc::new(Gate::default());
 
     // Heartbeat ticker: a separate thread so a long-running command does
-    // not silence the worker (mirrors the real client's design).
+    // not silence the worker (mirrors the real client's design). It
+    // holds a detached sender, leaving the receiving half to the loop.
     let heartbeat = {
         let gate = gate.clone();
-        let server = server.clone();
+        let sender = transport.sender();
         let interval = config.heartbeat_interval;
         std::thread::spawn(move || {
             while !gate.is_closed() {
-                if server.send(ToServer::Heartbeat { worker: id }).is_err() {
+                if sender.send(ToServer::Heartbeat { worker: id }).is_err() {
                     break;
                 }
                 if gate.wait(interval) {
@@ -142,7 +160,7 @@ pub fn spawn_worker(
     let thread = {
         let gate = gate.clone();
         std::thread::spawn(move || {
-            worker_loop(id, config, registry, server, &gate);
+            worker_loop(id, config, registry, transport, &gate);
         })
     };
 
@@ -158,21 +176,16 @@ fn worker_loop(
     id: WorkerId,
     config: WorkerConfig,
     registry: ExecutorRegistry,
-    server: Sender<ToServer>,
+    mut transport: Box<dyn WorkerTransport>,
     gate: &Gate,
 ) {
-    let (reply_tx, reply_rx) = bounded::<ToWorker>(4);
     let desc = WorkerDescription {
         platform: config.platform,
         resources: config.resources,
         executables: registry.executables(),
     };
-    if server
-        .send(ToServer::Announce {
-            worker: id,
-            desc,
-            reply: reply_tx,
-        })
+    if transport
+        .announce(ToServer::Announce { worker: id, desc })
         .is_err()
     {
         gate.close();
@@ -180,14 +193,17 @@ fn worker_loop(
     }
 
     'outer: loop {
-        if server.send(ToServer::RequestWork { worker: id }).is_err() {
+        if transport
+            .send(ToServer::RequestWork { worker: id })
+            .is_err()
+        {
             break;
         }
-        match reply_rx.recv() {
+        match transport.recv_timeout(config.reply_timeout) {
             Ok(ToWorker::Workload(commands)) => {
                 for cmd in commands {
                     let Some(executor) = registry.lookup(&cmd.command_type) else {
-                        let _ = server.send(ToServer::CommandError {
+                        let _ = transport.send(ToServer::CommandError {
                             worker: id,
                             project: cmd.project,
                             command: cmd.id,
@@ -215,9 +231,8 @@ fn worker_loop(
                                     )
                                     .record_duration(wall);
                             }
-                            let output =
-                                CommandOutput::new(&cmd, id, data, wall.as_secs_f64());
-                            if server.send(ToServer::Completed { output }).is_err() {
+                            let output = CommandOutput::new(&cmd, id, data, wall.as_secs_f64());
+                            if transport.send(ToServer::Completed { output }).is_err() {
                                 break 'outer;
                             }
                         }
@@ -226,7 +241,7 @@ fn worker_loop(
                             break 'outer;
                         }
                         Err(err @ (ExecError::BadPayload(_) | ExecError::Failed(_))) => {
-                            let _ = server.send(ToServer::CommandError {
+                            let _ = transport.send(ToServer::CommandError {
                                 worker: id,
                                 project: cmd.project,
                                 command: cmd.id,
@@ -240,7 +255,12 @@ fn worker_loop(
             Ok(ToWorker::NoWork) => {
                 std::thread::sleep(config.poll_interval);
             }
-            Ok(ToWorker::Shutdown) | Err(_) => break,
+            Ok(ToWorker::Shutdown) => break,
+            // Reply lost or slow: re-request. A stale workload that
+            // arrives later is still executed; its results judge
+            // normally under the server's epoch dedup.
+            Err(WorkerRecvError::Timeout) | Err(WorkerRecvError::Reconnected) => continue 'outer,
+            Err(WorkerRecvError::Closed(_)) => break,
         }
     }
     gate.close();

@@ -278,7 +278,7 @@ fn heterogeneous_workers_only_get_matching_commands() {
         },
     );
 
-    let (to_server, inbox) = crossbeam::channel::unbounded();
+    let (hub, server_transport) = copernicus_core::transport::channel();
     let shared_fs = SharedFs::new();
     let monitor = Monitor::new();
     let server = copernicus_core::Server::new(
@@ -287,7 +287,7 @@ fn heterogeneous_workers_only_get_matching_commands() {
         ServerConfig::default(),
         shared_fs.clone(),
         monitor,
-        inbox,
+        Box::new(server_transport),
     );
     let server_thread = std::thread::spawn(move || server.run());
 
@@ -297,13 +297,15 @@ fn heterogeneous_workers_only_get_matching_commands() {
     for (i, reg) in [md_reg.clone(), md_reg, sleep_reg].into_iter().enumerate() {
         let mut wc = WorkerConfig::default();
         wc.shared_fs = Some(shared_fs.clone());
+        let id = WorkerId(i as u64);
         handles.push(copernicus_core::spawn_worker(
-            WorkerId(i as u64),
+            id,
             wc,
             reg,
-            to_server.clone(),
+            Box::new(hub.attach(id)),
         ));
     }
+    drop(hub);
     let result = server_thread.join().unwrap();
     for h in handles {
         h.join();

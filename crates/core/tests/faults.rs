@@ -12,19 +12,19 @@
 //!   checkpoints).
 //!
 //! Tests come in two flavours: *scripted* (the test plays the workers by
-//! hand over raw channels, controlling exact interleavings) and *pool*
-//! (real worker threads plus a supervisor that replaces crashed workers,
-//! under deterministic or seeded-chaos fault injection).
+//! hand over a worker transport, controlling exact interleavings) and
+//! *pool* (real worker threads plus a supervisor that replaces crashed
+//! workers, under deterministic or seeded-chaos fault injection).
 
 use copernicus_core::faults::{
     ChaosExecutor, ChaosProfile, CrashingExecutor, ExecutionLog, FlakyExecutor,
 };
 use copernicus_core::prelude::*;
+use copernicus_core::transport::{self, ChannelWorkerTransport};
 use copernicus_core::{
     messages::{ToServer, ToWorker},
-    spawn_worker, CommandOutput, ExecutorRegistry, Server, WorkerHandle,
+    spawn_worker, ChannelHub, CommandOutput, ExecutorRegistry, Server, WorkerHandle,
 };
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use serde_json::json;
 use std::collections::HashMap;
@@ -60,13 +60,20 @@ struct GatherController {
 impl GatherController {
     fn new(specs: Vec<CommandSpec>, accounting: Arc<Mutex<Accounting>>) -> Self {
         let n = specs.len();
-        GatherController { specs, n, seen: 0, accounting }
+        GatherController {
+            specs,
+            n,
+            seen: 0,
+            accounting,
+        }
     }
 
     fn step(&mut self) -> Vec<Action> {
         self.seen += 1;
         if self.seen == self.n {
-            vec![Action::FinishProject { result: json!("accounted") }]
+            vec![Action::FinishProject {
+                result: json!("accounted"),
+            }]
         } else {
             vec![]
         }
@@ -92,7 +99,9 @@ impl Controller for GatherController {
                     .or_insert(0) += 1;
                 self.step()
             }
-            ControllerEvent::CommandDropped { command, attempts, .. } => {
+            ControllerEvent::CommandDropped {
+                command, attempts, ..
+            } => {
                 {
                     let mut acc = self.accounting.lock();
                     let entry = acc.dropped.entry(command.0).or_insert((0, attempts));
@@ -124,6 +133,7 @@ fn fault_server_config(max_attempts: u32) -> ServerConfig {
         max_attempts,
         retry_backoff_base: Duration::from_millis(5),
         retry_backoff_max: Duration::from_millis(40),
+        ..ServerConfig::default()
     }
 }
 
@@ -156,7 +166,10 @@ fn errored_command_retries_with_backoff_and_completes_unaided() {
     let shared_fs = running.shared_fs.clone();
     let result = running.join();
 
-    assert_eq!(result.commands_completed, 4, "every flaky command must recover");
+    assert_eq!(
+        result.commands_completed, 4,
+        "every flaky command must recover"
+    );
     assert_eq!(result.commands_dropped, 0);
     // Two injected failures per command → two requeues per command.
     assert_eq!(result.commands_requeued, 8);
@@ -204,21 +217,17 @@ fn hopeless_command_is_dropped_after_exactly_max_attempts() {
     assert_eq!(shared_fs.n_checkpoints(), 0);
 }
 
-/// Hand-built project wiring: server thread plus a channel the test (or
-/// a supervisor) can spawn workers onto.
+/// Hand-built project wiring: server thread plus a hub the test (or a
+/// supervisor) can attach workers to.
 struct Rig {
-    to_server: Sender<ToServer>,
+    hub: ChannelHub,
     monitor: Monitor,
     shared_fs: SharedFs,
     server_thread: std::thread::JoinHandle<ProjectResult>,
 }
 
-fn rig(
-    specs: Vec<CommandSpec>,
-    accounting: Arc<Mutex<Accounting>>,
-    config: ServerConfig,
-) -> Rig {
-    let (to_server, inbox) = unbounded();
+fn rig(specs: Vec<CommandSpec>, accounting: Arc<Mutex<Accounting>>, config: ServerConfig) -> Rig {
+    let (hub, server_transport) = transport::channel();
     let shared_fs = SharedFs::new();
     let monitor = Monitor::new();
     let controller = GatherController::new(specs, accounting);
@@ -228,10 +237,15 @@ fn rig(
         config,
         shared_fs.clone(),
         monitor.clone(),
-        inbox,
+        Box::new(server_transport),
     );
     let server_thread = std::thread::spawn(move || server.run());
-    Rig { to_server, monitor, shared_fs, server_thread }
+    Rig {
+        hub,
+        monitor,
+        shared_fs,
+        server_thread,
+    }
 }
 
 /// Run a pool of real workers with a supervisor that replaces crashed
@@ -249,11 +263,12 @@ fn supervise_pool(rig: Rig, registry: ExecutorRegistry, pool_size: usize) -> Pro
     let mut next_id = 0u64;
     let mut pool: Vec<WorkerHandle> = Vec::new();
     let spawn_one = |pool: &mut Vec<WorkerHandle>, next_id: &mut u64| {
+        let id = WorkerId(*next_id);
         pool.push(spawn_worker(
-            WorkerId(*next_id),
+            id,
             worker_config.clone(),
             registry.clone(),
-            rig.to_server.clone(),
+            Box::new(rig.hub.attach(id)),
         ));
         *next_id += 1;
     };
@@ -272,7 +287,7 @@ fn supervise_pool(rig: Rig, registry: ExecutorRegistry, pool_size: usize) -> Pro
     }
 
     let result = rig.server_thread.join().unwrap();
-    drop(rig.to_server);
+    drop(rig.hub);
     for h in pool {
         h.join();
     }
@@ -283,8 +298,7 @@ fn supervise_pool(rig: Rig, registry: ExecutorRegistry, pool_size: usize) -> Pro
 fn crashed_workers_are_replaced_and_commands_complete() {
     let log = ExecutionLog::new();
     let accounting = Arc::new(Mutex::new(Accounting::default()));
-    let registry =
-        ExecutorRegistry::new().with(Arc::new(CrashingExecutor::new(1, log.clone())));
+    let registry = ExecutorRegistry::new().with(Arc::new(CrashingExecutor::new(1, log.clone())));
     let r = rig(
         specs(CrashingExecutor::COMMAND_TYPE, 3),
         accounting.clone(),
@@ -320,7 +334,11 @@ fn chaos_run_accounts_every_command_exactly_once() {
     let log = ExecutionLog::new();
     let accounting = Arc::new(Mutex::new(Accounting::default()));
     let registry = ExecutorRegistry::new().with(Arc::new(ChaosExecutor::new(
-        ChaosProfile { seed: SEED, error_pct: 25, crash_pct: 15 },
+        ChaosProfile {
+            seed: SEED,
+            error_pct: 25,
+            crash_pct: 15,
+        },
         log,
     )));
     let r = rig(
@@ -332,6 +350,7 @@ fn chaos_run_accounts_every_command_exactly_once() {
             max_attempts: 4,
             retry_backoff_base: Duration::from_millis(4),
             retry_backoff_max: Duration::from_millis(30),
+            ..ServerConfig::default()
         },
     );
     let shared_fs = r.shared_fs.clone();
@@ -351,7 +370,11 @@ fn chaos_run_accounts_every_command_exactly_once() {
         .chain(acc.dropped.keys())
         .copied()
         .collect();
-    assert_eq!(ids.len(), N_COMMANDS, "every command reaches a terminal event");
+    assert_eq!(
+        ids.len(),
+        N_COMMANDS,
+        "every command reaches a terminal event"
+    );
     for id in ids {
         assert_eq!(
             acc.terminal_events(id),
@@ -388,35 +411,34 @@ fn scripted_rig(
             max_attempts,
             retry_backoff_base: Duration::from_millis(1),
             retry_backoff_max: Duration::from_millis(10),
+            ..ServerConfig::default()
         },
     )
 }
 
-fn announce(rig: &Rig, worker: WorkerId) -> Receiver<ToWorker> {
-    let (reply_tx, reply_rx) = unbounded();
-    rig.to_server
-        .send(ToServer::Announce {
-            worker,
-            desc: WorkerDescription {
-                platform: Platform::Smp,
-                resources: Resources::new(1, 1_000_000),
-                executables: vec![ExecutableSpec::new("fault", Platform::Smp, "1")],
-            },
-            reply: reply_tx,
-        })
-        .unwrap();
-    reply_rx
+/// Attach and announce a scripted worker; the returned transport is the
+/// hand-played worker's link to the server.
+fn announce(rig: &Rig, worker: WorkerId) -> ChannelWorkerTransport {
+    let mut link = rig.hub.attach(worker);
+    link.announce(ToServer::Announce {
+        worker,
+        desc: WorkerDescription {
+            platform: Platform::Smp,
+            resources: Resources::new(1, 1_000_000),
+            executables: vec![ExecutableSpec::new("fault", Platform::Smp, "1")],
+        },
+    })
+    .unwrap();
+    link
 }
 
 /// Request work until a workload arrives. The polling doubles as the
 /// worker's liveness signal (work requests refresh the heartbeat).
-fn fetch_command(rig: &Rig, worker: WorkerId, reply: &Receiver<ToWorker>) -> Command {
+fn fetch_command(link: &mut ChannelWorkerTransport, worker: WorkerId) -> Command {
     let deadline = Instant::now() + Duration::from_secs(5);
     loop {
-        rig.to_server
-            .send(ToServer::RequestWork { worker })
-            .unwrap();
-        match reply.recv_timeout(Duration::from_millis(100)) {
+        link.send(ToServer::RequestWork { worker }).unwrap();
+        match link.recv_timeout(Duration::from_millis(100)) {
             Ok(ToWorker::Workload(mut cmds)) => {
                 assert_eq!(cmds.len(), 1, "scripted workers take one command");
                 return cmds.pop().unwrap();
@@ -442,7 +464,7 @@ fn wait_until(rig: &Rig, mut pred: impl FnMut(&ProjectStatus) -> bool, what: &st
 
 fn complete(rig: &Rig, cmd: &Command, worker: WorkerId) {
     let output = CommandOutput::new(cmd, worker, json!({ "by": worker.0 }), 0.01);
-    rig.to_server.send(ToServer::Completed { output }).unwrap();
+    rig.hub.send(ToServer::Completed { output }).unwrap();
 }
 
 #[test]
@@ -453,8 +475,8 @@ fn resurrected_workers_result_cancels_queued_duplicate() {
     let b = WorkerId(102);
 
     // A takes the high-priority command X, then falls silent.
-    let a_reply = announce(&r, a);
-    let cmd_x = fetch_command(&r, a, &a_reply);
+    let mut a_link = announce(&r, a);
+    let cmd_x = fetch_command(&mut a_link, a);
     assert_eq!(cmd_x.attempts, 1, "first dispatch is epoch 1");
     wait_until(&r, |s| s.workers_lost == 1, "worker A declared lost");
     wait_until(&r, |s| s.commands_requeued == 1, "X re-queued");
@@ -465,9 +487,12 @@ fn resurrected_workers_result_cancels_queued_duplicate() {
     wait_until(&r, |s| s.commands_completed == 1, "X accepted");
 
     // B drains the remaining command; X must not be dispatched again.
-    let b_reply = announce(&r, b);
-    let cmd_y = fetch_command(&r, b, &b_reply);
-    assert_ne!(cmd_y.id, cmd_x.id, "cancelled duplicate must not re-dispatch");
+    let mut b_link = announce(&r, b);
+    let cmd_y = fetch_command(&mut b_link, b);
+    assert_ne!(
+        cmd_y.id, cmd_x.id,
+        "cancelled duplicate must not re-dispatch"
+    );
     complete(&r, &cmd_y, b);
 
     let result = r.server_thread.join().unwrap();
@@ -491,13 +516,13 @@ fn duplicate_completion_after_redispatch_is_dropped_by_epoch() {
     let b = WorkerId(202);
 
     // A takes X (epoch 1), falls silent; X is re-queued.
-    let a_reply = announce(&r, a);
-    let cmd_x1 = fetch_command(&r, a, &a_reply);
+    let mut a_link = announce(&r, a);
+    let cmd_x1 = fetch_command(&mut a_link, a);
     wait_until(&r, |s| s.commands_requeued == 1, "X re-queued");
 
     // B picks up the re-dispatch (epoch 2) — X outranks Y by priority.
-    let b_reply = announce(&r, b);
-    let cmd_x2 = fetch_command(&r, b, &b_reply);
+    let mut b_link = announce(&r, b);
+    let cmd_x2 = fetch_command(&mut b_link, b);
     assert_eq!(cmd_x2.id, cmd_x1.id, "B must get the re-queued X");
     assert_eq!(cmd_x2.attempts, 2, "re-dispatch bumps the epoch");
 
@@ -510,7 +535,7 @@ fn duplicate_completion_after_redispatch_is_dropped_by_epoch() {
     complete(&r, &cmd_x2, b);
 
     // B drains Y to finish the project.
-    let cmd_y = fetch_command(&r, b, &b_reply);
+    let cmd_y = fetch_command(&mut b_link, b);
     assert_ne!(cmd_y.id, cmd_x1.id);
     complete(&r, &cmd_y, b);
 
@@ -533,17 +558,17 @@ fn stale_error_does_not_burn_attempt_budget() {
     let a = WorkerId(301);
     let b = WorkerId(302);
 
-    let a_reply = announce(&r, a);
-    let cmd_x1 = fetch_command(&r, a, &a_reply);
+    let mut a_link = announce(&r, a);
+    let cmd_x1 = fetch_command(&mut a_link, a);
     wait_until(&r, |s| s.commands_requeued == 1, "X re-queued");
 
-    let b_reply = announce(&r, b);
-    let cmd_x2 = fetch_command(&r, b, &b_reply);
+    let mut b_link = announce(&r, b);
+    let cmd_x2 = fetch_command(&mut b_link, b);
     assert_eq!(cmd_x2.attempts, 2);
 
     // A resurrects with an error report for the *old* epoch. It must be
     // discarded: B's attempt stays live and the budget untouched.
-    r.to_server
+    r.hub
         .send(ToServer::CommandError {
             worker: a,
             project: cmd_x1.project,
@@ -558,7 +583,10 @@ fn stale_error_does_not_burn_attempt_budget() {
 
     let result = r.server_thread.join().unwrap();
     assert_eq!(result.commands_completed, 1);
-    assert_eq!(result.commands_dropped, 0, "stale error must not burn budget");
+    assert_eq!(
+        result.commands_dropped, 0,
+        "stale error must not burn budget"
+    );
     assert_eq!(result.stale_results_dropped, 1);
     assert_eq!(accounting.lock().terminal_events(cmd_x1.id.0), 1);
     assert_eq!(r.shared_fs.n_checkpoints(), 0);
@@ -578,12 +606,13 @@ fn error_backoff_embargoes_redispatch() {
             max_attempts: 5,
             retry_backoff_base: Duration::from_millis(150),
             retry_backoff_max: Duration::from_secs(1),
+            ..ServerConfig::default()
         },
     );
     let a = WorkerId(401);
-    let a_reply = announce(&r, a);
-    let cmd_x1 = fetch_command(&r, a, &a_reply);
-    r.to_server
+    let mut a_link = announce(&r, a);
+    let cmd_x1 = fetch_command(&mut a_link, a);
+    r.hub
         .send(ToServer::CommandError {
             worker: a,
             project: cmd_x1.project,
@@ -596,7 +625,7 @@ fn error_backoff_embargoes_redispatch() {
 
     // While embargoed, work requests come back empty.
     let t0 = Instant::now();
-    let cmd_x2 = fetch_command(&r, a, &a_reply);
+    let cmd_x2 = fetch_command(&mut a_link, a);
     let waited = t0.elapsed();
     assert_eq!(cmd_x2.attempts, 2);
     assert!(

@@ -10,9 +10,10 @@
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap, HashSet};
 
-/// Node identifier in the overlay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub struct NodeId(pub u32);
+/// Node identifier in the overlay — the shared id type from
+/// [`copernicus_ids`], so simulated topologies and the live transport
+/// name nodes identically.
+pub use copernicus_ids::NodeId;
 
 /// What a node does in the deployment (Fig. 1 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -84,7 +85,7 @@ impl Overlay {
     }
 
     pub fn add_node(&mut self, name: impl Into<String>, role: NodeRole) -> NodeId {
-        let id = NodeId(self.roles.len() as u32);
+        let id = NodeId(self.roles.len() as u64);
         self.roles.push(role);
         self.names.push(name.into());
         id

@@ -18,11 +18,23 @@ pub enum Event {
     /// A command left the queue for a worker.
     CommandDispatched { command: u64, worker: u64 },
     /// A worker returned a completed command.
-    CommandCompleted { command: u64, worker: u64, wall_secs: f64 },
+    CommandCompleted {
+        command: u64,
+        worker: u64,
+        wall_secs: f64,
+    },
     /// A worker reported an execution error.
-    CommandFailed { command: u64, worker: u64, error: String },
+    CommandFailed {
+        command: u64,
+        worker: u64,
+        error: String,
+    },
     /// The watchdog re-queued a command after losing its worker.
-    CommandRequeued { command: u64, attempts: u64, had_checkpoint: bool },
+    CommandRequeued {
+        command: u64,
+        attempts: u64,
+        had_checkpoint: bool,
+    },
     /// A command exhausted its attempt budget and left the lifecycle
     /// without a result; the controller was told it will never finish.
     CommandDropped { command: u64, attempts: u64 },
@@ -175,8 +187,12 @@ impl Event {
                 worker: u("worker")?,
                 cores: u("cores")?,
             },
-            "worker_lost" => Event::WorkerLost { worker: u("worker")? },
-            "worker_resurrected" => Event::WorkerResurrected { worker: u("worker")? },
+            "worker_lost" => Event::WorkerLost {
+                worker: u("worker")?,
+            },
+            "worker_resurrected" => Event::WorkerResurrected {
+                worker: u("worker")?,
+            },
             "checkpoint_written" => Event::CheckpointWritten {
                 command: u("command")?,
                 bytes: u("bytes")?,
@@ -464,7 +480,10 @@ mod tests {
     #[test]
     fn jsonl_roundtrip_all_variants() {
         let j = Journal::new();
-        j.record(Event::CommandDispatched { command: 1, worker: 2 });
+        j.record(Event::CommandDispatched {
+            command: 1,
+            worker: 2,
+        });
         j.record(Event::CommandCompleted {
             command: 1,
             worker: 2,
@@ -480,12 +499,24 @@ mod tests {
             attempts: 2,
             had_checkpoint: true,
         });
-        j.record(Event::CommandDropped { command: 3, attempts: 5 });
-        j.record(Event::StaleResultDropped { command: 3, epoch: 1 });
-        j.record(Event::WorkerAnnounced { worker: 2, cores: 8 });
+        j.record(Event::CommandDropped {
+            command: 3,
+            attempts: 5,
+        });
+        j.record(Event::StaleResultDropped {
+            command: 3,
+            epoch: 1,
+        });
+        j.record(Event::WorkerAnnounced {
+            worker: 2,
+            cores: 8,
+        });
         j.record(Event::WorkerLost { worker: 2 });
         j.record(Event::WorkerResurrected { worker: 2 });
-        j.record(Event::CheckpointWritten { command: 3, bytes: 512 });
+        j.record(Event::CheckpointWritten {
+            command: 3,
+            bytes: 512,
+        });
         j.record(Event::GenerationClustered {
             generation: 1,
             n_states: 20,

@@ -17,14 +17,14 @@
 //! Zero dependencies by design — it sits underneath `mdsim`'s inner
 //! loop and carries its own tiny JSON layer ([`json::Json`]).
 
-pub mod json;
 pub mod journal;
+pub mod json;
 pub mod metrics;
 pub mod report;
 pub mod sink;
 
-pub use json::{Json, JsonError};
 pub use journal::{matched_span_pairs, Entry, Event, Journal, SpanGuard};
+pub use json::{Json, JsonError};
 pub use metrics::{buckets, labels, Counter, Gauge, Histogram, Labels, Registry};
 pub use report::render_text;
 pub use sink::{NullSink, RecordingSink, StepPhase, TelemetrySink};
@@ -78,6 +78,17 @@ pub mod names {
     pub const NET_BYTES: &str = "net_bytes";
     /// Simulated per-link carried traffic, by link and level (bytes).
     pub const NET_LINK_BYTES: &str = "net_link_bytes";
+    /// Real wire-transport traffic, per link (`link`/`role` labels):
+    /// payload + framing bytes written to the socket.
+    pub const WIRE_BYTES_SENT: &str = "wire_bytes_sent";
+    /// Real wire-transport traffic, per link: bytes read off the socket.
+    pub const WIRE_BYTES_RECV: &str = "wire_bytes_recv";
+    pub const WIRE_FRAMES_SENT: &str = "wire_frames_sent";
+    pub const WIRE_FRAMES_RECV: &str = "wire_frames_recv";
+    /// Successful link re-establishments after a drop (client side).
+    pub const WIRE_RECONNECTS: &str = "wire_reconnects";
+    /// Handshakes rejected (bad pre-shared key, bad magic, malformed).
+    pub const WIRE_AUTH_FAILURES: &str = "wire_auth_failures";
 }
 
 /// The facade the rest of the workspace passes around: a shared
@@ -167,13 +178,19 @@ mod tests {
     #[test]
     fn facade_snapshot_combines_registry_and_journal() {
         let t = Telemetry::new();
-        t.registry().counter(names::COMMANDS_DISPATCHED, Labels::new()).add(3);
+        t.registry()
+            .counter(names::COMMANDS_DISPATCHED, Labels::new())
+            .add(3);
         t.journal().record(Event::WorkerLost { worker: 1 });
         let snap = t.snapshot();
         let metrics = snap.get("metrics").unwrap().as_array().unwrap();
         assert_eq!(metrics.len(), 1);
         assert_eq!(
-            snap.get("journal").unwrap().get("total_recorded").unwrap().as_u64(),
+            snap.get("journal")
+                .unwrap()
+                .get("total_recorded")
+                .unwrap()
+                .as_u64(),
             Some(1)
         );
         // Round-trips through the parser.

@@ -245,9 +245,7 @@ pub mod buckets {
         1.048576, 4.194304, 16.777216, 67.108864,
     ];
     /// Nanoseconds per step: 10 ns … ~100 ms.
-    pub const NANOS: &[f64] = &[
-        1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8,
-    ];
+    pub const NANOS: &[f64] = &[1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
     /// Bytes: 64 B … 64 MB.
     pub const BYTES: &[f64] = &[
         64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0, 1048576.0, 4194304.0, 16777216.0,
@@ -407,7 +405,10 @@ mod tests {
         }
         assert_eq!(c.get(), n_threads * per_thread);
         // Same handle from the registry.
-        assert_eq!(reg.counter("ops", Labels::new()).get(), n_threads * per_thread);
+        assert_eq!(
+            reg.counter("ops", Labels::new()).get(),
+            n_threads * per_thread
+        );
     }
 
     #[test]
@@ -501,8 +502,10 @@ mod tests {
     #[test]
     fn counter_total_sums_across_labels() {
         let reg = Registry::new();
-        reg.counter("bytes", labels(&[("level", "cluster")])).add(10);
-        reg.counter("bytes", labels(&[("level", "overlay")])).add(32);
+        reg.counter("bytes", labels(&[("level", "cluster")]))
+            .add(10);
+        reg.counter("bytes", labels(&[("level", "overlay")]))
+            .add(32);
         assert_eq!(reg.counter_total("bytes"), 42);
         assert_eq!(reg.counter_series("bytes").len(), 2);
     }

@@ -1,0 +1,441 @@
+//! Supervised client side of a wire link.
+//!
+//! A [`WireClient`] owns one authenticated TCP connection to a server
+//! and keeps it alive: any send/receive failure tears the socket down
+//! and redials with exponential backoff (the same
+//! max-attempts/base/cap shape as the command-lifecycle `RetryPolicy`),
+//! re-running the handshake and replaying registered *session frames*
+//! (the worker's `Announce`) so the server can rebuild its picture of
+//! the peer. Callers see a reconnect as [`RecvError::Reconnected`] and
+//! are expected to re-issue whatever request was in flight — the
+//! server's attempt-epoch ledger makes duplicates safe.
+//!
+//! Authentication failures are *fatal*, never retried: a wrong
+//! pre-shared key will not become right by redialing.
+
+use crate::auth::{client_handshake, AuthError, AuthKey};
+use crate::frame::{self, HEADER_LEN, MAX_FRAME};
+use crate::stats::LinkStats;
+use std::fmt;
+use std::io::{self, Read};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// How long a handshake leg may block before the dial attempt is
+/// abandoned (a dead or wedged server must not hang connect forever).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Reconnect schedule: `delay(n) = min(backoff_base · 2ⁿ, backoff_max)`,
+/// at most `max_attempts` dials per outage. Mirrors the lifecycle
+/// `RetryPolicy` fields so deployments tune one vocabulary.
+#[derive(Debug, Clone, Copy)]
+pub struct ReconnectPolicy {
+    pub max_attempts: u32,
+    pub backoff_base: Duration,
+    pub backoff_max: Duration,
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            max_attempts: 8,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ReconnectPolicy {
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let factor = 1u32.checked_shl(attempt).unwrap_or(u32::MAX);
+        self.backoff_base
+            .checked_mul(factor)
+            .map(|d| d.min(self.backoff_max))
+            .unwrap_or(self.backoff_max)
+    }
+}
+
+/// The link is permanently down (auth rejected, retries exhausted, or
+/// explicitly closed).
+#[derive(Debug)]
+pub struct LinkDown(pub String);
+
+impl fmt::Display for LinkDown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire link down: {}", self.0)
+    }
+}
+
+impl std::error::Error for LinkDown {}
+
+/// Why `recv_timeout` returned without a frame.
+#[derive(Debug)]
+pub enum RecvError {
+    /// Deadline passed with the link idle and healthy.
+    Timeout,
+    /// The link dropped and has been re-established (session frames
+    /// replayed). Any in-flight request/response may be lost — re-issue.
+    Reconnected,
+    /// The link is permanently down.
+    Closed(String),
+}
+
+/// Why the initial connect failed.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// Handshake rejected — wrong key or not a wire server. Fatal.
+    Auth(AuthError),
+    /// All dial attempts failed at the socket level.
+    Exhausted(Option<io::Error>),
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::Auth(e) => write!(f, "handshake rejected: {e}"),
+            ConnectError::Exhausted(Some(e)) => write!(f, "connect retries exhausted: {e}"),
+            ConnectError::Exhausted(None) => write!(f, "connect retries exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+struct Link {
+    generation: u64,
+    writer: TcpStream,
+    reader: TcpStream,
+}
+
+struct Inner {
+    addr: String,
+    key: AuthKey,
+    policy: ReconnectPolicy,
+    stats: LinkStats,
+    link: Mutex<Link>,
+    /// Frames replayed (in order) after every successful redial.
+    session_frames: Mutex<Vec<Vec<u8>>>,
+    closed: AtomicBool,
+    /// Session id of the *first* handshake: a stable, collision-resistant
+    /// identity for this client process (later redials mint new session
+    /// ids, but the peer identity must not change).
+    first_session: u64,
+}
+
+#[derive(Clone)]
+pub struct WireClient {
+    inner: Arc<Inner>,
+}
+
+enum DialError {
+    Auth(AuthError),
+    Io(io::Error),
+}
+
+fn dial(addr: &str, key: &AuthKey) -> Result<(TcpStream, TcpStream, u64), DialError> {
+    let stream = TcpStream::connect(addr).map_err(DialError::Io)?;
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(HANDSHAKE_TIMEOUT)).ok();
+    let session = client_handshake(&mut (&stream), key).map_err(|e| match e {
+        AuthError::Io(io_err) => DialError::Io(io_err),
+        other => DialError::Auth(other),
+    })?;
+    stream.set_read_timeout(None).ok();
+    let reader = stream.try_clone().map_err(DialError::Io)?;
+    Ok((reader, stream, session.session_id))
+}
+
+impl WireClient {
+    /// Dial, handshake, and return a supervised link. Socket-level
+    /// failures are retried per `policy`; an authentication rejection
+    /// aborts immediately.
+    pub fn connect(
+        addr: &str,
+        key: AuthKey,
+        policy: ReconnectPolicy,
+        stats: LinkStats,
+    ) -> Result<WireClient, ConnectError> {
+        let mut last = None;
+        for attempt in 0..policy.max_attempts.max(1) {
+            if attempt > 0 {
+                thread::sleep(policy.delay(attempt - 1));
+            }
+            match dial(addr, &key) {
+                Ok((reader, writer, session_id)) => {
+                    return Ok(WireClient {
+                        inner: Arc::new(Inner {
+                            addr: addr.to_string(),
+                            key,
+                            policy,
+                            stats,
+                            link: Mutex::new(Link {
+                                generation: 0,
+                                writer,
+                                reader,
+                            }),
+                            session_frames: Mutex::new(Vec::new()),
+                            closed: AtomicBool::new(false),
+                            first_session: session_id,
+                        }),
+                    });
+                }
+                Err(DialError::Auth(e)) => {
+                    stats.auth_failures.inc();
+                    return Err(ConnectError::Auth(e));
+                }
+                Err(DialError::Io(e)) => last = Some(e),
+            }
+        }
+        Err(ConnectError::Exhausted(last))
+    }
+
+    /// Stable identity minted by the first handshake.
+    pub fn session_id(&self) -> u64 {
+        self.inner.first_session
+    }
+
+    pub fn stats(&self) -> &LinkStats {
+        &self.inner.stats
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Relaxed)
+    }
+
+    /// Send one frame, redialing through the reconnect policy on socket
+    /// failure.
+    pub fn send(&self, payload: &[u8]) -> Result<(), LinkDown> {
+        if self.is_closed() {
+            return Err(LinkDown("client closed".into()));
+        }
+        for _ in 0..self.inner.policy.max_attempts.max(1) {
+            let stale = {
+                let st = self.inner.link.lock().unwrap();
+                match frame::write_frame(&mut (&st.writer), payload) {
+                    Ok(()) => {
+                        self.inner.stats.on_frame_sent(payload.len());
+                        return Ok(());
+                    }
+                    Err(_) => st.generation,
+                }
+            };
+            self.reconnect(stale)?;
+        }
+        Err(LinkDown("send retries exhausted".into()))
+    }
+
+    /// Send one frame and register it for replay after every future
+    /// reconnect — for self-describing session state like the worker's
+    /// `Announce`. Replay order follows registration order.
+    pub fn send_session(&self, payload: &[u8]) -> Result<(), LinkDown> {
+        self.inner
+            .session_frames
+            .lock()
+            .unwrap()
+            .push(payload.to_vec());
+        self.send(payload)
+    }
+
+    /// Wait up to `timeout` for one inbound frame.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Vec<u8>, RecvError> {
+        if self.is_closed() {
+            return Err(RecvError::Closed("client closed".into()));
+        }
+        let deadline = Instant::now() + timeout;
+        let (generation, reader) = {
+            let st = self.inner.link.lock().unwrap();
+            let reader = st
+                .reader
+                .try_clone()
+                .map_err(|e| RecvError::Closed(e.to_string()))?;
+            (st.generation, reader)
+        };
+        match read_frame_deadline(&reader, deadline) {
+            ReadOutcome::Frame(payload) => {
+                self.inner.stats.on_frame_recv(payload.len());
+                Ok(payload)
+            }
+            ReadOutcome::TimedOutClean => Err(RecvError::Timeout),
+            // A frame cut off mid-stream cannot be resynchronised; treat
+            // it exactly like a socket failure.
+            ReadOutcome::TimedOutMidFrame => self.recycle(generation, "deadline hit mid-frame"),
+            ReadOutcome::Failed(e) => self.recycle(generation, &e.to_string()),
+        }
+    }
+
+    fn recycle(&self, generation: u64, cause: &str) -> Result<Vec<u8>, RecvError> {
+        self.reconnect(generation)
+            .map_err(|LinkDown(why)| RecvError::Closed(format!("{why} (link failed: {cause})")))?;
+        Err(RecvError::Reconnected)
+    }
+
+    /// Tear the link down for good.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Relaxed);
+        if let Ok(st) = self.inner.link.lock() {
+            st.writer.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    /// Re-establish the link unless another thread already has (the
+    /// generation stamp dedups concurrent failures, like the command
+    /// lifecycle's attempt epochs).
+    fn reconnect(&self, stale_generation: u64) -> Result<(), LinkDown> {
+        let inner = &*self.inner;
+        if inner.closed.load(Ordering::Relaxed) {
+            return Err(LinkDown("client closed".into()));
+        }
+        let mut st = inner.link.lock().unwrap();
+        if st.generation != stale_generation {
+            return Ok(()); // somebody else already redialed
+        }
+        st.writer.shutdown(Shutdown::Both).ok();
+        let mut last: Option<io::Error> = None;
+        for attempt in 0..inner.policy.max_attempts.max(1) {
+            thread::sleep(inner.policy.delay(attempt));
+            match dial(&inner.addr, &inner.key) {
+                Ok((reader, writer, _session)) => {
+                    let frames = inner.session_frames.lock().unwrap().clone();
+                    let mut replay_ok = true;
+                    for f in &frames {
+                        if frame::write_frame(&mut (&writer), f).is_err() {
+                            replay_ok = false;
+                            break;
+                        }
+                        inner.stats.on_frame_sent(f.len());
+                    }
+                    if !replay_ok {
+                        last = Some(io::Error::new(
+                            io::ErrorKind::BrokenPipe,
+                            "link dropped during session replay",
+                        ));
+                        continue;
+                    }
+                    st.reader = reader;
+                    st.writer = writer;
+                    st.generation += 1;
+                    inner.stats.reconnects.inc();
+                    return Ok(());
+                }
+                Err(DialError::Auth(e)) => {
+                    inner.stats.auth_failures.inc();
+                    inner.closed.store(true, Ordering::Relaxed);
+                    return Err(LinkDown(format!("authentication rejected on redial: {e}")));
+                }
+                Err(DialError::Io(e)) => last = Some(e),
+            }
+        }
+        inner.closed.store(true, Ordering::Relaxed);
+        match last {
+            Some(e) => Err(LinkDown(format!("reconnect retries exhausted: {e}"))),
+            None => Err(LinkDown("reconnect retries exhausted".into())),
+        }
+    }
+}
+
+enum ReadOutcome {
+    Frame(Vec<u8>),
+    TimedOutClean,
+    TimedOutMidFrame,
+    Failed(io::Error),
+}
+
+/// Accumulate one frame with an absolute deadline, preserving the
+/// distinction between "idle at deadline" (harmless) and "deadline hit
+/// mid-frame" (stream position lost — the link must be recycled).
+fn read_frame_deadline(mut reader: &TcpStream, deadline: Instant) -> ReadOutcome {
+    let mut buf: Vec<u8> = Vec::with_capacity(HEADER_LEN);
+    let mut need = HEADER_LEN;
+    let mut have_header = false;
+    loop {
+        if buf.len() == need {
+            if have_header {
+                return ReadOutcome::Frame(buf.split_off(HEADER_LEN));
+            }
+            let len = u32::from_be_bytes(buf[..HEADER_LEN].try_into().unwrap()) as usize;
+            if len > MAX_FRAME {
+                return ReadOutcome::Failed(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds cap"),
+                ));
+            }
+            have_header = true;
+            need = HEADER_LEN + len;
+            continue;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return if buf.is_empty() {
+                ReadOutcome::TimedOutClean
+            } else {
+                ReadOutcome::TimedOutMidFrame
+            };
+        }
+        if let Err(e) = reader.set_read_timeout(Some(deadline - now)) {
+            return ReadOutcome::Failed(e);
+        }
+        let mut chunk = vec![0u8; need - buf.len()];
+        match reader.read(&mut chunk) {
+            Ok(0) => {
+                return ReadOutcome::Failed(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the link",
+                ))
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return ReadOutcome::Failed(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = ReconnectPolicy {
+            max_attempts: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(35),
+        };
+        assert_eq!(p.delay(0), Duration::from_millis(10));
+        assert_eq!(p.delay(1), Duration::from_millis(20));
+        assert_eq!(p.delay(2), Duration::from_millis(35));
+        assert_eq!(p.delay(31), Duration::from_millis(35));
+        assert_eq!(p.delay(63), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn connect_to_nothing_exhausts_quickly() {
+        // Port 1 on loopback: connection refused immediately, so the
+        // retry loop terminates fast.
+        let policy = ReconnectPolicy {
+            max_attempts: 2,
+            backoff_base: Duration::from_millis(1),
+            backoff_max: Duration::from_millis(2),
+        };
+        let err = WireClient::connect(
+            "127.0.0.1:1",
+            AuthKey::from_passphrase("k"),
+            policy,
+            LinkStats::detached(),
+        )
+        .err()
+        .expect("must not connect");
+        assert!(matches!(err, ConnectError::Exhausted(Some(_))), "{err}");
+    }
+}

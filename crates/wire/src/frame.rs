@@ -1,0 +1,138 @@
+//! Length-prefixed binary framing.
+//!
+//! Every message on a wire link — handshake legs included — is one
+//! frame: a 4-byte big-endian payload length followed by the payload.
+//! The length prefix is capped ([`MAX_FRAME`] by default) so a
+//! malicious or corrupted peer cannot make the receiver allocate
+//! gigabytes; an oversized prefix is an [`io::ErrorKind::InvalidData`]
+//! error and the caller is expected to drop the connection (framing
+//! cannot be resynchronised once the stream position is suspect).
+
+use std::io::{self, Read, Write};
+
+/// Hard upper bound on a frame payload. Generous for this codebase: the
+/// largest real message is a `Workload` carrying conformation
+/// coordinates, well under a megabyte.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Bytes of framing overhead per frame (the length prefix).
+pub const HEADER_LEN: usize = 4;
+
+/// Write one frame. Errors if the payload exceeds `MAX_FRAME`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame, rejecting payloads larger than `MAX_FRAME`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    read_frame_limited(r, MAX_FRAME)
+}
+
+/// Read one frame with an explicit payload cap.
+///
+/// Error taxonomy (all of which mean "drop the connection"):
+/// - truncated length prefix or mid-frame disconnect →
+///   [`io::ErrorKind::UnexpectedEof`]
+/// - length prefix above `max` → [`io::ErrorKind::InvalidData`]
+pub fn read_frame_limited(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> {
+    let mut header = [0u8; HEADER_LEN];
+    r.read_exact(&mut header)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {max}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, payload).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = framed(b"hello wire");
+        assert_eq!(buf.len(), HEADER_LEN + 10);
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"hello wire");
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let mut cur = Cursor::new(framed(b""));
+        assert_eq!(read_frame(&mut cur).unwrap(), b"");
+    }
+
+    #[test]
+    fn back_to_back_frames_stay_in_sync() {
+        let mut buf = framed(b"one");
+        buf.extend_from_slice(&framed(b"two"));
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"one");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"two");
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_eof() {
+        let mut cur = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn mid_frame_disconnect_is_eof() {
+        // Header promises 100 bytes; only 10 arrive before the peer
+        // vanishes.
+        let mut buf = 100u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[7u8; 10]);
+        let mut cur = Cursor::new(buf);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let mut cur = Cursor::new(buf);
+        let err = read_frame(&mut cur).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn custom_cap_applies() {
+        let buf = framed(&[1u8; 64]);
+        let mut cur = Cursor::new(buf);
+        let err = read_frame_limited(&mut cur, 16).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_is_refused() {
+        // Don't allocate 16 MiB in a unit test: the check is on the
+        // length, so a zero-copy slice of a big (virtual) buffer works.
+        let big = vec![0u8; MAX_FRAME + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &big).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(sink.is_empty(), "no partial frame may be emitted");
+    }
+}

@@ -1,0 +1,40 @@
+//! # copernicus-wire — authenticated TCP transport
+//!
+//! The paper's deployment (§2.2) is an overlay of *authenticated
+//! servers*: every worker↔server and server↔server hop crosses a real,
+//! lossy network, links become usable only after an explicit key
+//! exchange, and the whole point of the architecture is that folding
+//! work survives connections that don't. This crate is that wire for
+//! the reproduction — `netsim` *models* the overlay; `copernicus-wire`
+//! *is* one link of it:
+//!
+//! - [`frame`] — length-prefixed binary framing with a hard size cap;
+//! - [`hash`] — in-repo SHA-256 / HMAC-SHA256 (checked against the
+//!   standard test vectors; an SSL substitute, not production crypto);
+//! - [`auth`] — pre-shared-key challenge–response handshake, mutual,
+//!   reflection-safe;
+//! - [`client`] — supervised outbound link: reconnect with exponential
+//!   backoff, session-frame replay, idle-vs-broken discrimination;
+//! - [`listener`] — accept loop with per-connection supervision
+//!   (handshake timeout, heartbeat/idle timeout, malformed-frame
+//!   hygiene) surfacing [`WireEvent`]s;
+//! - [`stats`] — per-link byte/frame/reconnect counters in the shared
+//!   telemetry registry.
+//!
+//! Deliberately zero-dependency (std + the workspace telemetry facade):
+//! the transport must not decide serialization policy — peers exchange
+//! opaque `Vec<u8>` payloads, and `copernicus-core` layers its message
+//! codec on top.
+
+pub mod auth;
+pub mod client;
+pub mod frame;
+pub mod hash;
+pub mod listener;
+pub mod stats;
+
+pub use auth::{AuthError, AuthKey, Session};
+pub use client::{ConnectError, LinkDown, ReconnectPolicy, RecvError, WireClient};
+pub use frame::{read_frame, read_frame_limited, write_frame, HEADER_LEN, MAX_FRAME};
+pub use listener::{ConnId, ListenerConfig, WireEvent, WireListener};
+pub use stats::LinkStats;

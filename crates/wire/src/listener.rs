@@ -1,0 +1,291 @@
+//! Server side of the wire: accept loop, per-connection supervision,
+//! and an event queue.
+//!
+//! A [`WireListener`] binds a TCP port, handshakes every inbound
+//! connection against the pre-shared key, and surfaces everything that
+//! happens as [`WireEvent`]s on an internal queue the owning thread
+//! drains (`recv_timeout`/`try_recv`). Outbound frames go through
+//! [`WireListener::send`] addressed by [`ConnId`].
+//!
+//! Supervision rules, all of which resolve to *drop the connection,
+//! never panic, never block the accept loop*:
+//! - handshake must complete within `handshake_timeout` (a peer that
+//!   connects and goes silent cannot wedge a slot),
+//! - a connection with no inbound frame for `idle_timeout` is declared
+//!   dead (workers heartbeat far more often than that),
+//! - any malformed frame — oversized length prefix, truncated payload,
+//!   socket error mid-frame — closes the connection, because framing
+//!   cannot be resynchronised.
+
+use crate::auth::{server_handshake, AuthKey};
+use crate::frame;
+use crate::stats::LinkStats;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Identity of one accepted connection (unique per listener lifetime;
+/// a reconnecting worker gets a *new* `ConnId`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConnId(pub u64);
+
+impl fmt::Display for ConnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conn-{}", self.0)
+    }
+}
+
+/// Everything the owning thread needs to know about the wire.
+#[derive(Debug)]
+pub enum WireEvent {
+    /// Handshake succeeded; the connection is live.
+    Connected {
+        conn: ConnId,
+        session: u64,
+        peer: SocketAddr,
+    },
+    /// One inbound payload frame.
+    Frame { conn: ConnId, payload: Vec<u8> },
+    /// The connection is gone (peer vanished, idle timeout, malformed
+    /// frame). Already removed from the send table.
+    Disconnected { conn: ConnId, reason: String },
+    /// A peer failed the handshake and was dropped before getting a
+    /// [`ConnId`].
+    AuthFailed { peer: SocketAddr, reason: String },
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct ListenerConfig {
+    /// Drop a connection with no inbound frame for this long.
+    pub idle_timeout: Duration,
+    /// Drop a connection whose handshake stalls for this long.
+    pub handshake_timeout: Duration,
+    /// Per-frame payload cap (defaults to [`frame::MAX_FRAME`]).
+    pub max_frame: usize,
+}
+
+impl Default for ListenerConfig {
+    fn default() -> Self {
+        ListenerConfig {
+            idle_timeout: Duration::from_secs(30),
+            handshake_timeout: Duration::from_secs(5),
+            max_frame: frame::MAX_FRAME,
+        }
+    }
+}
+
+struct Shared {
+    key: AuthKey,
+    config: ListenerConfig,
+    stats: LinkStats,
+    writers: Mutex<HashMap<ConnId, TcpStream>>,
+    next_conn: AtomicU64,
+    shutdown: AtomicBool,
+    events: mpsc::Sender<WireEvent>,
+}
+
+pub struct WireListener {
+    shared: Arc<Shared>,
+    events: mpsc::Receiver<WireEvent>,
+    local_addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl WireListener {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral test port)
+    /// and start accepting.
+    pub fn bind(
+        addr: &str,
+        key: AuthKey,
+        config: ListenerConfig,
+        stats: LinkStats,
+    ) -> io::Result<WireListener> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            key,
+            config,
+            stats,
+            writers: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            events: tx,
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("wire-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(WireListener {
+            shared,
+            events: rx,
+            local_addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    pub fn stats(&self) -> &LinkStats {
+        &self.shared.stats
+    }
+
+    /// Next event, waiting up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<WireEvent> {
+        self.events.recv_timeout(timeout).ok()
+    }
+
+    pub fn try_recv(&self) -> Option<WireEvent> {
+        self.events.try_recv().ok()
+    }
+
+    /// Send one frame to a live connection.
+    pub fn send(&self, conn: ConnId, payload: &[u8]) -> io::Result<()> {
+        let writers = self.shared.writers.lock().unwrap();
+        let stream = writers.get(&conn).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{conn} is not connected"))
+        })?;
+        frame::write_frame(&mut (&*stream), payload)?;
+        self.shared.stats.on_frame_sent(payload.len());
+        Ok(())
+    }
+
+    /// Forcibly drop a connection (used by tests to simulate a network
+    /// partition, and by servers evicting a misbehaving peer). The
+    /// connection's reader thread reports the resulting
+    /// [`WireEvent::Disconnected`].
+    pub fn kick(&self, conn: ConnId) {
+        if let Some(stream) = self.shared.writers.lock().unwrap().get(&conn) {
+            stream.shutdown(Shutdown::Both).ok();
+        }
+    }
+
+    /// Stop accepting and drop every connection.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for stream in self.shared.writers.lock().unwrap().values() {
+            stream.shutdown(Shutdown::Both).ok();
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for WireListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("wire-conn-{peer}"))
+                    .spawn(move || serve_connection(stream, peer, conn_shared))
+                    .ok();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                // Transient accept errors (e.g. EMFILE) must not kill
+                // the listener.
+                thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>) {
+    stream.set_nodelay(true).ok();
+    stream
+        .set_read_timeout(Some(shared.config.handshake_timeout))
+        .ok();
+    let session = match server_handshake(&mut (&stream), &shared.key) {
+        Ok(session) => session,
+        Err(e) => {
+            shared.stats.auth_failures.inc();
+            shared
+                .events
+                .send(WireEvent::AuthFailed {
+                    peer,
+                    reason: e.to_string(),
+                })
+                .ok();
+            stream.shutdown(Shutdown::Both).ok();
+            return;
+        }
+    };
+
+    let conn = ConnId(shared.next_conn.fetch_add(1, Ordering::Relaxed));
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    shared.writers.lock().unwrap().insert(conn, writer);
+    if shared
+        .events
+        .send(WireEvent::Connected {
+            conn,
+            session: session.session_id,
+            peer,
+        })
+        .is_err()
+    {
+        // Listener already dropped.
+        shared.writers.lock().unwrap().remove(&conn);
+        return;
+    }
+
+    // Inbound loop: the idle timeout doubles as heartbeat-loss
+    // detection — a healthy worker heartbeats well inside it.
+    stream
+        .set_read_timeout(Some(shared.config.idle_timeout))
+        .ok();
+    let reason = loop {
+        match frame::read_frame_limited(&mut (&stream), shared.config.max_frame) {
+            Ok(payload) => {
+                shared.stats.on_frame_recv(payload.len());
+                if shared
+                    .events
+                    .send(WireEvent::Frame { conn, payload })
+                    .is_err()
+                {
+                    break "listener dropped".to_string();
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break format!("idle for {:?} (heartbeat lost)", shared.config.idle_timeout);
+            }
+            Err(e) => break format!("{} ({:?})", e, e.kind()),
+        }
+    };
+
+    shared.writers.lock().unwrap().remove(&conn);
+    stream.shutdown(Shutdown::Both).ok();
+    shared
+        .events
+        .send(WireEvent::Disconnected { conn, reason })
+        .ok();
+}

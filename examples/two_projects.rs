@@ -12,9 +12,8 @@
 //! ```
 
 use copernicus::core::prelude::*;
-use copernicus::core::{spawn_broker, MdRunExecutor, Server};
+use copernicus::core::{spawn_broker, transport, MdRunExecutor, Server};
 use copernicus::mdsim::VillinModel;
-use crossbeam::channel::unbounded;
 use std::sync::Arc;
 
 fn main() {
@@ -33,7 +32,7 @@ fn main() {
     let fep_cfg = FepProjectConfig::default();
     let fep_exact = fep_cfg.analytic_delta_f();
 
-    let mut server_txs = Vec::new();
+    let mut server_hubs = Vec::new();
     let mut server_threads = Vec::new();
     let monitors: Vec<Monitor> = (0..2).map(|_| Monitor::new()).collect();
     let shared_fs = SharedFs::new();
@@ -43,20 +42,20 @@ fn main() {
         Box::new(FepController::new(fep_cfg)),
     ];
     for (p, controller) in controllers.into_iter().enumerate() {
-        let (tx, rx) = unbounded();
+        let (hub, server_transport) = transport::channel();
         let server = Server::new(
             ProjectId(p as u64),
             controller,
             ServerConfig::default(),
             shared_fs.clone(),
             monitors[p].clone(),
-            rx,
+            Box::new(server_transport),
         );
-        server_txs.push(tx);
+        server_hubs.push(hub);
         server_threads.push(std::thread::spawn(move || server.run()));
     }
 
-    let (broker_tx, broker_handle) = spawn_broker(server_txs);
+    let (broker_hub, broker_handle) = spawn_broker(server_hubs);
 
     // A pool where every worker installs both executables.
     let registry = ExecutorRegistry::new()
@@ -66,15 +65,16 @@ fn main() {
     wc.shared_fs = Some(shared_fs);
     let workers: Vec<_> = (0..4)
         .map(|i| {
+            let id = WorkerId(i);
             copernicus::core::spawn_worker(
-                WorkerId(i),
+                id,
                 wc.clone(),
                 registry.clone(),
-                broker_tx.clone(),
+                Box::new(broker_hub.attach(id)),
             )
         })
         .collect();
-    drop(broker_tx);
+    drop(broker_hub);
 
     println!("running MSM + FEP projects over one 4-worker pool…\n");
     let results: Vec<_> = server_threads

@@ -10,7 +10,16 @@
 //! copernicus fep  [config.json] [--workers N]   # BAR free-energy project
 //! copernicus demo                               # built-in quick demo
 //! copernicus report <snapshot.json>             # render a saved telemetry snapshot
+//! copernicus serve [config.json] --bind ADDR --key PASSPHRASE
+//!                                               # project server on TCP, no local workers
+//! copernicus work --connect ADDR --key PASSPHRASE [--workers N]
+//!                                               # worker pool dialing a remote server
 //! ```
+//!
+//! `serve` and `work` are the paper's deployment shape (§2.2): the
+//! project server runs on a head node and worker pools on other
+//! machines dial in over authenticated TCP links. Both sides must be
+//! given the same `--key` passphrase.
 //!
 //! Every run carries a [`Telemetry`] handle through the server, the
 //! workers and the MSM controller; `--report` prints the aligned-text
@@ -67,9 +76,16 @@ fn main() {
             run_msm_config(cfg, &opts);
         }
         "report" => render_snapshot(config_path),
+        "serve" => run_serve(
+            config_path,
+            &opts,
+            flag_value("--bind"),
+            flag_value("--key"),
+        ),
+        "work" => run_work(&opts, flag_value("--connect"), flag_value("--key")),
         _ => {
             eprintln!(
-                "usage: copernicus <msm|fep|demo|report> [config.json] \
+                "usage: copernicus <msm|fep|demo|report|serve|work> [config.json] \
                  [--workers N] [--report] [--telemetry-dir DIR]"
             );
             eprintln!();
@@ -77,10 +93,132 @@ fn main() {
             eprintln!("  fep     run a BAR free-energy project (FepProjectConfig JSON)");
             eprintln!("  demo    run a built-in 1-minute adaptive-sampling demo");
             eprintln!("  report  render a saved telemetry snapshot as text");
+            eprintln!("  serve   project server on TCP: --bind ADDR --key PASSPHRASE");
+            eprintln!("  work    worker pool over TCP: --connect ADDR --key PASSPHRASE");
             eprintln!();
             eprintln!("  --report             print the telemetry report after the run");
             eprintln!("  --telemetry-dir DIR  write snapshot.json + journal.jsonl to DIR");
             std::process::exit(if mode == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Exit with a usage error for a missing networked-mode flag.
+fn require_flag(value: Option<String>, what: &str) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("missing {what}");
+        std::process::exit(2);
+    })
+}
+
+/// `copernicus serve`: run an MSM project server on an authenticated
+/// TCP listener; workers dial in from other processes with `work`.
+fn run_serve(
+    config_path: Option<String>,
+    opts: &Options,
+    bind: Option<String>,
+    key: Option<String>,
+) {
+    let bind = require_flag(bind, "--bind ADDR (e.g. --bind 0.0.0.0:7878)");
+    let key = AuthKey::from_passphrase(&require_flag(key, "--key PASSPHRASE"));
+    let cfg: MsmProjectConfig = load_config(config_path);
+    eprintln!(
+        "MSM project server: {} trajectories/generation × {} generations",
+        cfg.n_trajectories_per_generation(),
+        cfg.generations,
+    );
+    let telemetry = Telemetry::new();
+    let model = Arc::new(VillinModel::hp35());
+    let controller = MsmController::new(model, cfg).with_telemetry(telemetry.clone());
+    let server = ServerConfig::builder()
+        .bind(&bind, key)
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("invalid server config: {e}");
+            std::process::exit(2);
+        });
+    let serving = copernicus::core::serve_project(
+        Box::new(controller),
+        RuntimeConfig {
+            n_workers: 0,
+            server,
+            telemetry: Some(telemetry.clone()),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bind {bind}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "listening on {} — connect workers with:\n  copernicus work --connect {} --key <passphrase>",
+        serving.local_addr, serving.local_addr
+    );
+
+    let monitor = serving.monitor.clone();
+    let ticker = std::thread::spawn(move || {
+        let mut seen = 0u64;
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(500));
+            let (lines, new_seen) = monitor.log_since(seen);
+            seen = new_seen;
+            for line in &lines {
+                eprintln!("[server] {line}");
+            }
+            if monitor.status().finished {
+                break;
+            }
+        }
+    });
+    let monitor = serving.monitor.clone();
+    let result = serving.join();
+    let _ = ticker.join();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result.result).expect("result serializes")
+    );
+    eprintln!(
+        "done: {} commands, {} requeued, {} workers lost, {:.1?}",
+        result.commands_completed, result.commands_requeued, result.workers_lost, result.wall
+    );
+    finish_telemetry(&monitor, &telemetry, opts);
+}
+
+/// `copernicus work`: dial a remote project server and serve it with a
+/// local worker pool until it shuts the project down.
+fn run_work(opts: &Options, connect: Option<String>, key: Option<String>) {
+    let addr = require_flag(connect, "--connect ADDR (the server's --bind address)");
+    let key = AuthKey::from_passphrase(&require_flag(key, "--key PASSPHRASE"));
+    let telemetry = Telemetry::new();
+    let model = Arc::new(VillinModel::hp35());
+    let registry = ExecutorRegistry::new()
+        .with(Arc::new(MdRunExecutor::new(model)))
+        .with(Arc::new(FepSampleExecutor));
+    let config = WorkerConfig {
+        telemetry: Some(telemetry.clone()),
+        ..WorkerConfig::default()
+    };
+    let workers = copernicus::core::connect_workers(&addr, key, opts.n_workers, config, registry)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        });
+    eprintln!("{} workers connected to {addr}", workers.len());
+    for w in workers {
+        w.join();
+    }
+    eprintln!("project finished; workers shut down");
+    if opts.report {
+        eprint!("{}", telemetry.render_report());
+    }
+    if let Some(dir) = &opts.telemetry_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create telemetry dir {dir}: {e}");
+            return;
+        }
+        let snapshot = format!("{dir}/snapshot.json");
+        if let Err(e) = std::fs::write(&snapshot, telemetry.snapshot_pretty()) {
+            eprintln!("cannot write {snapshot}: {e}");
         }
     }
 }
