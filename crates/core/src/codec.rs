@@ -16,7 +16,7 @@
 
 use crate::command::{Command, CommandOutput};
 use crate::ids::{CommandId, ProjectId, WorkerId};
-use crate::messages::{ToServer, ToWorker};
+use crate::messages::{PeerMsg, ToServer, ToWorker};
 use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
 use std::fmt;
 
@@ -423,6 +423,148 @@ pub fn decode_to_worker(buf: &[u8]) -> Result<ToWorker, CodecError> {
     Ok(msg)
 }
 
+// The peer sub-protocol lives in its own tag namespace (0x50+), so a
+// server listener can tell worker traffic from peer traffic by the
+// first payload byte — see [`decode_inbound`].
+const TP_HELLO: u8 = 0x50;
+const TP_OFFER_WORK: u8 = 0x51;
+const TP_DELEGATE_COMMAND: u8 = 0x52;
+const TP_DELEGATED_RESULT: u8 = 0x53;
+const TP_DELEGATED_ERROR: u8 = 0x54;
+const TP_HEARTBEAT: u8 = 0x55;
+const TP_SHUTDOWN: u8 = 0x56;
+
+/// Encode a server↔server peer message.
+pub fn encode_peer(msg: &PeerMsg) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        PeerMsg::Hello { server, projects } => {
+            put_u8(&mut out, TP_HELLO);
+            put_str(&mut out, server);
+            put_u32(&mut out, projects.len() as u32);
+            for p in projects {
+                put_u64(&mut out, p.0);
+            }
+        }
+        PeerMsg::OfferWork {
+            offer,
+            worker,
+            desc,
+        } => {
+            put_u8(&mut out, TP_OFFER_WORK);
+            put_u64(&mut out, *offer);
+            put_u64(&mut out, worker.0);
+            put_description(&mut out, desc);
+        }
+        PeerMsg::DelegateCommand {
+            offer,
+            worker,
+            commands,
+        } => {
+            put_u8(&mut out, TP_DELEGATE_COMMAND);
+            put_u64(&mut out, *offer);
+            put_u64(&mut out, worker.0);
+            put_u32(&mut out, commands.len() as u32);
+            for cmd in commands {
+                put_command(&mut out, cmd);
+            }
+        }
+        PeerMsg::DelegatedResult { output } => {
+            put_u8(&mut out, TP_DELEGATED_RESULT);
+            put_output(&mut out, output);
+        }
+        PeerMsg::DelegatedError {
+            worker,
+            project,
+            command,
+            epoch,
+            error,
+        } => {
+            put_u8(&mut out, TP_DELEGATED_ERROR);
+            put_u64(&mut out, worker.0);
+            put_u64(&mut out, project.0);
+            put_u64(&mut out, command.0);
+            put_u32(&mut out, *epoch);
+            put_str(&mut out, error);
+        }
+        PeerMsg::Heartbeat { worker } => {
+            put_u8(&mut out, TP_HEARTBEAT);
+            put_u64(&mut out, worker.0);
+        }
+        PeerMsg::Shutdown => put_u8(&mut out, TP_SHUTDOWN),
+    }
+    out
+}
+
+/// Decode a server↔server peer message. Total over arbitrary input.
+pub fn decode_peer(buf: &[u8]) -> Result<PeerMsg, CodecError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        TP_HELLO => {
+            let server = r.str()?;
+            let n = r.count()?;
+            let mut projects = Vec::new();
+            for _ in 0..n {
+                projects.push(ProjectId(r.u64()?));
+            }
+            PeerMsg::Hello { server, projects }
+        }
+        TP_OFFER_WORK => PeerMsg::OfferWork {
+            offer: r.u64()?,
+            worker: WorkerId(r.u64()?),
+            desc: get_description(&mut r)?,
+        },
+        TP_DELEGATE_COMMAND => {
+            let offer = r.u64()?;
+            let worker = WorkerId(r.u64()?);
+            let n = r.count()?;
+            let mut commands = Vec::new();
+            for _ in 0..n {
+                commands.push(get_command(&mut r)?);
+            }
+            PeerMsg::DelegateCommand {
+                offer,
+                worker,
+                commands,
+            }
+        }
+        TP_DELEGATED_RESULT => PeerMsg::DelegatedResult {
+            output: get_output(&mut r)?,
+        },
+        TP_DELEGATED_ERROR => PeerMsg::DelegatedError {
+            worker: WorkerId(r.u64()?),
+            project: ProjectId(r.u64()?),
+            command: CommandId(r.u64()?),
+            epoch: r.u32()?,
+            error: r.str()?,
+        },
+        TP_HEARTBEAT => PeerMsg::Heartbeat {
+            worker: WorkerId(r.u64()?),
+        },
+        TP_SHUTDOWN => PeerMsg::Shutdown,
+        other => return err(format!("unknown PeerMsg tag {other}")),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Anything that can arrive on a server's listener: worker traffic or
+/// peer traffic, told apart by the tag byte's namespace.
+#[derive(Debug, Clone)]
+pub enum Inbound {
+    Worker(ToServer),
+    Peer(PeerMsg),
+}
+
+/// Decode one inbound listener frame. Total over arbitrary input.
+pub fn decode_inbound(buf: &[u8]) -> Result<Inbound, CodecError> {
+    match buf.first() {
+        None => err("empty frame"),
+        Some(&tag) if tag >= TP_HELLO => Ok(Inbound::Peer(decode_peer(buf)?)),
+        Some(_) => Ok(Inbound::Worker(decode_to_server(buf)?)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,6 +736,87 @@ mod tests {
         bytes.extend_from_slice(&2u32.to_be_bytes());
         bytes.extend_from_slice(&[0xFF, 0xFE]);
         assert!(decode_to_server(&bytes).is_err());
+    }
+
+    #[test]
+    fn peer_variants_roundtrip() {
+        let msgs = vec![
+            PeerMsg::Hello {
+                server: "alpha".to_string(),
+                projects: vec![ProjectId(0), ProjectId(7)],
+            },
+            PeerMsg::OfferWork {
+                offer: 41,
+                worker: WorkerId(9),
+                desc: sample_desc(),
+            },
+            PeerMsg::DelegateCommand {
+                offer: 41,
+                worker: WorkerId(9),
+                commands: vec![sample_command()],
+            },
+            PeerMsg::DelegateCommand {
+                offer: 42,
+                worker: WorkerId(9),
+                commands: vec![],
+            },
+            PeerMsg::DelegatedResult {
+                output: CommandOutput::new(
+                    &sample_command(),
+                    WorkerId(9),
+                    json!({"ok": true}),
+                    0.125,
+                ),
+            },
+            PeerMsg::DelegatedError {
+                worker: WorkerId(1),
+                project: ProjectId(2),
+                command: CommandId(3),
+                epoch: 4,
+                error: "delegation declined".to_string(),
+            },
+            PeerMsg::Heartbeat {
+                worker: WorkerId(8),
+            },
+            PeerMsg::Shutdown,
+        ];
+        for msg in msgs {
+            let bytes = encode_peer(&msg);
+            let back = decode_peer(&bytes).expect("roundtrip");
+            assert_eq!(encode_peer(&back), bytes);
+            // Peer frames land in the peer half of the inbound split.
+            assert!(matches!(decode_inbound(&bytes), Ok(Inbound::Peer(_))));
+        }
+    }
+
+    #[test]
+    fn inbound_split_routes_by_tag_namespace() {
+        let worker = encode_to_server(&ToServer::Heartbeat {
+            worker: WorkerId(1),
+        });
+        assert!(matches!(
+            decode_inbound(&worker),
+            Ok(Inbound::Worker(ToServer::Heartbeat { .. }))
+        ));
+        assert!(decode_inbound(&[]).is_err());
+        // A tag in the gap between the namespaces fails both decoders.
+        assert!(decode_inbound(&[0x30]).is_err());
+        assert!(decode_inbound(&[0x60]).is_err());
+    }
+
+    #[test]
+    fn truncated_peer_frames_error_without_panicking() {
+        let full = encode_peer(&PeerMsg::OfferWork {
+            offer: 1,
+            worker: WorkerId(2),
+            desc: sample_desc(),
+        });
+        for len in 0..full.len() {
+            assert!(
+                decode_peer(&full[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod lifecycle;
 pub mod md_executors;
 pub mod messages;
 pub mod monitor;
+pub mod peer;
 pub mod plugins;
 pub mod queue;
 pub mod resources;
@@ -45,7 +46,10 @@ pub mod tcp;
 pub mod transport;
 pub mod worker;
 
-pub use broker::spawn_broker;
+pub use broker::{
+    spawn_broker, spawn_router, BrokerConfig, LocalUpstream, Offer, RouterHandle, Upstream,
+    UpstreamGone,
+};
 pub use command::{Command, CommandOutput, CommandSpec};
 pub use controller::{Action, Controller, ControllerEvent, DropReason};
 pub use executor::{
@@ -57,9 +61,10 @@ pub use fs::SharedFs;
 pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
 pub use lifecycle::{Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 pub use monitor::{Monitor, ProjectStatus, LOG_CAPACITY};
+pub use peer::{namespaced_worker, PeerEndpoint, PeerIdentity, PeerLink, PeerLinkConfig};
 pub use queue::CommandQueue;
 pub use resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
-pub use runtime::{run_project, start_project, RunningProject, RuntimeConfig};
+pub use runtime::{run_project, start_project, OverlayConfig, RunningProject, RuntimeConfig};
 pub use server::{ConfigError, ProjectResult, Server, ServerConfig, ServerConfigBuilder};
 pub use tcp::{
     connect_workers, serve_project, ServingProject, TcpServerTransport, TcpWorkerTransport,

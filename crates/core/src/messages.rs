@@ -70,3 +70,55 @@ pub enum ToWorker {
     /// The project is over; exit.
     Shutdown,
 }
+
+/// The server↔server peer protocol (§2.2, Fig. 1: the network of
+/// project servers). A server with idle workers dials a peer with
+/// backlog and *pulls* matching commands; the dialed server — the
+/// owner — keeps the commands in its own ledger throughout, so the
+/// attempt-epoch/exactly-once lifecycle needs no distributed state.
+/// See [`crate::peer`] for the two endpoint roles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PeerMsg {
+    /// First frame in each direction on a peer link: who I am and which
+    /// projects I host. The listener side replies with its own hello.
+    Hello {
+        server: String,
+        projects: Vec<ProjectId>,
+    },
+    /// Delegate → owner: worker `worker` (the delegate's real worker
+    /// id) is idle and matches `desc`; send work if any. `offer` is a
+    /// link-local nonce echoed in the reply so the delegate can tell a
+    /// late answer to an abandoned offer from the current one.
+    OfferWork {
+        offer: u64,
+        worker: WorkerId,
+        desc: WorkerDescription,
+    },
+    /// Owner → delegate: commands for `worker`, answering offer
+    /// `offer`. An empty command list means nothing matched.
+    DelegateCommand {
+        offer: u64,
+        worker: WorkerId,
+        commands: Vec<Command>,
+    },
+    /// Delegate → owner: a delegated command finished; `output.worker`
+    /// is the delegate's real worker id (the owner re-namespaces it).
+    DelegatedResult { output: CommandOutput },
+    /// Delegate → owner: a delegated command failed — or was *declined*
+    /// (the reply to an abandoned offer), which deliberately burns one
+    /// attempt so the owner re-queues instead of leaking the command.
+    DelegatedError {
+        worker: WorkerId,
+        project: ProjectId,
+        command: CommandId,
+        epoch: u32,
+        error: String,
+    },
+    /// Delegate → owner: the named remote worker is still alive. Each
+    /// remote worker heartbeats individually so the owner's watchdog
+    /// can orphan exactly the commands of a worker that died while the
+    /// delegate itself lives on.
+    Heartbeat { worker: WorkerId },
+    /// Owner → delegate: my project is over; stop offering.
+    Shutdown,
+}

@@ -15,6 +15,28 @@ use crate::transport;
 use crate::worker::{spawn_worker, WorkerConfig, WorkerHandle};
 use copernicus_telemetry::Telemetry;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Overlay (server↔server) tuning, used when `ServerConfig::peers` is
+/// non-empty. See [`crate::peer`].
+#[derive(Debug, Clone)]
+pub struct OverlayConfig {
+    /// How long a freshly dialed peer link waits for the remote hello
+    /// before proceeding without its identity.
+    pub hello_timeout: Duration,
+    /// How long the router waits for one upstream's verdict on a work
+    /// offer before offering the worker elsewhere.
+    pub offer_patience: Duration,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            hello_timeout: Duration::from_secs(2),
+            offer_patience: Duration::from_secs(5),
+        }
+    }
+}
 
 /// Runtime configuration.
 #[derive(Clone)]
@@ -22,6 +44,7 @@ pub struct RuntimeConfig {
     pub n_workers: usize,
     pub worker: WorkerConfig,
     pub server: ServerConfig,
+    pub overlay: OverlayConfig,
     /// One telemetry handle shared by the server (dispatch metrics,
     /// journal) and every worker (command wall time, MD step timings).
     pub telemetry: Option<Telemetry>,
@@ -33,6 +56,7 @@ impl Default for RuntimeConfig {
             n_workers: 4,
             worker: WorkerConfig::default(),
             server: ServerConfig::default(),
+            overlay: OverlayConfig::default(),
             telemetry: None,
         }
     }

@@ -59,8 +59,17 @@ pub struct ServerConfig {
     /// or `"127.0.0.1:0"` for an ephemeral test port). `None` runs the
     /// server on in-process channels only.
     pub bind: Option<String>,
-    /// Pre-shared link key; required whenever `bind` is set.
+    /// Pre-shared link key; required whenever `bind` is set (and
+    /// whenever `peers` is non-empty — peer links use the same key).
     pub auth_key: Option<AuthKey>,
+    /// This server's name on the overlay (sent in `PeerMsg::Hello`,
+    /// and the namespace key for delegated worker ids — see
+    /// [`crate::peer::namespaced_worker`]). Defaults to the bind
+    /// address when unset.
+    pub name: Option<String>,
+    /// Peer servers to dial and pull delegated work from
+    /// (`copernicus serve --peer <addr>`). Requires `auth_key`.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +82,8 @@ impl Default for ServerConfig {
             retry_backoff_max: Duration::from_secs(30),
             bind: None,
             auth_key: None,
+            name: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -124,6 +135,11 @@ impl ServerConfig {
         if self.bind.is_some() && self.auth_key.is_none() {
             return Err(ConfigError(
                 "bind is set but auth_key is not: refusing an unauthenticated listener".into(),
+            ));
+        }
+        if !self.peers.is_empty() && self.auth_key.is_none() {
+            return Err(ConfigError(
+                "peers are set but auth_key is not: peer links must authenticate".into(),
             ));
         }
         Ok(())
@@ -179,6 +195,19 @@ impl ServerConfigBuilder {
     pub fn bind(mut self, addr: impl Into<String>, key: AuthKey) -> Self {
         self.config.bind = Some(addr.into());
         self.config.auth_key = Some(key);
+        self
+    }
+
+    /// Name this server on the overlay (defaults to the bind address).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = Some(name.into());
+        self
+    }
+
+    /// Add a peer server to dial for delegated work. May be called
+    /// repeatedly; requires an auth key (set via [`Self::bind`]).
+    pub fn peer(mut self, addr: impl Into<String>) -> Self {
+        self.config.peers.push(addr.into());
         self
     }
 

@@ -19,25 +19,28 @@
 //! it reconnects, the new connection takes over the mapping and its
 //! next heartbeat resurrects it.
 
+use crate::broker::{spawn_router, BrokerConfig, LocalUpstream, RouterHandle, Upstream};
 use crate::codec;
 use crate::controller::Controller;
 use crate::executor::ExecutorRegistry;
 use crate::fs::SharedFs;
-use crate::ids::WorkerId;
-use crate::messages::{ToServer, ToWorker};
+use crate::ids::{ProjectId, WorkerId};
+use crate::messages::{PeerMsg, ToServer, ToWorker};
 use crate::monitor::Monitor;
+use crate::peer::{PeerEndpoint, PeerIdentity, PeerLink, PeerLinkConfig};
 use crate::runtime::RuntimeConfig;
 use crate::server::{ProjectResult, Server};
 use crate::transport::{
-    ServerRecvError, ServerTransport, TransportClosed, WorkerRecvError, WorkerSender,
+    channel, ServerRecvError, ServerTransport, TransportClosed, WorkerRecvError, WorkerSender,
     WorkerTransport,
 };
 use crate::worker::{spawn_worker, WorkerConfig, WorkerHandle};
+use copernicus_telemetry::Telemetry;
 use copernicus_wire::{
     AuthKey, ConnId, ConnectError, LinkStats, ListenerConfig, ReconnectPolicy, WireClient,
     WireEvent, WireListener,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::thread::JoinHandle;
@@ -55,6 +58,13 @@ pub struct TcpServerTransport {
     conn_of: HashMap<WorkerId, ConnId>,
     worker_of: HashMap<ConnId, WorkerId>,
     monitor: Option<Monitor>,
+    /// Owner-side overlay state: dialing peers speak the `PeerMsg`
+    /// protocol on this same listener, and their offers surface as
+    /// ordinary announce/request messages from namespaced workers.
+    peer: PeerEndpoint,
+    /// One wire frame can expand into several server messages (a peer
+    /// offer becomes announce + request); the surplus queues here.
+    pending: VecDeque<ToServer>,
 }
 
 impl TcpServerTransport {
@@ -70,6 +80,14 @@ impl TcpServerTransport {
             conn_of: HashMap::new(),
             worker_of: HashMap::new(),
             monitor: None,
+            peer: PeerEndpoint::new(
+                PeerIdentity {
+                    name: addr.to_string(),
+                    projects: vec![ProjectId(0)],
+                },
+                None,
+            ),
+            pending: VecDeque::new(),
         })
     }
 
@@ -77,6 +95,18 @@ impl TcpServerTransport {
     /// into a project monitor.
     pub fn with_monitor(mut self, monitor: Monitor) -> Self {
         self.monitor = Some(monitor);
+        self
+    }
+
+    /// Set the identity announced to dialing peers (and the telemetry
+    /// handle their journal events go to). Without this the transport
+    /// still accepts peers, introducing itself by its bind address.
+    pub fn with_peer_identity(
+        mut self,
+        identity: PeerIdentity,
+        telemetry: Option<Telemetry>,
+    ) -> Self {
+        self.peer = PeerEndpoint::new(identity, telemetry);
         self
     }
 
@@ -117,10 +147,26 @@ impl TcpServerTransport {
                 self.log(format!("{conn} from {peer} (session {session:#018x})"));
                 None
             }
-            WireEvent::Frame { conn, payload } => match codec::decode_to_server(&payload) {
-                Ok(msg) => {
+            WireEvent::Frame { conn, payload } => match codec::decode_inbound(&payload) {
+                Ok(codec::Inbound::Worker(msg)) => {
                     self.learn(msg.worker(), conn);
                     Some(msg)
+                }
+                Ok(codec::Inbound::Peer(msg)) => {
+                    // Replies to namespaced workers route through the
+                    // peer endpoint, not `conn_of`, so no `learn` here.
+                    let act = self.peer.handle(conn, msg);
+                    for line in act.log {
+                        self.log(line);
+                    }
+                    if let Some(reply) = act.reply {
+                        let _ = self.listener.send(conn, &reply);
+                    }
+                    if act.kick {
+                        self.listener.kick(conn);
+                    }
+                    self.pending.extend(act.inbound);
+                    self.pending.pop_front()
                 }
                 Err(e) => {
                     // An authenticated peer speaking garbage is broken
@@ -135,6 +181,8 @@ impl TcpServerTransport {
                 if let Some(worker) = self.worker_of.remove(&conn) {
                     self.conn_of.remove(&worker);
                     self.log(format!("{conn} ({worker}) dropped: {reason}"));
+                } else if let Some(peer) = self.peer.drop_conn(conn) {
+                    self.log(format!("{conn} (peer '{peer}') dropped: {reason}"));
                 } else {
                     self.log(format!("{conn} dropped: {reason}"));
                 }
@@ -150,6 +198,9 @@ impl TcpServerTransport {
 
 impl ServerTransport for TcpServerTransport {
     fn recv_timeout(&mut self, timeout: Duration) -> Result<ToServer, ServerRecvError> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(msg);
+        }
         let deadline = Instant::now() + timeout;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -167,6 +218,9 @@ impl ServerTransport for TcpServerTransport {
     }
 
     fn try_recv(&mut self) -> Option<ToServer> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Some(msg);
+        }
         while let Some(event) = self.listener.try_recv() {
             if let Some(msg) = self.absorb(event) {
                 return Some(msg);
@@ -176,6 +230,14 @@ impl ServerTransport for TcpServerTransport {
     }
 
     fn send(&mut self, worker: WorkerId, msg: ToWorker) {
+        if self.peer.is_delegate(worker) {
+            if let Some((conn, frame)) = self.peer.delegate_frame(worker, msg) {
+                if self.listener.send(conn, &frame).is_err() {
+                    self.log(format!("delegate send for {worker} on {conn} failed"));
+                }
+            }
+            return;
+        }
         if let Some(&conn) = self.conn_of.get(&worker) {
             if self
                 .listener
@@ -190,6 +252,14 @@ impl ServerTransport for TcpServerTransport {
     }
 
     fn broadcast(&mut self, msg: ToWorker) {
+        // Tell connected peers the project is over so they stop
+        // offering workers (their links see `PeerMsg::Shutdown`).
+        if matches!(msg, ToWorker::Shutdown) {
+            let bytes = codec::encode_peer(&PeerMsg::Shutdown);
+            for conn in self.peer.conns() {
+                let _ = self.listener.send(conn, &bytes);
+            }
+        }
         let bytes = codec::encode_to_worker(&msg);
         for &conn in self.conn_of.values() {
             let _ = self.listener.send(conn, &bytes);
@@ -290,21 +360,42 @@ impl WorkerSender for TcpWorkerSender {
 // Process-level wiring (what `copernicus serve` / `work` run)
 // ---------------------------------------------------------------------
 
-/// A project server listening on TCP.
+/// A project server listening on TCP (and, when peers are configured,
+/// the router delegating idle local workers to them).
 pub struct ServingProject {
     pub monitor: Monitor,
     pub shared_fs: SharedFs,
     /// The actually bound address (resolves `:0` ephemeral ports).
     pub local_addr: SocketAddr,
     server_thread: JoinHandle<ProjectResult>,
+    /// Present only in the peered topology (`ServerConfig::peers`
+    /// non-empty): the thread offering this server's workers to the
+    /// local project and to every dialed peer.
+    router: Option<RouterHandle>,
 }
 
 impl ServingProject {
-    /// Block until the controller finishes the project.
+    /// Kill the router abruptly — no shutdown courtesy to peers or
+    /// workers, as if the process died. Used by fault tests to sever a
+    /// delegate mid-command; a no-op in the unpeered topology.
+    pub fn stop_router(&self) {
+        if let Some(r) = &self.router {
+            r.stop();
+        }
+    }
+
+    /// Block until the controller finishes the project. Any router is
+    /// stopped once the local project is over: this process's workers
+    /// are released even if a peer's project is still running.
     pub fn join(self) -> ProjectResult {
-        self.server_thread
+        let result = self
+            .server_thread
             .join()
-            .expect("server thread must not panic")
+            .expect("server thread must not panic");
+        if let Some(r) = self.router {
+            r.stop_and_join();
+        }
+        result
     }
 }
 
@@ -347,23 +438,83 @@ pub fn serve_project(
         idle_timeout: (4 * config.server.heartbeat_interval).max(Duration::from_secs(5)),
         ..ListenerConfig::default()
     };
-    let transport =
-        TcpServerTransport::bind(&bind, key, listener_config, stats)?.with_monitor(monitor.clone());
+    let identity = PeerIdentity {
+        name: config.server.name.clone().unwrap_or_else(|| bind.clone()),
+        projects: vec![ProjectId(0)],
+    };
+    let transport = TcpServerTransport::bind(&bind, key, listener_config, stats)?
+        .with_monitor(monitor.clone())
+        .with_peer_identity(identity.clone(), config.telemetry.clone());
     let local_addr = transport.local_addr();
+
+    if config.server.peers.is_empty() {
+        // Unpeered: the server consumes the TCP transport directly.
+        // Dial-ins from peers still work — the transport's peer
+        // endpoint turns their offers into ordinary worker traffic.
+        let server = Server::new(
+            ProjectId(0),
+            controller,
+            config.server,
+            shared_fs.clone(),
+            monitor.clone(),
+            Box::new(transport),
+        );
+        let server_thread = std::thread::spawn(move || server.run());
+        return Ok(ServingProject {
+            monitor,
+            shared_fs,
+            local_addr,
+            server_thread,
+            router: None,
+        });
+    }
+
+    // Peered: the server moves onto an in-process hub and the TCP side
+    // goes to a router, so every worker dialing in is offered first to
+    // the local project and then to each peer in rotation.
+    let peers = config.server.peers.clone();
+    let (hub, hub_transport) = channel();
     let server = Server::new(
-        crate::ids::ProjectId(0),
+        ProjectId(0),
         controller,
         config.server,
         shared_fs.clone(),
         monitor.clone(),
-        Box::new(transport),
+        Box::new(hub_transport),
     );
     let server_thread = std::thread::spawn(move || server.run());
+
+    let mut upstreams: Vec<Box<dyn Upstream>> =
+        vec![Box::new(LocalUpstream::new("local", hub))];
+    let link_config = PeerLinkConfig {
+        hello_timeout: config.overlay.hello_timeout,
+        ..PeerLinkConfig::default()
+    };
+    for addr in &peers {
+        let stats = match &config.telemetry {
+            Some(t) => LinkStats::new(t.registry(), addr, "peer"),
+            None => LinkStats::detached(),
+        };
+        let link = PeerLink::dial(addr, key, &identity, link_config.clone(), stats)
+            .map_err(|e| {
+                io::Error::new(io::ErrorKind::ConnectionRefused, format!("peer {addr}: {e}"))
+            })?;
+        monitor.log(format!("peer link up: {}", link.label()));
+        upstreams.push(Box::new(link));
+    }
+    let router = spawn_router(
+        upstreams,
+        Box::new(transport),
+        BrokerConfig {
+            offer_patience: config.overlay.offer_patience,
+        },
+    );
     Ok(ServingProject {
         monitor,
         shared_fs,
         local_addr,
         server_thread,
+        router: Some(router),
     })
 }
 

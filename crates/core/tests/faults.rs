@@ -147,6 +147,7 @@ fn fault_runtime_config(n_workers: usize, max_attempts: u32) -> RuntimeConfig {
         },
         server: fault_server_config(max_attempts),
         telemetry: None,
+        ..RuntimeConfig::default()
     }
 }
 
@@ -326,16 +327,26 @@ fn crashed_workers_are_replaced_and_commands_complete() {
     assert_eq!(shared_fs.n_checkpoints(), 0);
 }
 
+/// Chaos seed: `COPERNICUS_TEST_SEED` when set (the CI seed matrix
+/// sweeps several), `0xC0FFEE` otherwise — same convention as the
+/// wire/codec property tests, so one env var re-seeds the whole suite.
+fn chaos_seed() -> u64 {
+    std::env::var("COPERNICUS_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FFEE)
+}
+
 #[test]
 fn chaos_run_accounts_every_command_exactly_once() {
     const N_COMMANDS: usize = 24;
-    const SEED: u64 = 0xC0FFEE;
+    let seed = chaos_seed();
 
     let log = ExecutionLog::new();
     let accounting = Arc::new(Mutex::new(Accounting::default()));
     let registry = ExecutorRegistry::new().with(Arc::new(ChaosExecutor::new(
         ChaosProfile {
-            seed: SEED,
+            seed,
             error_pct: 25,
             crash_pct: 15,
         },

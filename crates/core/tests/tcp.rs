@@ -106,6 +106,7 @@ fn tcp_config(key: AuthKey) -> RuntimeConfig {
             .build()
             .expect("test config must validate"),
         telemetry: None,
+        ..RuntimeConfig::default()
     }
 }
 

@@ -48,6 +48,11 @@ pub enum Event {
     WorkerLost { worker: u64 },
     /// A worker presumed dead spoke again and was marked alive.
     WorkerResurrected { worker: u64 },
+    /// An authenticated peer server introduced itself on this server's
+    /// listener (overlay `Hello`).
+    PeerConnected { peer: String, projects: u64 },
+    /// A command delegated to a peer server came back completed.
+    DelegationCompleted { command: u64, peer: String },
     /// An executor deposited a checkpoint on the shared filesystem.
     CheckpointWritten { command: u64, bytes: u64 },
     /// The MSM controller finished clustering a generation.
@@ -77,6 +82,8 @@ impl Event {
             Event::WorkerAnnounced { .. } => "worker_announced",
             Event::WorkerLost { .. } => "worker_lost",
             Event::WorkerResurrected { .. } => "worker_resurrected",
+            Event::PeerConnected { .. } => "peer_connected",
+            Event::DelegationCompleted { .. } => "delegation_completed",
             Event::CheckpointWritten { .. } => "checkpoint_written",
             Event::GenerationClustered { .. } => "generation_clustered",
             Event::SpanBegin { .. } => "span_begin",
@@ -128,6 +135,12 @@ impl Event {
             }
             Event::WorkerLost { worker } | Event::WorkerResurrected { worker } => {
                 obj.set("worker", *worker);
+            }
+            Event::PeerConnected { peer, projects } => {
+                obj.set("peer", peer.as_str()).set("projects", *projects);
+            }
+            Event::DelegationCompleted { command, peer } => {
+                obj.set("command", *command).set("peer", peer.as_str());
             }
             Event::CheckpointWritten { command, bytes } => {
                 obj.set("command", *command).set("bytes", *bytes);
@@ -192,6 +205,14 @@ impl Event {
             },
             "worker_resurrected" => Event::WorkerResurrected {
                 worker: u("worker")?,
+            },
+            "peer_connected" => Event::PeerConnected {
+                peer: s("peer")?,
+                projects: u("projects")?,
+            },
+            "delegation_completed" => Event::DelegationCompleted {
+                command: u("command")?,
+                peer: s("peer")?,
             },
             "checkpoint_written" => Event::CheckpointWritten {
                 command: u("command")?,
@@ -522,6 +543,14 @@ mod tests {
             n_states: 20,
             n_trajectories: 6,
             n_respawned: 2,
+        });
+        j.record(Event::PeerConnected {
+            peer: "beta".to_string(),
+            projects: 1,
+        });
+        j.record(Event::DelegationCompleted {
+            command: 3,
+            peer: "beta".to_string(),
         });
         j.note("free-form");
         {

@@ -68,6 +68,10 @@ pub fn render_text(snapshot: &Json) -> String {
         out.push_str(&format!("{left:<width$}  {right}\n"));
     }
 
+    if let Some(links) = render_wire_links(metrics) {
+        out.push_str(&links);
+    }
+
     if let Some(journal) = snapshot.get("journal") {
         out.push_str("\n== journal ==\n");
         let g = |key: &str| journal.get(key).and_then(Json::as_u64).unwrap_or(0);
@@ -79,6 +83,61 @@ pub fn render_text(snapshot: &Json) -> String {
         ));
     }
     out
+}
+
+/// Group the per-link `wire_*` counters (emitted by the wire layer's
+/// `LinkStats`, one labelled series per worker connection or peer
+/// link) into a per-link summary section. Returns `None` when the
+/// snapshot has no wire traffic at all.
+fn render_wire_links(metrics: &[Json]) -> Option<String> {
+    // (link, role) -> [frames tx, frames rx, bytes tx, bytes rx,
+    //                  reconnects, auth failures]
+    let mut links: std::collections::BTreeMap<(String, String), [u64; 6]> =
+        std::collections::BTreeMap::new();
+    for m in metrics {
+        let name = m.get("name").and_then(Json::as_str).unwrap_or("");
+        let slot = match name {
+            "wire_frames_sent" => 0,
+            "wire_frames_recv" => 1,
+            "wire_bytes_sent" => 2,
+            "wire_bytes_recv" => 3,
+            "wire_reconnects" => 4,
+            "wire_auth_failures" => 5,
+            _ => continue,
+        };
+        let labels = m.get("labels").and_then(Json::as_object);
+        let label = |key: &str| {
+            labels
+                .and_then(|map| map.get(key))
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string()
+        };
+        let value = m.get("value").and_then(Json::as_u64).unwrap_or(0);
+        links.entry((label("link"), label("role"))).or_default()[slot] += value;
+    }
+    if links.is_empty() {
+        return None;
+    }
+    let mut out = String::from("\n== wire links ==\n");
+    let width = links
+        .keys()
+        .map(|(link, role)| link.len() + role.len() + 3)
+        .max()
+        .unwrap_or(0);
+    for ((link, role), v) in links {
+        let left = format!("{link} ({role})");
+        out.push_str(&format!(
+            "{left:<width$}  frames {}/{} bytes {}/{} reconnects {} auth_failures {}\n",
+            v[0],
+            v[1],
+            si(v[2] as f64),
+            si(v[3] as f64),
+            v[4],
+            v[5]
+        ));
+    }
+    Some(out)
 }
 
 /// Format a number with an SI-style suffix for readability.
@@ -131,6 +190,45 @@ mod tests {
         assert!(text.contains("count=1"), "{text}");
         assert!(text.contains("== journal =="), "{text}");
         assert!(text.contains("recorded=1"), "{text}");
+    }
+
+    #[test]
+    fn renders_wire_link_section_grouped_per_link() {
+        let t = Telemetry::new();
+        for (link, role) in [("10.0.0.2:7878#0", "client"), ("10.0.0.9:7878", "peer")] {
+            let labels = crate::metrics::Labels::new()
+                .with("link", link)
+                .with("role", role);
+            t.registry()
+                .counter("wire_frames_sent", labels.clone())
+                .add(4);
+            t.registry()
+                .counter("wire_frames_recv", labels.clone())
+                .add(3);
+            t.registry()
+                .counter("wire_bytes_sent", labels.clone())
+                .add(2048);
+            t.registry().counter("wire_bytes_recv", labels.clone()).add(512);
+            t.registry().counter("wire_reconnects", labels.clone()).add(1);
+            t.registry().counter("wire_auth_failures", labels).add(0);
+        }
+        let text = render_text(&t.snapshot());
+        assert!(text.contains("== wire links =="), "{text}");
+        assert!(text.contains("10.0.0.2:7878#0 (client)"), "{text}");
+        assert!(text.contains("10.0.0.9:7878 (peer)"), "{text}");
+        assert!(text.contains("frames 4/3"), "{text}");
+        assert!(text.contains("bytes 2.05k/512.00"), "{text}");
+        assert!(text.contains("reconnects 1"), "{text}");
+    }
+
+    #[test]
+    fn no_wire_section_without_wire_metrics() {
+        let t = Telemetry::new();
+        t.registry()
+            .counter("commands_dispatched", crate::metrics::Labels::new())
+            .add(1);
+        let text = render_text(&t.snapshot());
+        assert!(!text.contains("== wire links =="), "{text}");
     }
 
     #[test]

@@ -76,12 +76,22 @@ fn main() {
             run_msm_config(cfg, &opts);
         }
         "report" => render_snapshot(config_path),
-        "serve" => run_serve(
-            config_path,
-            &opts,
-            flag_value("--bind"),
-            flag_value("--key"),
-        ),
+        "serve" => {
+            // --peer may repeat: one overlay link per occurrence.
+            let peers: Vec<String> = args
+                .windows(2)
+                .filter(|w| w[0] == "--peer")
+                .map(|w| w[1].clone())
+                .collect();
+            run_serve(
+                config_path,
+                &opts,
+                flag_value("--bind"),
+                flag_value("--key"),
+                flag_value("--name"),
+                peers,
+            )
+        }
         "work" => run_work(&opts, flag_value("--connect"), flag_value("--key")),
         _ => {
             eprintln!(
@@ -94,6 +104,8 @@ fn main() {
             eprintln!("  demo    run a built-in 1-minute adaptive-sampling demo");
             eprintln!("  report  render a saved telemetry snapshot as text");
             eprintln!("  serve   project server on TCP: --bind ADDR --key PASSPHRASE");
+            eprintln!("          [--name NAME] [--peer ADDR]...  join the server overlay:");
+            eprintln!("          dial each peer and pull work for idle local workers");
             eprintln!("  work    worker pool over TCP: --connect ADDR --key PASSPHRASE");
             eprintln!();
             eprintln!("  --report             print the telemetry report after the run");
@@ -118,6 +130,8 @@ fn run_serve(
     opts: &Options,
     bind: Option<String>,
     key: Option<String>,
+    name: Option<String>,
+    peers: Vec<String>,
 ) {
     let bind = require_flag(bind, "--bind ADDR (e.g. --bind 0.0.0.0:7878)");
     let key = AuthKey::from_passphrase(&require_flag(key, "--key PASSPHRASE"));
@@ -130,13 +144,17 @@ fn run_serve(
     let telemetry = Telemetry::new();
     let model = Arc::new(VillinModel::hp35());
     let controller = MsmController::new(model, cfg).with_telemetry(telemetry.clone());
-    let server = ServerConfig::builder()
-        .bind(&bind, key)
-        .build()
-        .unwrap_or_else(|e| {
-            eprintln!("invalid server config: {e}");
-            std::process::exit(2);
-        });
+    let mut builder = ServerConfig::builder().bind(&bind, key);
+    if let Some(name) = name {
+        builder = builder.name(name);
+    }
+    for peer in &peers {
+        builder = builder.peer(peer);
+    }
+    let server = builder.build().unwrap_or_else(|e| {
+        eprintln!("invalid server config: {e}");
+        std::process::exit(2);
+    });
     let serving = copernicus::core::serve_project(
         Box::new(controller),
         RuntimeConfig {
