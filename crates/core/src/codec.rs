@@ -18,6 +18,7 @@ use crate::command::{Command, CommandOutput};
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::messages::{PeerMsg, ToServer, ToWorker};
 use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
+use copernicus_telemetry::TraceContext;
 use std::fmt;
 
 /// Why a byte buffer could not be decoded.
@@ -182,6 +183,45 @@ impl<'a> Reader<'a> {
     }
 }
 
+fn put_opt_trace(out: &mut Vec<u8>, trace: &Option<TraceContext>) {
+    match trace {
+        Some(ctx) => {
+            put_u8(out, 1);
+            put_u64(out, ctx.trace_id);
+            put_u64(out, ctx.span_id);
+            match ctx.parent_span_id {
+                Some(p) => {
+                    put_u8(out, 1);
+                    put_u64(out, p);
+                }
+                None => put_u8(out, 0),
+            }
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn get_opt_trace(r: &mut Reader) -> Result<Option<TraceContext>, CodecError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let trace_id = r.u64()?;
+            let span_id = r.u64()?;
+            let parent_span_id = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                other => return err(format!("bad trace parent presence byte {other}")),
+            };
+            Ok(Some(TraceContext {
+                trace_id,
+                span_id,
+                parent_span_id,
+            }))
+        }
+        other => err(format!("bad trace presence byte {other}")),
+    }
+}
+
 // ----------------------------------------------------------- components
 
 fn put_platform(out: &mut Vec<u8>, p: Platform) {
@@ -263,6 +303,7 @@ fn put_command(out: &mut Vec<u8>, cmd: &Command) {
     put_json(out, &cmd.payload);
     put_opt_json(out, &cmd.checkpoint);
     put_u32(out, cmd.attempts);
+    put_opt_trace(out, &cmd.trace);
     // `not_before` is process-local scheduling state; like serde's
     // `#[serde(skip)]`, it does not cross the wire.
 }
@@ -277,6 +318,7 @@ fn get_command(r: &mut Reader) -> Result<Command, CodecError> {
         payload: r.json()?,
         checkpoint: r.opt_json()?,
         attempts: r.u32()?,
+        trace: get_opt_trace(r)?,
         not_before: None,
     })
 }
@@ -290,6 +332,7 @@ fn put_output(out: &mut Vec<u8>, o: &CommandOutput) {
     put_json(out, &o.data);
     put_f64(out, o.wall_secs);
     put_u64(out, o.bytes);
+    put_opt_trace(out, &o.trace);
 }
 
 fn get_output(r: &mut Reader) -> Result<CommandOutput, CodecError> {
@@ -302,6 +345,7 @@ fn get_output(r: &mut Reader) -> Result<CommandOutput, CodecError> {
         data: r.json()?,
         wall_secs: r.f64()?,
         bytes: r.u64()?,
+        trace: get_opt_trace(r)?,
     })
 }
 
@@ -580,6 +624,11 @@ mod tests {
         );
         cmd.attempts = 2;
         cmd.checkpoint = Some(json!({"frame": 120}));
+        cmd.trace = Some(TraceContext {
+            trace_id: 0xDEAD_BEEF_1234_5678,
+            span_id: 42,
+            parent_span_id: Some(41),
+        });
         cmd
     }
 
@@ -663,6 +712,59 @@ mod tests {
         assert_eq!(cmd.payload["steps"], 5000);
         assert_eq!(cmd.checkpoint.as_ref().unwrap()["frame"], 120);
         assert!(cmd.not_before.is_none());
+        let trace = cmd.trace.expect("trace context crossed the wire");
+        assert_eq!(trace.trace_id, 0xDEAD_BEEF_1234_5678);
+        assert_eq!(trace.span_id, 42);
+        assert_eq!(trace.parent_span_id, Some(41));
+    }
+
+    #[test]
+    fn trace_context_roundtrips_in_all_shapes() {
+        for trace in [
+            None,
+            Some(TraceContext {
+                trace_id: 1,
+                span_id: 2,
+                parent_span_id: None,
+            }),
+            Some(TraceContext {
+                trace_id: u64::MAX,
+                span_id: 0,
+                parent_span_id: Some(u64::MAX),
+            }),
+        ] {
+            let mut cmd = sample_command();
+            cmd.trace = trace;
+            let bytes = encode_to_worker(&ToWorker::Workload(vec![cmd]));
+            let ToWorker::Workload(cmds) = decode_to_worker(&bytes).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(cmds[0].trace, trace);
+
+            let mut out =
+                CommandOutput::new(&sample_command(), WorkerId(9), json!({"ok": 1}), 0.5);
+            out.trace = trace;
+            let bytes = encode_to_server(&ToServer::Completed { output: out });
+            let ToServer::Completed { output } = decode_to_server(&bytes).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(output.trace, trace);
+        }
+    }
+
+    #[test]
+    fn bad_trace_presence_bytes_are_rejected() {
+        // A valid heartbeat is one byte + u64; build a Workload of one
+        // command and corrupt its trace presence byte (last byte since
+        // trace is the final field).
+        let bytes = encode_to_worker(&ToWorker::Workload(vec![{
+            let mut cmd = sample_command();
+            cmd.trace = None;
+            cmd
+        }]));
+        let mut corrupt = bytes.clone();
+        *corrupt.last_mut().unwrap() = 7;
+        assert!(decode_to_worker(&corrupt).is_err());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::resources::Resources;
+use copernicus_telemetry::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -62,6 +63,13 @@ pub struct Command {
     /// Process-local scheduling state, never serialized.
     #[serde(skip)]
     pub not_before: Option<Instant>,
+    /// Distributed-tracing context: minted by the owning server at
+    /// enqueue, re-stamped with the attempt span at each dispatch, and
+    /// carried across the wire by the binary codec so worker and
+    /// delegate spans join the owner's trace. Not part of the serde
+    /// (checkpoint) shape — a restored command starts a fresh trace.
+    #[serde(skip)]
+    pub trace: Option<TraceContext>,
 }
 
 impl Command {
@@ -76,6 +84,7 @@ impl Command {
             checkpoint: None,
             attempts: 0,
             not_before: None,
+            trace: None,
         }
     }
 
@@ -102,6 +111,10 @@ pub struct CommandOutput {
     pub wall_secs: f64,
     /// Serialized size of `data` (ensemble-bandwidth accounting).
     pub bytes: u64,
+    /// Echo of the dispatched command's trace context so results can be
+    /// attributed to the right attempt span even after a delegation hop.
+    #[serde(skip)]
+    pub trace: Option<TraceContext>,
 }
 
 impl CommandOutput {
@@ -118,6 +131,7 @@ impl CommandOutput {
             data,
             wall_secs,
             bytes,
+            trace: cmd.trace,
         }
     }
 }

@@ -50,7 +50,7 @@ use crate::command::CommandOutput;
 use crate::ids::{CommandId, ProjectId, WorkerId};
 use crate::messages::{PeerMsg, ToServer, ToWorker};
 use crate::resources::WorkerDescription;
-use copernicus_telemetry::{Event, Telemetry};
+use copernicus_telemetry::{span_names, ActiveSpan, Event, Telemetry};
 use copernicus_wire::{
     AuthKey, ConnId, ConnectError, LinkStats, ReconnectPolicy, RecvError, WireClient,
 };
@@ -325,6 +325,12 @@ pub struct PeerLink {
     descs: HashMap<WorkerId, WorkerDescription>,
     next_offer: u64,
     done: bool,
+    /// Local tracer for delegate-side spans (None = tracing off).
+    telemetry: Option<Telemetry>,
+    /// Open `delegated` spans: accepted from the owner → result (or
+    /// error) forwarded back. Keyed like the broker's ownership map —
+    /// command ids are only unique per project.
+    holds: HashMap<(ProjectId, CommandId), ActiveSpan>,
 }
 
 impl PeerLink {
@@ -351,6 +357,8 @@ impl PeerLink {
             descs: HashMap::new(),
             next_offer: 1,
             done: false,
+            telemetry: None,
+            holds: HashMap::new(),
         };
         let deadline = Instant::now() + config.hello_timeout;
         while link.remote.is_none() && !link.done {
@@ -371,6 +379,39 @@ impl PeerLink {
     /// The peer's identity, once its hello has arrived.
     pub fn remote(&self) -> Option<&PeerInfo> {
         self.remote.as_ref()
+    }
+
+    /// Attach telemetry: accepted delegations get a `delegated` span
+    /// (parented on the owner's attempt context riding in the command)
+    /// that closes when the result or error is forwarded back.
+    pub fn with_telemetry(mut self, telemetry: Option<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Open the delegate-side hold spans for an accepted workload and
+    /// re-stamp each command so local worker `exec` spans nest under
+    /// the delegation rather than directly under the owner's attempt.
+    fn open_holds(&mut self, commands: &mut [Command]) {
+        let Some(t) = &self.telemetry else { return };
+        for cmd in commands {
+            let Some(ctx) = &cmd.trace else { continue };
+            let mut span = t
+                .tracer()
+                .start_child(span_names::DELEGATED, "delegate", ctx);
+            span.set_attr("command", cmd.id.to_string());
+            span.set_attr("owner", self.label());
+            cmd.trace = Some(span.context());
+            self.holds.insert((cmd.project, cmd.id), span);
+        }
+    }
+
+    /// Close one hold span with a terminal disposition.
+    fn close_hold(&mut self, project: ProjectId, command: CommandId, disposition: &str) {
+        if let Some(mut span) = self.holds.remove(&(project, command)) {
+            span.set_attr("disposition", disposition);
+            span.finish();
+        }
     }
 
     /// Tear the link down (used when aborting the overlay).
@@ -477,12 +518,13 @@ impl Upstream for PeerLink {
                     Ok(PeerMsg::DelegateCommand {
                         offer: o,
                         worker: w,
-                        commands,
+                        mut commands,
                     }) => {
                         if o == offer && w == worker {
                             if commands.is_empty() {
                                 return Offer::NoWork;
                             }
+                            self.open_holds(&mut commands);
                             return Offer::Workload(commands);
                         }
                         // Answer to an abandoned offer: refuse it so
@@ -519,6 +561,7 @@ impl Upstream for PeerLink {
     }
 
     fn completed(&mut self, output: CommandOutput) -> Result<(), UpstreamGone> {
+        self.close_hold(output.project, output.command, "completed");
         self.push(&PeerMsg::DelegatedResult { output })
     }
 
@@ -530,6 +573,7 @@ impl Upstream for PeerLink {
         epoch: u32,
         error: String,
     ) -> Result<(), UpstreamGone> {
+        self.close_hold(project, command, "error");
         self.push(&PeerMsg::DelegatedError {
             worker,
             project,

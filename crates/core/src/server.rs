@@ -25,7 +25,10 @@ use crate::monitor::Monitor;
 use crate::queue::CommandQueue;
 use crate::resources::WorkerDescription;
 use crate::transport::{ServerRecvError, ServerTransport};
-use copernicus_telemetry::{buckets, names, Counter, Event, Gauge, Histogram, Labels, Telemetry};
+use copernicus_telemetry::{
+    buckets, names, span_names, ActiveSpan, Counter, Event, Gauge, Histogram, Labels, Telemetry,
+    Tracer,
+};
 use copernicus_wire::AuthKey;
 use std::collections::HashMap;
 use std::fmt;
@@ -254,6 +257,15 @@ impl InFlight {
     }
 }
 
+/// The owning server's live spans for one command: the root `command`
+/// span (enqueue → terminal) plus whichever of `queued` / `attempt` is
+/// currently open. Finished spans record themselves into the tracer.
+struct CommandTrace {
+    root: ActiveSpan,
+    queued: Option<ActiveSpan>,
+    attempt: Option<ActiveSpan>,
+}
+
 /// One step of the lifecycle machine; see [`Server::transition`].
 enum Transition {
     /// Queued → Dispatched. The command has been pulled from the queue
@@ -334,6 +346,10 @@ pub struct Server {
     running: HashMap<CommandId, InFlight>,
     /// When each queued command entered the queue (dispatch latency).
     queued_at: HashMap<CommandId, Instant>,
+    /// Live trace spans per command (only populated when telemetry is
+    /// attached); entries are removed — closing their spans — when the
+    /// command reaches a terminal phase.
+    traces: HashMap<CommandId, CommandTrace>,
     workers: HashMap<WorkerId, WorkerState>,
     shared_fs: SharedFs,
     monitor: Monitor,
@@ -368,6 +384,7 @@ impl Server {
             queue: CommandQueue::new(),
             running: HashMap::new(),
             queued_at: HashMap::new(),
+            traces: HashMap::new(),
             workers: HashMap::new(),
             shared_fs,
             monitor,
@@ -431,6 +448,25 @@ impl Server {
         }
     }
 
+    fn tracer(&self) -> Option<Tracer> {
+        self.metrics.as_ref().map(|m| m.telemetry.tracer().clone())
+    }
+
+    /// Close every live span for `command` with a terminal disposition.
+    fn finish_trace(&mut self, command: CommandId, disposition: &str) {
+        if let Some(mut trace) = self.traces.remove(&command) {
+            if let Some(mut attempt) = trace.attempt.take() {
+                attempt.set_attr("disposition", disposition);
+                attempt.finish();
+            }
+            if let Some(queued) = trace.queued.take() {
+                queued.finish();
+            }
+            trace.root.set_attr("disposition", disposition);
+            trace.root.finish();
+        }
+    }
+
     /// The lifecycle phase (and attempt epoch) a command is currently
     /// in, or `None` once it reached a terminal phase and was forgotten.
     fn phase_of(&self, id: CommandId) -> Option<(Phase, u32)> {
@@ -459,6 +495,26 @@ impl Server {
                     if let Some(m) = &self.metrics {
                         m.dispatch_latency
                             .record(now.duration_since(enqueued).as_secs_f64());
+                    }
+                }
+                // Trace: close the wait-in-queue span, open this
+                // attempt's span, and re-stamp the command with the
+                // attempt context so worker/delegate spans parent onto
+                // this attempt (not the root).
+                let tracer = self.tracer();
+                if let Some(trace) = self.traces.get_mut(&cmd.id) {
+                    if let Some(mut queued) = trace.queued.take() {
+                        queued.set_attr("worker", worker.to_string());
+                        queued.finish();
+                    }
+                    if let Some(tracer) = &tracer {
+                        let root_ctx = trace.root.context();
+                        let mut attempt =
+                            tracer.start_child(span_names::ATTEMPT, "server", &root_ctx);
+                        attempt.set_attr("worker", worker.to_string());
+                        attempt.set_attr("epoch", cmd.attempts.to_string());
+                        cmd.trace = Some(attempt.context());
+                        trace.attempt = Some(attempt);
                     }
                 }
                 if let Some(m) = &self.metrics {
@@ -545,6 +601,24 @@ impl Server {
                 let mut cmd = inflight.cmd;
                 let attempts = cmd.attempts;
 
+                // Trace: the attempt span ends here, whatever the retry
+                // policy decides next.
+                if let Some(trace) = self.traces.get_mut(&command) {
+                    if let Some(mut attempt) = trace.attempt.take() {
+                        attempt.set_attr(
+                            "disposition",
+                            match kind {
+                                FaultKind::Error => "error",
+                                FaultKind::WorkerLost => "worker_lost",
+                            },
+                        );
+                        if let Some(e) = &error {
+                            attempt.set_attr("error", e.as_str());
+                        }
+                        attempt.finish();
+                    }
+                }
+
                 if kind == FaultKind::Error {
                     let error = error.as_deref().unwrap_or("unknown error");
                     self.monitor
@@ -581,6 +655,19 @@ impl Server {
                                 had_checkpoint: cmd.checkpoint.is_some(),
                             });
                         }
+                        let tracer = self.tracer();
+                        if let Some(trace) = self.traces.get_mut(&command) {
+                            if let Some(tracer) = &tracer {
+                                let root_ctx = trace.root.context();
+                                let mut queued =
+                                    tracer.start_child(span_names::QUEUED, "server", &root_ctx);
+                                queued.set_attr("requeue_after", match kind {
+                                    FaultKind::Error => "error",
+                                    FaultKind::WorkerLost => "worker_lost",
+                                });
+                                trace.queued = Some(queued);
+                            }
+                        }
                         self.queued_at.insert(command, now);
                         self.queue.enqueue(cmd);
                         self.commands_requeued += 1;
@@ -595,6 +682,7 @@ impl Server {
                     Disposition::Drop => {
                         // Terminal: clear the checkpoint, tell the
                         // controller this command will never finish.
+                        self.finish_trace(command, "dropped");
                         self.shared_fs.clear(command);
                         self.queued_at.remove(&command);
                         self.commands_dropped += 1;
@@ -630,6 +718,7 @@ impl Server {
             }
 
             Transition::Cancel { command } => {
+                self.finish_trace(command, "cancelled");
                 self.queue.remove(command);
                 self.queued_at.remove(&command);
                 // A re-queued command may carry a checkpoint from an
@@ -644,6 +733,7 @@ impl Server {
     /// controller — exactly once per command, by construction (the
     /// judge sends every later result to `drop_stale_result`).
     fn complete(&mut self, output: CommandOutput, dispatched_at: Option<Instant>) {
+        self.finish_trace(output.command, "completed");
         self.shared_fs.clear(output.command);
         self.queued_at.remove(&output.command);
         self.commands_completed += 1;
@@ -756,6 +846,24 @@ impl Server {
                         self.resurrect(worker);
                     }
                 }
+                // Trace: mark the heartbeat on every attempt span this
+                // worker is currently running, so a merged trace shows
+                // liveness between dispatch and result.
+                if !self.traces.is_empty() {
+                    let covered: Vec<CommandId> = self
+                        .running
+                        .iter()
+                        .filter(|(_, inflight)| inflight.worker == worker)
+                        .map(|(&c, _)| c)
+                        .collect();
+                    for command in covered {
+                        if let Some(trace) = self.traces.get_mut(&command) {
+                            if let Some(attempt) = trace.attempt.as_mut() {
+                                attempt.add_event(span_names::HEARTBEAT);
+                            }
+                        }
+                    }
+                }
             }
         }
     }
@@ -809,8 +917,30 @@ impl Server {
             match action {
                 Action::Spawn(specs) => {
                     let now = Instant::now();
+                    let tracer = self.tracer();
                     for spec in specs {
-                        let cmd = Command::from_spec(self.ids.next_command(), self.project, spec);
+                        let mut cmd =
+                            Command::from_spec(self.ids.next_command(), self.project, spec);
+                        // Trace: mint the command's root context here —
+                        // the single origin every later span (attempts,
+                        // worker exec, delegate hold) hangs off.
+                        if let Some(tracer) = &tracer {
+                            let ctx = tracer.mint_trace();
+                            cmd.trace = Some(ctx);
+                            let mut root =
+                                tracer.start_with_context(span_names::COMMAND, "server", ctx);
+                            root.set_attr("command", cmd.id.to_string());
+                            root.set_attr("command_type", cmd.command_type.as_str());
+                            let queued = tracer.start_child(span_names::QUEUED, "server", &ctx);
+                            self.traces.insert(
+                                cmd.id,
+                                CommandTrace {
+                                    root,
+                                    queued: Some(queued),
+                                    attempt: None,
+                                },
+                            );
+                        }
                         self.queued_at.insert(cmd.id, now);
                         self.queue.enqueue(cmd);
                     }
@@ -860,6 +990,160 @@ impl Server {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::command::CommandSpec;
+    use crate::controller::ControllerEvent;
+    use crate::resources::{ExecutableSpec, Platform, Resources};
+    use crate::transport::{self, ChannelHub};
+    use serde_json::json;
+
+    struct Noop;
+
+    impl Controller for Noop {
+        fn name(&self) -> &str {
+            "noop"
+        }
+        fn on_event(&mut self, _event: ControllerEvent<'_>) -> Vec<Action> {
+            Vec::new()
+        }
+    }
+
+    /// A server with telemetry attached and no retry backoff, driven by
+    /// calling `handle` directly (no threads). The hub is returned only
+    /// to keep the reply channel open.
+    fn test_server(telemetry: Telemetry) -> (Server, ChannelHub) {
+        let (hub, server_transport) = transport::channel();
+        let config = ServerConfig::builder()
+            .retry(RetryPolicy {
+                max_attempts: 5,
+                backoff_base: Duration::ZERO,
+                backoff_max: Duration::ZERO,
+            })
+            .build()
+            .unwrap();
+        let server = Server::new(
+            ProjectId(0),
+            Box::new(Noop),
+            config,
+            SharedFs::new(),
+            Monitor::with_telemetry(telemetry),
+            Box::new(server_transport),
+        );
+        (server, hub)
+    }
+
+    fn noop_worker_desc() -> WorkerDescription {
+        WorkerDescription {
+            platform: Platform::Smp,
+            resources: Resources::new(4, 1000),
+            executables: vec![ExecutableSpec::new("noop", Platform::Smp, "1")],
+        }
+    }
+
+    #[test]
+    fn declined_delegation_requeues_with_dispatch_latency() {
+        let telemetry = Telemetry::for_process("owner");
+        let (mut server, _hub) = test_server(telemetry.clone());
+        server.apply_actions(vec![Action::Spawn(vec![CommandSpec::new(
+            "noop",
+            Resources::new(1, 1),
+            json!(null),
+        )])]);
+        assert_eq!(server.queued_at.len(), 1);
+        let id = *server.queued_at.keys().next().unwrap();
+        let worker = WorkerId(7);
+        server.handle(ToServer::Announce {
+            worker,
+            desc: noop_worker_desc(),
+        });
+        server.handle(ToServer::RequestWork { worker });
+        assert!(server.queued_at.is_empty(), "dispatch consumes queued_at");
+        assert_eq!(server.running.len(), 1);
+
+        // A delegate declining a stale offer reports one CommandError
+        // per command, carrying the dispatch epoch. The re-queue must
+        // restore queued_at so redispatch latency is recorded — and must
+        // not leak the entry once the command finally dispatches.
+        server.handle(ToServer::CommandError {
+            worker,
+            project: ProjectId(0),
+            command: id,
+            epoch: 1,
+            error: "delegation declined (stale offer)".into(),
+        });
+        assert!(server.running.is_empty());
+        assert_eq!(server.queue.len(), 1);
+        assert_eq!(
+            server.queued_at.len(),
+            1,
+            "decline re-queue must restore queued_at"
+        );
+
+        server.handle(ToServer::RequestWork { worker });
+        assert_eq!(server.running.len(), 1);
+        assert!(
+            server.queued_at.is_empty(),
+            "no queued_at leak after redispatch"
+        );
+        let h = telemetry
+            .registry()
+            .find_histogram(names::DISPATCH_LATENCY, &Labels::new())
+            .unwrap();
+        assert_eq!(h.count(), 2, "latency recorded on dispatch and redispatch");
+
+        let cmd = server.running.values().next().unwrap().cmd.clone();
+        let output = CommandOutput::new(&cmd, worker, json!({}), 0.01);
+        server.handle(ToServer::Completed { output });
+        assert!(server.queued_at.is_empty());
+        assert!(server.running.is_empty());
+        assert!(server.traces.is_empty(), "terminal commands close spans");
+        assert_eq!(server.commands_completed, 1);
+    }
+
+    #[test]
+    fn command_lifecycle_emits_span_tree_with_heartbeats() {
+        let telemetry = Telemetry::for_process("owner");
+        let (mut server, _hub) = test_server(telemetry.clone());
+        server.apply_actions(vec![Action::Spawn(vec![CommandSpec::new(
+            "noop",
+            Resources::new(1, 1),
+            json!(null),
+        )])]);
+        let worker = WorkerId(3);
+        server.handle(ToServer::Announce {
+            worker,
+            desc: noop_worker_desc(),
+        });
+        server.handle(ToServer::RequestWork { worker });
+        server.handle(ToServer::Heartbeat { worker });
+        let cmd = server.running.values().next().unwrap().cmd.clone();
+        assert!(
+            cmd.trace.is_some(),
+            "dispatched command carries the attempt context"
+        );
+        let output = CommandOutput::new(&cmd, worker, json!({}), 0.01);
+        server.handle(ToServer::Completed { output });
+
+        let spans = telemetry.tracer().spans();
+        assert_eq!(spans.len(), 3, "queued + attempt + command: {spans:#?}");
+        let root = spans.iter().find(|s| s.name == "command").unwrap();
+        let queued = spans.iter().find(|s| s.name == "queued").unwrap();
+        let attempt = spans.iter().find(|s| s.name == "attempt").unwrap();
+        assert_eq!(root.parent_span_id, None);
+        assert_eq!(queued.parent_span_id, Some(root.span_id));
+        assert_eq!(attempt.parent_span_id, Some(root.span_id));
+        assert!(spans.iter().all(|s| s.trace_id == root.trace_id));
+        assert_eq!(
+            attempt.events.iter().filter(|e| e.name == "heartbeat").count(),
+            1,
+            "heartbeat marked on the live attempt span"
+        );
+        assert!(root
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "disposition" && v == "completed"));
+        // The dispatched command's context is the attempt span itself.
+        assert_eq!(cmd.trace.unwrap().span_id, attempt.span_id);
+    }
 
     #[test]
     fn builder_accepts_sane_defaults() {

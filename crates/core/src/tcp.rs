@@ -498,7 +498,8 @@ pub fn serve_project(
         let link = PeerLink::dial(addr, key, &identity, link_config.clone(), stats)
             .map_err(|e| {
                 io::Error::new(io::ErrorKind::ConnectionRefused, format!("peer {addr}: {e}"))
-            })?;
+            })?
+            .with_telemetry(config.telemetry.clone());
         monitor.log(format!("peer link up: {}", link.label()));
         upstreams.push(Box::new(link));
     }

@@ -19,7 +19,7 @@ use crate::ids::WorkerId;
 use crate::messages::{ToServer, ToWorker};
 use crate::resources::{Platform, Resources, WorkerDescription};
 use crate::transport::{WorkerRecvError, WorkerTransport};
-use copernicus_telemetry::{buckets, labels, names, Telemetry};
+use copernicus_telemetry::{buckets, labels, names, span_names, Telemetry};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -212,6 +212,21 @@ fn worker_loop(
                         });
                         continue;
                     };
+                    // Trace: an `exec` span parented on the attempt
+                    // context the server stamped into the command, so
+                    // worker-side wall time nests under the owner's
+                    // attempt in a merged trace.
+                    let mut exec_span = match (&config.telemetry, &cmd.trace) {
+                        (Some(t), Some(ctx)) => {
+                            let actor = format!("worker-{}", id.0);
+                            let mut span =
+                                t.tracer().start_child(span_names::EXEC, &actor, ctx);
+                            span.set_attr("command", cmd.id.to_string());
+                            span.set_attr("epoch", cmd.attempts.to_string());
+                            Some(span)
+                        }
+                        _ => None,
+                    };
                     let t0 = Instant::now();
                     let result = executor.execute(ExecContext {
                         command: &cmd,
@@ -219,6 +234,17 @@ fn worker_loop(
                         shared_fs: config.shared_fs.as_ref(),
                         telemetry: config.telemetry.as_ref(),
                     });
+                    if let Some(span) = exec_span.as_mut() {
+                        span.set_attr(
+                            "outcome",
+                            match &result {
+                                Ok(_) => "ok",
+                                Err(ExecError::SimulatedCrash) => "crash",
+                                Err(_) => "error",
+                            },
+                        );
+                    }
+                    drop(exec_span);
                     match result {
                         Ok(data) => {
                             let wall = t0.elapsed();

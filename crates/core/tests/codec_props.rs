@@ -18,6 +18,7 @@ use copernicus_core::{
     Command, CommandId, CommandOutput, ExecutableSpec, Platform, ProjectId, Resources,
     WorkerDescription, WorkerId,
 };
+use copernicus_core::telemetry::TraceContext;
 use serde_json::json;
 use std::io::Cursor;
 
@@ -95,9 +96,28 @@ fn rand_command(rng: &mut Rng) -> Command {
             Some(json!({ "frame": rng.below(1 << 16) }))
         },
         attempts: rng.below(10) as u32,
+        trace: rand_trace(rng),
         // Deliberately not encoded (dispatch-local state); keep None so
         // re-encode equality is meaningful.
         not_before: None,
+    }
+}
+
+/// Absent / root / child trace contexts, so the sweep exercises every
+/// shape of the codec's trailing optional trace field.
+fn rand_trace(rng: &mut Rng) -> Option<TraceContext> {
+    match rng.below(3) {
+        0 => None,
+        1 => Some(TraceContext {
+            trace_id: rng.next_u64(),
+            span_id: rng.next_u64(),
+            parent_span_id: None,
+        }),
+        _ => Some(TraceContext {
+            trace_id: rng.next_u64(),
+            span_id: rng.next_u64(),
+            parent_span_id: Some(rng.next_u64()),
+        }),
     }
 }
 

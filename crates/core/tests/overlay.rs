@@ -141,6 +141,14 @@ fn owner_config(key: AuthKey, telemetry: Option<Telemetry>) -> RuntimeConfig {
 }
 
 fn delegate_config(key: AuthKey, owner_addr: &str) -> RuntimeConfig {
+    traced_delegate_config(key, owner_addr, None)
+}
+
+fn traced_delegate_config(
+    key: AuthKey,
+    owner_addr: &str,
+    telemetry: Option<Telemetry>,
+) -> RuntimeConfig {
     RuntimeConfig {
         n_workers: 0,
         worker: worker_config(),
@@ -159,7 +167,7 @@ fn delegate_config(key: AuthKey, owner_addr: &str) -> RuntimeConfig {
             offer_patience: Duration::from_millis(200),
             ..OverlayConfig::default()
         },
-        telemetry: None,
+        telemetry,
         ..RuntimeConfig::default()
     }
 }
@@ -243,6 +251,145 @@ fn delegated_commands_complete_via_peer() {
     assert!(
         delegated >= n,
         "expected at least {n} delegation_completed events, saw {delegated}: {journal}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Distributed tracing: one merged span tree across both servers
+// ---------------------------------------------------------------------
+
+/// A command delegated across two peered servers must produce ONE
+/// merged trace whose span tree covers all three processes: the owning
+/// server (`command` → `attempt`), the delegate (`delegated` hold) and
+/// the worker pool (`exec`), chained by parent span ids across the
+/// wire. This is exactly what `copernicus trace merge` computes from
+/// the three `trace_spans.jsonl` files.
+#[test]
+fn delegated_commands_form_one_merged_cross_process_trace() {
+    use copernicus_telemetry::trace::{self, ProcessLog};
+    use copernicus_telemetry::{span_names, Json};
+
+    let key = AuthKey::from_passphrase("overlay-trace");
+    let owner_t = Telemetry::for_process("owner");
+    let delegate_t = Telemetry::for_process("delegate");
+    let workers_t = Telemetry::for_process("workers");
+    let ledger: Ledger = Arc::new(Mutex::new(HashMap::new()));
+
+    let n = 3;
+    let gather = Gather::new(specs("sleep", n, 10), ledger.clone());
+    let a = serve_project(Box::new(gather), owner_config(key, Some(owner_t.clone())))
+        .expect("owner server must bind");
+    let a_addr = a.local_addr.to_string();
+    let b = serve_project(
+        Box::new(Idle),
+        traced_delegate_config(key, &a_addr, Some(delegate_t.clone())),
+    )
+    .expect("delegate server must bind");
+    let b_addr = b.local_addr.to_string();
+
+    // Workers attach only to the delegate: every completion crosses the
+    // delegation path, so every trace must span processes.
+    let registry = ExecutorRegistry::new().with(Arc::new(SleepExecutor));
+    let traced_workers = WorkerConfig {
+        telemetry: Some(workers_t.clone()),
+        ..worker_config()
+    };
+    let workers = connect_workers(&b_addr, key, 2, traced_workers, registry)
+        .expect("workers must connect to the delegate");
+
+    let result = a.join();
+    assert_eq!(result.commands_completed, n as u64);
+    for w in workers {
+        w.join();
+    }
+    let _ = b.join();
+    assert_exactly_once(&ledger, n);
+
+    // Merge the three span logs exactly as the CLI tooling would.
+    let logs: Vec<ProcessLog> = [&owner_t, &delegate_t, &workers_t]
+        .iter()
+        .map(|t| {
+            let (log, errors) = trace::parse_jsonl(&t.export_trace_jsonl());
+            assert!(errors.is_empty(), "span log must parse cleanly: {errors:?}");
+            log
+        })
+        .collect();
+    let merged = trace::merge(&logs);
+    assert_eq!(
+        merged.trace_ids().len(),
+        n,
+        "one trace per command, nothing merged away or split"
+    );
+
+    for tid in merged.trace_ids() {
+        let procs = merged.processes_of(tid);
+        for p in ["owner", "delegate", "workers"] {
+            assert!(
+                procs.iter().any(|q| q == p),
+                "trace {tid:#x} must span {p}: got {procs:?}"
+            );
+        }
+        // Exactly one root: the owner's command-lifecycle span.
+        let roots = merged.roots_of(tid);
+        assert_eq!(roots.len(), 1, "trace {tid:#x} must have one root");
+        let root = roots[0];
+        assert_eq!(root.span.name, span_names::COMMAND);
+        assert_eq!(root.process, "owner");
+        assert!(
+            root.span
+                .attrs
+                .iter()
+                .any(|(k, v)| k == "disposition" && v == "completed"),
+            "root span must carry the terminal disposition: {:?}",
+            root.span.attrs
+        );
+        // The causal chain hops processes: attempt (owner) → delegated
+        // (delegate) → exec (workers).
+        let attempt = merged
+            .children_of(tid, root.span.span_id)
+            .into_iter()
+            .filter(|s| s.span.name == span_names::ATTEMPT)
+            .find(|s| {
+                merged
+                    .children_of(tid, s.span.span_id)
+                    .iter()
+                    .any(|c| c.span.name == span_names::DELEGATED)
+            })
+            .expect("an attempt span with a delegated child");
+        assert_eq!(attempt.process, "owner");
+        let delegated = merged
+            .children_of(tid, attempt.span.span_id)
+            .into_iter()
+            .find(|s| s.span.name == span_names::DELEGATED)
+            .expect("delegated hold under the attempt");
+        assert_eq!(delegated.process, "delegate");
+        let exec = merged
+            .children_of(tid, delegated.span.span_id)
+            .into_iter()
+            .find(|s| s.span.name == span_names::EXEC)
+            .expect("exec span under the delegated hold");
+        assert_eq!(exec.process, "workers");
+    }
+
+    // The Chrome export of the merged view round-trips through the JSON
+    // parser and carries events from all three processes (pids 1..=3).
+    let chrome = merged.chrome_json();
+    let parsed = Json::parse(&chrome.to_string()).expect("chrome export must be valid JSON");
+    let events = parsed
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    let mut pids_with_spans: Vec<u64> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+        .filter_map(|e| e.get("pid").and_then(Json::as_u64))
+        .collect();
+    pids_with_spans.sort_unstable();
+    pids_with_spans.dedup();
+    assert_eq!(
+        pids_with_spans,
+        vec![1, 2, 3],
+        "complete events must come from all three processes"
     );
 }
 

@@ -20,14 +20,18 @@
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod prom;
 pub mod report;
 pub mod sink;
+pub mod trace;
 
 pub use journal::{matched_span_pairs, Entry, Event, Journal, SpanGuard};
 pub use json::{Json, JsonError};
 pub use metrics::{buckets, labels, Counter, Gauge, Histogram, Labels, Registry};
+pub use prom::render_prometheus;
 pub use report::render_text;
 pub use sink::{NullSink, RecordingSink, StepPhase, TelemetrySink};
+pub use trace::{span_names, ActiveSpan, MergedTrace, ProcessLog, Span, TraceContext, Tracer};
 
 use std::sync::Arc;
 
@@ -92,11 +96,13 @@ pub mod names {
 }
 
 /// The facade the rest of the workspace passes around: a shared
-/// [`Registry`] plus a shared [`Journal`]. Cloning shares both.
+/// [`Registry`], a shared [`Journal`], and a shared [`Tracer`].
+/// Cloning shares all three.
 #[derive(Clone, Default)]
 pub struct Telemetry {
     registry: Registry,
     journal: Journal,
+    tracer: Tracer,
 }
 
 impl Telemetry {
@@ -104,11 +110,23 @@ impl Telemetry {
         Telemetry::default()
     }
 
+    /// A telemetry handle whose tracer is labelled with a process name
+    /// (server name, worker pool, bench role…) so merged traces show
+    /// which process each span came from. The default is "main".
+    pub fn for_process(process: &str) -> Telemetry {
+        Telemetry {
+            registry: Registry::new(),
+            journal: Journal::default(),
+            tracer: Tracer::new(process),
+        }
+    }
+
     /// Journal ring capacity other than [`journal::DEFAULT_CAPACITY`].
     pub fn with_journal_capacity(capacity: usize) -> Telemetry {
         Telemetry {
             registry: Registry::new(),
             journal: Journal::with_capacity(capacity),
+            tracer: Tracer::default(),
         }
     }
 
@@ -118,6 +136,10 @@ impl Telemetry {
 
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// A [`RecordingSink`] feeding the standard MD step histograms,
@@ -152,6 +174,18 @@ impl Telemetry {
     /// The journal as JSONL (one event per line).
     pub fn export_journal_jsonl(&self) -> String {
         self.journal.export_jsonl()
+    }
+
+    /// The finished-span log as JSONL (process header + one span per
+    /// line) — the input format of `copernicus trace merge`.
+    pub fn export_trace_jsonl(&self) -> String {
+        self.tracer.export_jsonl()
+    }
+
+    /// Prometheus text exposition of the current metrics (what
+    /// `--metrics-addr` serves).
+    pub fn render_prometheus(&self) -> String {
+        prom::render_prometheus(&self.registry.snapshot())
     }
 
     /// Aligned-text rendering of the snapshot (`copernicus report`).

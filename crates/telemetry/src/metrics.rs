@@ -187,6 +187,55 @@ impl Histogram {
         }
     }
 
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) by linear interpolation
+    /// within the bucket containing the target rank — the same scheme
+    /// Prometheus's `histogram_quantile` uses, sharpened with the
+    /// tracked min/max: the first bucket's lower edge is the observed
+    /// minimum (not 0) and the overflow bucket's upper edge is the
+    /// observed maximum (not +Inf). Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let target = q.clamp(0.0, 1.0) * total as f64;
+        let mut cum = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c as f64;
+            if next >= target {
+                let lower = if i == 0 { min } else { self.bounds[i - 1].max(min) };
+                let upper = if i == self.bounds.len() {
+                    max
+                } else {
+                    self.bounds[i].min(max)
+                };
+                if upper <= lower {
+                    return lower.clamp(min, max);
+                }
+                let frac = ((target - cum) / c as f64).clamp(0.0, 1.0);
+                return (lower + (upper - lower) * frac).clamp(min, max);
+            }
+            cum = next;
+        }
+        max
+    }
+
+    /// Median estimate (bucket-interpolated).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (bucket-interpolated).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
     /// Per-bucket counts (not cumulative), one per bound plus the
     /// overflow bucket.
     pub fn bucket_counts(&self) -> Vec<u64> {
@@ -207,7 +256,9 @@ impl Histogram {
         if n > 0 {
             obj.set("mean", self.mean())
                 .set("min", f64::from_bits(self.min_bits.load(Ordering::Relaxed)))
-                .set("max", f64::from_bits(self.max_bits.load(Ordering::Relaxed)));
+                .set("max", f64::from_bits(self.max_bits.load(Ordering::Relaxed)))
+                .set("p50", self.p50())
+                .set("p99", self.p99());
         }
         obj.set(
             "bounds",
@@ -471,6 +522,70 @@ mod tests {
         }
         assert_eq!(h.count(), 20_000);
         assert_eq!(h.bucket_counts().iter().sum::<u64>(), 20_000);
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_zero() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn quantile_single_observation_is_exact() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(7.0);
+        // min == max == 7 pins both bucket edges.
+        assert_eq!(h.p50(), 7.0);
+        assert_eq!(h.p99(), 7.0);
+        assert_eq!(h.quantile(0.0), 7.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+    }
+
+    #[test]
+    fn quantile_interpolates_within_bucket() {
+        let h = Histogram::new(&[0.0, 10.0, 20.0]);
+        // 10 values spread through (0, 10]: ranks land mid-bucket.
+        for i in 1..=10 {
+            h.record(i as f64);
+        }
+        let p50 = h.p50();
+        // Target rank 5 of 10 in a bucket spanning [1, 10] (min-sharpened
+        // lower edge): linear interpolation gives 1 + 9 * 0.5 = 5.5.
+        assert!((p50 - 5.5).abs() < 1e-9, "p50 = {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((p90 - 9.1).abs() < 1e-9, "p90 = {p90}");
+        assert!(h.p99() <= 10.0);
+        assert!(h.p99() >= p90);
+    }
+
+    #[test]
+    fn quantile_spans_buckets_monotonically() {
+        let h = Histogram::new(&[1e-3, 1e-2, 1e-1, 1.0]);
+        for _ in 0..90 {
+            h.record(5e-3); // bucket (1e-3, 1e-2]
+        }
+        for _ in 0..10 {
+            h.record(0.5); // bucket (1e-1, 1.0]
+        }
+        let p50 = h.p50();
+        assert!(p50 > 1e-3 && p50 <= 1e-2, "p50 = {p50}");
+        let p99 = h.p99();
+        assert!(p99 > 1e-1 && p99 <= 0.5, "p99 = {p99}");
+        // Quantiles never decrease in q.
+        let qs: Vec<f64> = (0..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1] + 1e-12), "{qs:?}");
+    }
+
+    #[test]
+    fn quantile_overflow_bucket_clamped_to_observed_max() {
+        let h = Histogram::new(&[1.0]);
+        h.record(0.5);
+        h.record(5000.0); // overflow bucket, no finite upper bound
+        let p99 = h.p99();
+        assert!(p99 <= 5000.0, "p99 = {p99}");
+        assert!(p99 > 1.0, "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 5000.0);
     }
 
     #[test]

@@ -46,12 +46,18 @@ pub fn render_text(snapshot: &Json) -> String {
                             .and_then(Json::as_f64)
                             .unwrap_or(0.0)
                     };
-                    format!(
+                    let mut row = format!(
                         "count={count} mean={} min={} max={}",
                         si(f("mean")),
                         si(f("min")),
                         si(f("max"))
-                    )
+                    );
+                    // Interpolated quantiles (present when count > 0 on
+                    // snapshots from this version onward).
+                    if h.and_then(|h| h.get("p50")).is_some() {
+                        row.push_str(&format!(" p50={} p99={}", si(f("p50")), si(f("p99"))));
+                    }
+                    row
                 }
             }
             _ => "?".to_string(),
@@ -229,6 +235,75 @@ mod tests {
             .add(1);
         let text = render_text(&t.snapshot());
         assert!(!text.contains("== wire links =="), "{text}");
+    }
+
+    /// Golden rendering: byte-exact output for a fixed snapshot, so
+    /// `copernicus report` text can be diffed across runs and machines.
+    /// Locks row alignment, histogram quantile columns, the sorted
+    /// `== wire links ==` section and the journal footer.
+    #[test]
+    fn golden_report_text() {
+        let snapshot = Json::parse(
+            r#"{
+              "metrics": [
+                {"name":"commands_dispatched","type":"counter","value":42},
+                {"name":"dispatch_latency_secs","type":"histogram","histogram":
+                  {"count":3,"mean":0.002,"min":0.001,"max":0.004,"p50":0.002,"p99":0.004}},
+                {"name":"queue_depth","type":"gauge","value":3},
+                {"name":"wire_frames_sent","labels":{"link":"a","role":"client"},
+                 "type":"counter","value":7},
+                {"name":"wire_frames_sent","labels":{"link":"b","role":"peer"},
+                 "type":"counter","value":2}
+              ],
+              "journal": {"total_recorded":5,"retained":5,"dropped":0}
+            }"#,
+        )
+        .unwrap();
+        let expected = "\
+== metrics ==
+commands_dispatched                   42
+dispatch_latency_secs                 count=3 mean=2.00m min=1.00m max=4.00m p50=2.00m p99=4.00m
+queue_depth                           3
+wire_frames_sent{link=a,role=client}  7
+wire_frames_sent{link=b,role=peer}    2
+
+== wire links ==
+a (client)  frames 7/0 bytes 0.00/0.00 reconnects 0 auth_failures 0
+b (peer)    frames 2/0 bytes 0.00/0.00 reconnects 0 auth_failures 0
+
+== journal ==
+events recorded=5 retained=5 dropped=0
+";
+        assert_eq!(render_text(&snapshot), expected);
+        // And rendering is a pure function of the snapshot.
+        assert_eq!(render_text(&snapshot), render_text(&snapshot));
+    }
+
+    #[test]
+    fn live_report_is_deterministic_across_renders() {
+        let t = Telemetry::new();
+        t.registry()
+            .counter("z_last", crate::metrics::Labels::new())
+            .add(1);
+        t.registry()
+            .counter(
+                "wire_frames_sent",
+                crate::metrics::labels(&[("link", "b"), ("role", "peer")]),
+            )
+            .add(2);
+        t.registry()
+            .counter(
+                "wire_frames_sent",
+                crate::metrics::labels(&[("link", "a"), ("role", "client")]),
+            )
+            .add(1);
+        let first = render_text(&t.snapshot());
+        let second = render_text(&t.snapshot());
+        assert_eq!(first, second);
+        // The wire-link section sorts by (link, role), not insertion order.
+        let a = first.find("a (client)").expect("a line");
+        let b = first.find("b (peer)").expect("b line");
+        assert!(a < b, "{first}");
     }
 
     #[test]

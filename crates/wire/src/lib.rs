@@ -19,7 +19,9 @@
 //!   (handshake timeout, heartbeat/idle timeout, malformed-frame
 //!   hygiene) surfacing [`WireEvent`]s;
 //! - [`stats`] — per-link byte/frame/reconnect counters in the shared
-//!   telemetry registry.
+//!   telemetry registry;
+//! - [`metrics`] — a minimal plain-TCP endpoint serving live Prometheus
+//!   text exposition (`--metrics-addr`).
 //!
 //! Deliberately zero-dependency (std + the workspace telemetry facade):
 //! the transport must not decide serialization policy — peers exchange
@@ -31,10 +33,12 @@ pub mod client;
 pub mod frame;
 pub mod hash;
 pub mod listener;
+pub mod metrics;
 pub mod stats;
 
 pub use auth::{AuthError, AuthKey, Session};
 pub use client::{ConnectError, LinkDown, ReconnectPolicy, RecvError, WireClient};
 pub use frame::{read_frame, read_frame_limited, write_frame, HEADER_LEN, MAX_FRAME};
 pub use listener::{ConnId, ListenerConfig, WireEvent, WireListener};
+pub use metrics::MetricsServer;
 pub use stats::LinkStats;

@@ -28,8 +28,10 @@
 
 use copernicus::core::plugins::msm::TrajectoryArchive;
 use copernicus::core::prelude::*;
+use copernicus::core::wire::MetricsServer;
 use copernicus::core::{MdRunExecutor, Monitor};
 use copernicus::mdsim::VillinModel;
+use copernicus::telemetry::trace;
 use copernicus::telemetry::{render_text, Json, Telemetry};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -39,8 +41,11 @@ struct Options {
     n_workers: usize,
     /// Print the aligned-text telemetry report after the run.
     report: bool,
-    /// Write `snapshot.json` and `journal.jsonl` into this directory.
+    /// Write `snapshot.json`, `journal.jsonl` and `trace_spans.jsonl`
+    /// into this directory.
     telemetry_dir: Option<String>,
+    /// Serve live Prometheus text exposition on this address.
+    metrics_addr: Option<String>,
 }
 
 fn main() {
@@ -58,6 +63,7 @@ fn main() {
             .unwrap_or_else(|| std::thread::available_parallelism().map_or(2, |n| n.get())),
         report: args.iter().any(|a| a == "--report"),
         telemetry_dir: flag_value("--telemetry-dir"),
+        metrics_addr: flag_value("--metrics-addr"),
     };
     let config_path = args.get(2).filter(|a| !a.starts_with("--")).cloned();
 
@@ -93,10 +99,11 @@ fn main() {
             )
         }
         "work" => run_work(&opts, flag_value("--connect"), flag_value("--key")),
+        "trace" => run_trace(&args),
         _ => {
             eprintln!(
-                "usage: copernicus <msm|fep|demo|report|serve|work> [config.json] \
-                 [--workers N] [--report] [--telemetry-dir DIR]"
+                "usage: copernicus <msm|fep|demo|report|serve|work|trace> [config.json] \
+                 [--workers N] [--report] [--telemetry-dir DIR] [--metrics-addr ADDR]"
             );
             eprintln!();
             eprintln!("  msm     run an adaptive-sampling project (MsmProjectConfig JSON)");
@@ -107,10 +114,96 @@ fn main() {
             eprintln!("          [--name NAME] [--peer ADDR]...  join the server overlay:");
             eprintln!("          dial each peer and pull work for idle local workers");
             eprintln!("  work    worker pool over TCP: --connect ADDR --key PASSPHRASE");
+            eprintln!("  trace   merge span logs: trace merge <spans.jsonl>... [-o out.json]");
+            eprintln!("          (writes Chrome trace-event JSON, viewable in Perfetto)");
             eprintln!();
             eprintln!("  --report             print the telemetry report after the run");
-            eprintln!("  --telemetry-dir DIR  write snapshot.json + journal.jsonl to DIR");
+            eprintln!("  --telemetry-dir DIR  write snapshot.json + journal.jsonl +");
+            eprintln!("                       trace_spans.jsonl to DIR");
+            eprintln!("  --metrics-addr ADDR  serve live Prometheus metrics on ADDR");
             std::process::exit(if mode == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// `copernicus trace merge <spans.jsonl>... [-o out.json]`: join span
+/// logs from several processes by trace id and export Chrome
+/// trace-event JSON (load it in Perfetto or `chrome://tracing`).
+fn run_trace(args: &[String]) {
+    let usage = || -> ! {
+        eprintln!("usage: copernicus trace merge <spans.jsonl>... [-o out.json]");
+        std::process::exit(2);
+    };
+    if args.get(2).map(String::as_str) != Some("merge") {
+        usage();
+    }
+    let mut out_path: Option<String> = None;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut i = 3;
+    while i < args.len() {
+        if args[i] == "-o" || args[i] == "--out" {
+            out_path = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+            i += 2;
+        } else {
+            inputs.push(args[i].clone());
+            i += 1;
+        }
+    }
+    if inputs.is_empty() {
+        usage();
+    }
+    let mut logs = Vec::new();
+    for path in &inputs {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read span log {path}: {e}");
+            std::process::exit(2);
+        });
+        let (log, errors) = trace::parse_jsonl(&text);
+        for (line, err) in &errors {
+            eprintln!("{path}:{line}: skipped: {err}");
+        }
+        eprintln!(
+            "{path}: process '{}', {} span(s)",
+            log.process,
+            log.spans.len()
+        );
+        logs.push(log);
+    }
+    let merged = trace::merge(&logs);
+    let n_spans: usize = merged.traces.values().map(Vec::len).sum();
+    eprintln!(
+        "merged {} trace(s), {} span(s) across {} process(es): {}",
+        merged.trace_ids().len(),
+        n_spans,
+        merged.processes.len(),
+        merged.processes.join(", ")
+    );
+    let chrome = merged.chrome_json().to_string_pretty();
+    match out_path {
+        Some(p) => {
+            std::fs::write(&p, chrome).unwrap_or_else(|e| {
+                eprintln!("cannot write {p}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!("wrote {p}");
+        }
+        None => println!("{chrome}"),
+    }
+}
+
+/// Start the live metrics endpoint when `--metrics-addr` is given. The
+/// handle keeps the accept loop alive; drop it to stop serving.
+fn start_metrics(opts: &Options, telemetry: &Telemetry) -> Option<MetricsServer> {
+    let addr = opts.metrics_addr.as_ref()?;
+    let t = telemetry.clone();
+    match MetricsServer::bind(addr, move || t.render_prometheus()) {
+        Ok(server) => {
+            eprintln!("metrics: http://{}/metrics", server.local_addr());
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("cannot bind metrics endpoint {addr}: {e}");
+            std::process::exit(1);
         }
     }
 }
@@ -141,7 +234,11 @@ fn run_serve(
         cfg.n_trajectories_per_generation(),
         cfg.generations,
     );
-    let telemetry = Telemetry::new();
+    // Name the tracer after the server so merged traces from several
+    // overlay processes stay distinguishable.
+    let process = name.clone().unwrap_or_else(|| format!("server-{bind}"));
+    let telemetry = Telemetry::for_process(&process);
+    let _metrics = start_metrics(opts, &telemetry);
     let model = Arc::new(VillinModel::hp35());
     let controller = MsmController::new(model, cfg).with_telemetry(telemetry.clone());
     let mut builder = ServerConfig::builder().bind(&bind, key);
@@ -207,7 +304,8 @@ fn run_serve(
 fn run_work(opts: &Options, connect: Option<String>, key: Option<String>) {
     let addr = require_flag(connect, "--connect ADDR (the server's --bind address)");
     let key = AuthKey::from_passphrase(&require_flag(key, "--key PASSPHRASE"));
-    let telemetry = Telemetry::new();
+    let telemetry = Telemetry::for_process("workers");
+    let _metrics = start_metrics(opts, &telemetry);
     let model = Arc::new(VillinModel::hp35());
     let registry = ExecutorRegistry::new()
         .with(Arc::new(MdRunExecutor::new(model)))
@@ -235,9 +333,18 @@ fn run_work(opts: &Options, connect: Option<String>, key: Option<String>) {
             return;
         }
         let snapshot = format!("{dir}/snapshot.json");
+        let journal = format!("{dir}/journal.jsonl");
+        let spans = format!("{dir}/trace_spans.jsonl");
         if let Err(e) = std::fs::write(&snapshot, telemetry.snapshot_pretty()) {
             eprintln!("cannot write {snapshot}: {e}");
         }
+        if let Err(e) = std::fs::write(&journal, telemetry.export_journal_jsonl()) {
+            eprintln!("cannot write {journal}: {e}");
+        }
+        if let Err(e) = std::fs::write(&spans, telemetry.export_trace_jsonl()) {
+            eprintln!("cannot write {spans}: {e}");
+        }
+        eprintln!("telemetry written: {snapshot}, {journal}, {spans}");
     }
 }
 
@@ -288,13 +395,17 @@ fn finish_telemetry(monitor: &Monitor, telemetry: &Telemetry, opts: &Options) {
         }
         let snapshot = format!("{dir}/snapshot.json");
         let journal = format!("{dir}/journal.jsonl");
+        let spans = format!("{dir}/trace_spans.jsonl");
         if let Err(e) = std::fs::write(&snapshot, monitor.report_json()) {
             eprintln!("cannot write {snapshot}: {e}");
         }
         if let Err(e) = std::fs::write(&journal, telemetry.export_journal_jsonl()) {
             eprintln!("cannot write {journal}: {e}");
         }
-        eprintln!("telemetry written: {snapshot}, {journal}");
+        if let Err(e) = std::fs::write(&spans, telemetry.export_trace_jsonl()) {
+            eprintln!("cannot write {spans}: {e}");
+        }
+        eprintln!("telemetry written: {snapshot}, {journal}, {spans}");
     }
 }
 
@@ -311,6 +422,7 @@ fn run_msm_config(cfg: MsmProjectConfig, opts: &Options) {
         opts.n_workers
     );
     let telemetry = Telemetry::new();
+    let _metrics = start_metrics(opts, &telemetry);
     let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
     let controller = MsmController::new(model.clone(), cfg)
@@ -366,6 +478,7 @@ fn run_fep(config_path: Option<String>, opts: &Options) {
         cfg.k_a, cfg.k_b, cfg.n_windows, opts.n_workers
     );
     let telemetry = Telemetry::new();
+    let _metrics = start_metrics(opts, &telemetry);
     let controller = FepController::new(cfg);
     let registry = ExecutorRegistry::new().with(Arc::new(FepSampleExecutor));
     let running = start_project(
