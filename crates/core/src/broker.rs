@@ -336,12 +336,18 @@ impl Broker {
                     format!("error {command} (epoch {epoch})")
                 }
                 ToServer::Heartbeat { .. } => String::new(),
+                ToServer::Batch(msgs) => format!("batch x{}", msgs.len()),
             };
             if !tag.is_empty() {
                 eprintln!("[broker] {tag}");
             }
         }
         match msg {
+            ToServer::Batch(msgs) => {
+                for m in msgs {
+                    self.handle(m);
+                }
+            }
             ToServer::Announce { worker, desc } => {
                 for idx in 0..self.upstreams.len() {
                     if self.upstreams[idx].done {

@@ -356,23 +356,34 @@ const TS_REQUEST_WORK: u8 = 1;
 const TS_COMPLETED: u8 = 2;
 const TS_COMMAND_ERROR: u8 = 3;
 const TS_HEARTBEAT: u8 = 4;
+const TS_BATCH: u8 = 5;
 
-/// Encode a worker→server message.
-pub fn encode_to_server(msg: &ToServer) -> Vec<u8> {
-    let mut out = Vec::new();
+/// Collect the non-batch messages of a (possibly nested) batch in
+/// order. Encoding flattens, so the wire carries exactly one level of
+/// batching and the decoder can reject nesting outright.
+fn flatten_batch<'a>(msgs: &'a [ToServer], leaves: &mut Vec<&'a ToServer>) {
+    for msg in msgs {
+        match msg {
+            ToServer::Batch(inner) => flatten_batch(inner, leaves),
+            leaf => leaves.push(leaf),
+        }
+    }
+}
+
+fn put_to_server_leaf(out: &mut Vec<u8>, msg: &ToServer) {
     match msg {
         ToServer::Announce { worker, desc } => {
-            put_u8(&mut out, TS_ANNOUNCE);
-            put_u64(&mut out, worker.0);
-            put_description(&mut out, desc);
+            put_u8(out, TS_ANNOUNCE);
+            put_u64(out, worker.0);
+            put_description(out, desc);
         }
         ToServer::RequestWork { worker } => {
-            put_u8(&mut out, TS_REQUEST_WORK);
-            put_u64(&mut out, worker.0);
+            put_u8(out, TS_REQUEST_WORK);
+            put_u64(out, worker.0);
         }
         ToServer::Completed { output } => {
-            put_u8(&mut out, TS_COMPLETED);
-            put_output(&mut out, output);
+            put_u8(out, TS_COMPLETED);
+            put_output(out, output);
         }
         ToServer::CommandError {
             worker,
@@ -381,34 +392,51 @@ pub fn encode_to_server(msg: &ToServer) -> Vec<u8> {
             epoch,
             error,
         } => {
-            put_u8(&mut out, TS_COMMAND_ERROR);
-            put_u64(&mut out, worker.0);
-            put_u64(&mut out, project.0);
-            put_u64(&mut out, command.0);
-            put_u32(&mut out, *epoch);
-            put_str(&mut out, error);
+            put_u8(out, TS_COMMAND_ERROR);
+            put_u64(out, worker.0);
+            put_u64(out, project.0);
+            put_u64(out, command.0);
+            put_u32(out, *epoch);
+            put_str(out, error);
         }
         ToServer::Heartbeat { worker } => {
-            put_u8(&mut out, TS_HEARTBEAT);
-            put_u64(&mut out, worker.0);
+            put_u8(out, TS_HEARTBEAT);
+            put_u64(out, worker.0);
         }
+        // `encode_to_server` flattens batches before reaching here.
+        ToServer::Batch(_) => unreachable!("nested batches are flattened at encode"),
+    }
+}
+
+/// Encode a worker→server message.
+pub fn encode_to_server(msg: &ToServer) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        ToServer::Batch(msgs) => {
+            let mut leaves = Vec::new();
+            flatten_batch(msgs, &mut leaves);
+            put_u8(&mut out, TS_BATCH);
+            put_u32(&mut out, leaves.len() as u32);
+            for leaf in leaves {
+                put_to_server_leaf(&mut out, leaf);
+            }
+        }
+        leaf => put_to_server_leaf(&mut out, leaf),
     }
     out
 }
 
-/// Decode a worker→server message. Total over arbitrary input.
-pub fn decode_to_server(buf: &[u8]) -> Result<ToServer, CodecError> {
-    let mut r = Reader::new(buf);
-    let msg = match r.u8()? {
+fn get_to_server_leaf(r: &mut Reader, tag: u8) -> Result<ToServer, CodecError> {
+    Ok(match tag {
         TS_ANNOUNCE => ToServer::Announce {
             worker: WorkerId(r.u64()?),
-            desc: get_description(&mut r)?,
+            desc: get_description(r)?,
         },
         TS_REQUEST_WORK => ToServer::RequestWork {
             worker: WorkerId(r.u64()?),
         },
         TS_COMPLETED => ToServer::Completed {
-            output: get_output(&mut r)?,
+            output: get_output(r)?,
         },
         TS_COMMAND_ERROR => ToServer::CommandError {
             worker: WorkerId(r.u64()?),
@@ -420,7 +448,28 @@ pub fn decode_to_server(buf: &[u8]) -> Result<ToServer, CodecError> {
         TS_HEARTBEAT => ToServer::Heartbeat {
             worker: WorkerId(r.u64()?),
         },
+        TS_BATCH => return err("nested Batch"),
         other => return err(format!("unknown ToServer tag {other}")),
+    })
+}
+
+/// Decode a worker→server message. Total over arbitrary input.
+pub fn decode_to_server(buf: &[u8]) -> Result<ToServer, CodecError> {
+    let mut r = Reader::new(buf);
+    let msg = match r.u8()? {
+        TS_BATCH => {
+            let n = r.count()?;
+            if n == 0 {
+                return err("empty Batch");
+            }
+            let mut msgs = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                let tag = r.u8()?;
+                msgs.push(get_to_server_leaf(&mut r, tag)?);
+            }
+            ToServer::Batch(msgs)
+        }
+        tag => get_to_server_leaf(&mut r, tag)?,
     };
     r.finish()?;
     Ok(msg)
@@ -477,6 +526,7 @@ const TP_DELEGATED_RESULT: u8 = 0x53;
 const TP_DELEGATED_ERROR: u8 = 0x54;
 const TP_HEARTBEAT: u8 = 0x55;
 const TP_SHUTDOWN: u8 = 0x56;
+const TP_HEARTBEATS: u8 = 0x57;
 
 /// Encode a server↔server peer message.
 pub fn encode_peer(msg: &PeerMsg) -> Vec<u8> {
@@ -535,6 +585,13 @@ pub fn encode_peer(msg: &PeerMsg) -> Vec<u8> {
             put_u8(&mut out, TP_HEARTBEAT);
             put_u64(&mut out, worker.0);
         }
+        PeerMsg::Heartbeats { workers } => {
+            put_u8(&mut out, TP_HEARTBEATS);
+            put_u32(&mut out, workers.len() as u32);
+            for w in workers {
+                put_u64(&mut out, w.0);
+            }
+        }
         PeerMsg::Shutdown => put_u8(&mut out, TP_SHUTDOWN),
     }
     out
@@ -585,6 +642,14 @@ pub fn decode_peer(buf: &[u8]) -> Result<PeerMsg, CodecError> {
         TP_HEARTBEAT => PeerMsg::Heartbeat {
             worker: WorkerId(r.u64()?),
         },
+        TP_HEARTBEATS => {
+            let n = r.count()?;
+            let mut workers = Vec::with_capacity(n.min(64));
+            for _ in 0..n {
+                workers.push(WorkerId(r.u64()?));
+            }
+            PeerMsg::Heartbeats { workers }
+        }
         TP_SHUTDOWN => PeerMsg::Shutdown,
         other => return err(format!("unknown PeerMsg tag {other}")),
     };
@@ -679,6 +744,91 @@ mod tests {
             // PartialEq, and byte equality is the stronger property here.
             assert_eq!(encode_to_server(&back), bytes);
             assert_eq!(back.worker(), msg.worker());
+        }
+    }
+
+    #[test]
+    fn batch_roundtrips_and_preserves_order() {
+        let msg = ToServer::Batch(vec![
+            ToServer::Heartbeat {
+                worker: WorkerId(1),
+            },
+            ToServer::RequestWork {
+                worker: WorkerId(1),
+            },
+            ToServer::Completed {
+                output: CommandOutput::new(
+                    &sample_command(),
+                    WorkerId(1),
+                    json!({"done": true}),
+                    0.5,
+                ),
+            },
+        ]);
+        let bytes = encode_to_server(&msg);
+        let back = decode_to_server(&bytes).expect("roundtrip");
+        assert_eq!(encode_to_server(&back), bytes);
+        let ToServer::Batch(msgs) = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(msgs.len(), 3);
+        assert!(matches!(msgs[0], ToServer::Heartbeat { .. }));
+        assert!(matches!(msgs[1], ToServer::RequestWork { .. }));
+        assert!(matches!(msgs[2], ToServer::Completed { .. }));
+    }
+
+    #[test]
+    fn nested_batches_flatten_at_encode_and_are_rejected_on_decode() {
+        // Encoding a batch-in-batch must produce the flat wire form.
+        let nested = ToServer::Batch(vec![
+            ToServer::Heartbeat {
+                worker: WorkerId(1),
+            },
+            ToServer::Batch(vec![ToServer::RequestWork {
+                worker: WorkerId(2),
+            }]),
+        ]);
+        let flat = ToServer::Batch(vec![
+            ToServer::Heartbeat {
+                worker: WorkerId(1),
+            },
+            ToServer::RequestWork {
+                worker: WorkerId(2),
+            },
+        ]);
+        assert_eq!(encode_to_server(&nested), encode_to_server(&flat));
+
+        // A hand-built nested batch on the wire is rejected.
+        let inner = encode_to_server(&ToServer::Batch(vec![ToServer::Heartbeat {
+            worker: WorkerId(1),
+        }]));
+        let mut bytes = vec![TS_BATCH];
+        bytes.extend_from_slice(&1u32.to_be_bytes());
+        bytes.extend_from_slice(&inner);
+        assert!(decode_to_server(&bytes).is_err());
+
+        // So is an empty one — batches always speak for some worker.
+        let mut bytes = vec![TS_BATCH];
+        bytes.extend_from_slice(&0u32.to_be_bytes());
+        assert!(decode_to_server(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_truncations_error_without_panicking() {
+        let full = encode_to_server(&ToServer::Batch(vec![
+            ToServer::Heartbeat {
+                worker: WorkerId(1),
+            },
+            ToServer::Announce {
+                worker: WorkerId(2),
+                desc: sample_desc(),
+            },
+        ]));
+        for len in 0..full.len() {
+            assert!(
+                decode_to_server(&full[..len]).is_err(),
+                "prefix of {len} bytes decoded"
+            );
         }
     }
 
@@ -880,6 +1030,10 @@ mod tests {
             PeerMsg::Heartbeat {
                 worker: WorkerId(8),
             },
+            PeerMsg::Heartbeats {
+                workers: vec![WorkerId(8), WorkerId(9), WorkerId(10)],
+            },
+            PeerMsg::Heartbeats { workers: vec![] },
             PeerMsg::Shutdown,
         ];
         for msg in msgs {

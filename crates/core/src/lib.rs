@@ -42,6 +42,7 @@ pub mod queue;
 pub mod resources;
 pub mod runtime;
 pub mod server;
+pub mod shard;
 pub mod tcp;
 pub mod transport;
 pub mod worker;

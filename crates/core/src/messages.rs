@@ -43,12 +43,23 @@ pub enum ToServer {
     },
     /// Periodic liveness signal.
     Heartbeat { worker: WorkerId },
+    /// Several messages coalesced into one wire frame. Transports use
+    /// this to amortize framing and syscall cost on chatty paths
+    /// (heartbeats riding along with the next request); the server
+    /// processes the contents in order, exactly as if they had arrived
+    /// as individual frames. The codec flattens nested batches at
+    /// encode time and rejects them on decode, so the wire never
+    /// carries more than one level.
+    Batch(Vec<ToServer>),
 }
 
 impl ToServer {
     /// The worker this message speaks for. Transports use it to bind a
     /// connection to a worker identity (and the watchdog to a liveness
-    /// record) without peeking into variant internals.
+    /// record) without peeking into variant internals. A batch speaks
+    /// for its first member (transports expand batches before routing,
+    /// so this is only a fallback; an empty batch maps to the null
+    /// worker id).
     pub fn worker(&self) -> WorkerId {
         match self {
             ToServer::Announce { worker, .. }
@@ -56,6 +67,7 @@ impl ToServer {
             | ToServer::CommandError { worker, .. }
             | ToServer::Heartbeat { worker } => *worker,
             ToServer::Completed { output } => output.worker,
+            ToServer::Batch(msgs) => msgs.first().map(ToServer::worker).unwrap_or(WorkerId(0)),
         }
     }
 }
@@ -119,6 +131,12 @@ pub enum PeerMsg {
     /// can orphan exactly the commands of a worker that died while the
     /// delegate itself lives on.
     Heartbeat { worker: WorkerId },
+    /// Delegate → owner: several workers' liveness in one frame. The
+    /// delegate buffers its workers' heartbeats briefly and flushes
+    /// them coalesced, so a delegate fronting hundreds of workers
+    /// costs the owner one frame per tick instead of one per worker.
+    /// Semantically identical to that many [`PeerMsg::Heartbeat`]s.
+    Heartbeats { workers: Vec<WorkerId> },
     /// Owner → delegate: my project is over; stop offering.
     Shutdown,
 }

@@ -238,6 +238,15 @@ impl PeerEndpoint {
                     worker: namespaced_worker(&peer_name, worker),
                 });
             }
+            PeerMsg::Heartbeats { workers } => {
+                // One coalesced frame stands for that many individual
+                // heartbeats; each still feeds its own liveness record.
+                for worker in workers {
+                    act.inbound.push(ToServer::Heartbeat {
+                        worker: namespaced_worker(&peer_name, worker),
+                    });
+                }
+            }
             PeerMsg::Shutdown => {
                 act.log.push(format!("peer '{peer_name}' finished"));
             }
@@ -300,6 +309,11 @@ pub struct PeerLinkConfig {
     /// is absorbed whenever it arrives).
     pub hello_timeout: Duration,
     pub reconnect: ReconnectPolicy,
+    /// How long workers' heartbeats may pool before going out as one
+    /// [`PeerMsg::Heartbeats`] frame. Must stay well under the owner's
+    /// watchdog slack (the added delivery delay is at most this);
+    /// callers scale it down with their heartbeat interval.
+    pub heartbeat_flush: Duration,
 }
 
 impl Default for PeerLinkConfig {
@@ -307,6 +321,7 @@ impl Default for PeerLinkConfig {
         PeerLinkConfig {
             hello_timeout: Duration::from_secs(2),
             reconnect: ReconnectPolicy::default(),
+            heartbeat_flush: Duration::from_millis(25),
         }
     }
 }
@@ -331,6 +346,11 @@ pub struct PeerLink {
     /// error) forwarded back. Keyed like the broker's ownership map —
     /// command ids are only unique per project.
     holds: HashMap<(ProjectId, CommandId), ActiveSpan>,
+    /// Heartbeats pooling for the next coalesced flush, and when the
+    /// last flush happened.
+    hb_buf: Vec<WorkerId>,
+    hb_flushed: Instant,
+    heartbeat_flush: Duration,
 }
 
 impl PeerLink {
@@ -359,6 +379,9 @@ impl PeerLink {
             done: false,
             telemetry: None,
             holds: HashMap::new(),
+            hb_buf: Vec::new(),
+            hb_flushed: Instant::now(),
+            heartbeat_flush: config.heartbeat_flush,
         };
         let deadline = Instant::now() + config.hello_timeout;
         while link.remote.is_none() && !link.done {
@@ -584,7 +607,23 @@ impl Upstream for PeerLink {
     }
 
     fn heartbeat(&mut self, worker: WorkerId) -> Result<(), UpstreamGone> {
-        self.push(&PeerMsg::Heartbeat { worker })
+        if self.done {
+            return Err(UpstreamGone);
+        }
+        // Pool heartbeats and flush them as one frame per window: a
+        // delegate fronting hundreds of workers costs the owner one
+        // coalesced frame instead of one frame per worker. Repeats
+        // within a window collapse — a heartbeat carries no payload
+        // beyond "this worker is alive now".
+        if !self.hb_buf.contains(&worker) {
+            self.hb_buf.push(worker);
+        }
+        if self.hb_flushed.elapsed() >= self.heartbeat_flush {
+            let workers = std::mem::take(&mut self.hb_buf);
+            self.hb_flushed = Instant::now();
+            return self.push(&PeerMsg::Heartbeats { workers });
+        }
+        Ok(())
     }
 }
 
@@ -725,6 +764,24 @@ mod tests {
         assert!(matches!(
             act.inbound[0],
             ToServer::Heartbeat { worker } if worker == ns
+        ));
+        // A coalesced heartbeat frame expands to one namespaced
+        // heartbeat per named worker, in order.
+        let act = ep.handle(
+            ConnId(2),
+            PeerMsg::Heartbeats {
+                workers: vec![WorkerId(5), WorkerId(6)],
+            },
+        );
+        assert_eq!(act.inbound.len(), 2);
+        assert!(matches!(
+            act.inbound[0],
+            ToServer::Heartbeat { worker } if worker == ns
+        ));
+        assert!(matches!(
+            act.inbound[1],
+            ToServer::Heartbeat { worker }
+                if worker == namespaced_worker("gamma", WorkerId(6))
         ));
         let act = ep.handle(
             ConnId(2),

@@ -22,8 +22,8 @@ use crate::ids::{CommandId, IdGen, ProjectId, WorkerId};
 use crate::lifecycle::{self, Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 use crate::messages::{ToServer, ToWorker};
 use crate::monitor::Monitor;
-use crate::queue::CommandQueue;
 use crate::resources::WorkerDescription;
+use crate::shard::{InFlight, ShardedLedger, ShardedQueue};
 use crate::transport::{ServerRecvError, ServerTransport};
 use copernicus_telemetry::{
     buckets, names, span_names, ActiveSpan, Counter, Event, Gauge, Histogram, Labels, Telemetry,
@@ -243,20 +243,6 @@ struct WorkerState {
     alive: bool,
 }
 
-/// A dispatched command: who runs it, under which attempt epoch, and
-/// the command itself (kept for re-queueing on fault).
-struct InFlight {
-    worker: WorkerId,
-    dispatched_at: Instant,
-    cmd: Command,
-}
-
-impl InFlight {
-    fn epoch(&self) -> u32 {
-        self.cmd.attempts
-    }
-}
-
 /// The owning server's live spans for one command: the root `command`
 /// span (enqueue → terminal) plus whichever of `queued` / `attempt` is
 /// currently open. Finished spans record themselves into the tracer.
@@ -342,10 +328,14 @@ pub struct Server {
     config: ServerConfig,
     policy: RetryPolicy,
     controller: Box<dyn Controller>,
-    queue: CommandQueue,
-    running: HashMap<CommandId, InFlight>,
-    /// When each queued command entered the queue (dispatch latency).
-    queued_at: HashMap<CommandId, Instant>,
+    /// Queued commands, sharded by command-id hash (see
+    /// [`crate::shard`]): matching is a merge over sorted shards, not
+    /// a whole-queue rebuild.
+    queue: ShardedQueue,
+    /// Running set + queued-at table, sharded, with a per-worker index
+    /// so heartbeat marking and watchdog orphan scans touch only that
+    /// worker's commands.
+    ledger: ShardedLedger,
     /// Live trace spans per command (only populated when telemetry is
     /// attached); entries are removed — closing their spans — when the
     /// command reaches a terminal phase.
@@ -381,9 +371,8 @@ impl Server {
             config,
             policy,
             controller,
-            queue: CommandQueue::new(),
-            running: HashMap::new(),
-            queued_at: HashMap::new(),
+            queue: ShardedQueue::default(),
+            ledger: ShardedLedger::default(),
             traces: HashMap::new(),
             workers: HashMap::new(),
             shared_fs,
@@ -470,10 +459,12 @@ impl Server {
     /// The lifecycle phase (and attempt epoch) a command is currently
     /// in, or `None` once it reached a terminal phase and was forgotten.
     fn phase_of(&self, id: CommandId) -> Option<(Phase, u32)> {
-        if let Some(inflight) = self.running.get(&id) {
-            return Some((Phase::Dispatched, inflight.epoch()));
+        if let Some(epoch) = self.ledger.running_epoch(id) {
+            return Some((Phase::Dispatched, epoch));
         }
-        self.queue.get(id).map(|cmd| (Phase::Queued, cmd.attempts))
+        self.queue
+            .peek(id, |cmd| cmd.attempts)
+            .map(|attempts| (Phase::Queued, attempts))
     }
 
     /// The single lifecycle transition function. Every message path —
@@ -491,7 +482,7 @@ impl Server {
                 let now = Instant::now();
                 cmd.attempts += 1;
                 cmd.not_before = None;
-                if let Some(enqueued) = self.queued_at.remove(&cmd.id) {
+                if let Some(enqueued) = self.ledger.take_queued(cmd.id) {
                     if let Some(m) = &self.metrics {
                         m.dispatch_latency
                             .record(now.duration_since(enqueued).as_secs_f64());
@@ -524,14 +515,11 @@ impl Server {
                         worker: worker.0,
                     });
                 }
-                self.running.insert(
-                    cmd.id,
-                    InFlight {
-                        worker,
-                        dispatched_at: now,
-                        cmd: cmd.clone(),
-                    },
-                );
+                self.ledger.start_running(InFlight {
+                    worker,
+                    dispatched_at: now,
+                    cmd: cmd.clone(),
+                });
                 Some(cmd)
             }
 
@@ -544,7 +532,7 @@ impl Server {
                         return None;
                     }
                     Verdict::Accept => {
-                        let inflight = self.running.remove(&id).expect("judged Dispatched");
+                        let inflight = self.ledger.stop_running(id).expect("judged Dispatched");
                         self.complete(output, Some(inflight.dispatched_at));
                     }
                     Verdict::AcceptCancelQueued => {
@@ -554,7 +542,7 @@ impl Server {
                         // duplicate so it cannot run (and finish) again.
                         debug_assert!(Phase::Queued.can_transition(Phase::Completed));
                         self.queue.remove(id);
-                        self.queued_at.remove(&id);
+                        self.ledger.take_queued(id);
                         self.monitor.log(format!(
                             "{id} completed by resurrected worker; queued duplicate cancelled"
                         ));
@@ -565,7 +553,7 @@ impl Server {
                         // attempt runs: the work is identical, so take
                         // the first result and forget the runner — its
                         // eventual result will judge as a duplicate.
-                        self.running.remove(&id);
+                        self.ledger.stop_running(id);
                         self.monitor.log(format!(
                             "{id} completed by stale attempt; running duplicate's result will be dropped"
                         ));
@@ -588,7 +576,7 @@ impl Server {
                         return None;
                     }
                 }
-                let Some(inflight) = self.running.remove(&command) else {
+                let Some(inflight) = self.ledger.stop_running(command) else {
                     // Watchdog faults always target running commands;
                     // error reports were judged above.
                     debug_assert!(epoch.is_none(), "judged error must be running");
@@ -668,7 +656,7 @@ impl Server {
                                 trace.queued = Some(queued);
                             }
                         }
-                        self.queued_at.insert(command, now);
+                        self.ledger.mark_queued(command, now);
                         self.queue.enqueue(cmd);
                         self.commands_requeued += 1;
                         if kind == FaultKind::WorkerLost {
@@ -684,7 +672,7 @@ impl Server {
                         // controller this command will never finish.
                         self.finish_trace(command, "dropped");
                         self.shared_fs.clear(command);
-                        self.queued_at.remove(&command);
+                        self.ledger.take_queued(command);
                         self.commands_dropped += 1;
                         self.monitor
                             .log(format!("{command} dropped after {attempts} attempts"));
@@ -720,7 +708,7 @@ impl Server {
             Transition::Cancel { command } => {
                 self.finish_trace(command, "cancelled");
                 self.queue.remove(command);
-                self.queued_at.remove(&command);
+                self.ledger.take_queued(command);
                 // A re-queued command may carry a checkpoint from an
                 // earlier attempt; cancelling is terminal, so drop it.
                 self.shared_fs.clear(command);
@@ -735,7 +723,7 @@ impl Server {
     fn complete(&mut self, output: CommandOutput, dispatched_at: Option<Instant>) {
         self.finish_trace(output.command, "completed");
         self.shared_fs.clear(output.command);
-        self.queued_at.remove(&output.command);
+        self.ledger.take_queued(output.command);
         self.commands_completed += 1;
         self.bytes_received += output.bytes;
         if let Some(m) = &self.metrics {
@@ -771,6 +759,14 @@ impl Server {
 
     fn handle(&mut self, msg: ToServer) {
         match msg {
+            // Transports usually expand batches before the server loop
+            // sees them; handling them here too keeps the server
+            // correct behind any transport.
+            ToServer::Batch(msgs) => {
+                for m in msgs {
+                    self.handle(m);
+                }
+            }
             ToServer::Announce { worker, desc } => {
                 if let Some(m) = &self.metrics {
                     m.record(Event::WorkerAnnounced {
@@ -848,15 +844,11 @@ impl Server {
                 }
                 // Trace: mark the heartbeat on every attempt span this
                 // worker is currently running, so a merged trace shows
-                // liveness between dispatch and result.
+                // liveness between dispatch and result. The ledger's
+                // per-worker index makes this O(this worker's
+                // commands), not a scan of everything in flight.
                 if !self.traces.is_empty() {
-                    let covered: Vec<CommandId> = self
-                        .running
-                        .iter()
-                        .filter(|(_, inflight)| inflight.worker == worker)
-                        .map(|(&c, _)| c)
-                        .collect();
-                    for command in covered {
+                    for command in self.ledger.commands_of(worker) {
                         if let Some(trace) = self.traces.get_mut(&command) {
                             if let Some(attempt) = trace.attempt.as_mut() {
                                 attempt.add_event(span_names::HEARTBEAT);
@@ -894,13 +886,7 @@ impl Server {
                 m.workers_lost.inc();
                 m.record(Event::WorkerLost { worker: worker.0 });
             }
-            let orphaned: Vec<CommandId> = self
-                .running
-                .iter()
-                .filter(|(_, inflight)| inflight.worker == worker)
-                .map(|(&c, _)| c)
-                .collect();
-            for command in orphaned {
+            for command in self.ledger.commands_of(worker) {
                 self.transition(Transition::Fault {
                     command,
                     worker,
@@ -941,7 +927,7 @@ impl Server {
                                 },
                             );
                         }
-                        self.queued_at.insert(cmd.id, now);
+                        self.ledger.mark_queued(cmd.id, now);
                         self.queue.enqueue(cmd);
                     }
                 }
@@ -960,7 +946,7 @@ impl Server {
 
     fn publish_status(&self) {
         let queued = self.queue.len();
-        let running = self.running.len();
+        let running = self.ledger.running_len();
         let connected = self.workers.values().filter(|w| w.alive).count();
         let (completed, requeued, dropped, lost, bytes) = (
             self.commands_completed,
@@ -1048,16 +1034,16 @@ mod tests {
             Resources::new(1, 1),
             json!(null),
         )])]);
-        assert_eq!(server.queued_at.len(), 1);
-        let id = *server.queued_at.keys().next().unwrap();
+        assert_eq!(server.ledger.queued_len(), 1);
+        let id = server.queue.snapshot_ids()[0];
         let worker = WorkerId(7);
         server.handle(ToServer::Announce {
             worker,
             desc: noop_worker_desc(),
         });
         server.handle(ToServer::RequestWork { worker });
-        assert!(server.queued_at.is_empty(), "dispatch consumes queued_at");
-        assert_eq!(server.running.len(), 1);
+        assert_eq!(server.ledger.queued_len(), 0, "dispatch consumes queued_at");
+        assert_eq!(server.ledger.running_len(), 1);
 
         // A delegate declining a stale offer reports one CommandError
         // per command, carrying the dispatch epoch. The re-queue must
@@ -1070,18 +1056,19 @@ mod tests {
             epoch: 1,
             error: "delegation declined (stale offer)".into(),
         });
-        assert!(server.running.is_empty());
+        assert_eq!(server.ledger.running_len(), 0);
         assert_eq!(server.queue.len(), 1);
         assert_eq!(
-            server.queued_at.len(),
+            server.ledger.queued_len(),
             1,
             "decline re-queue must restore queued_at"
         );
 
         server.handle(ToServer::RequestWork { worker });
-        assert_eq!(server.running.len(), 1);
-        assert!(
-            server.queued_at.is_empty(),
+        assert_eq!(server.ledger.running_len(), 1);
+        assert_eq!(
+            server.ledger.queued_len(),
+            0,
             "no queued_at leak after redispatch"
         );
         let h = telemetry
@@ -1090,11 +1077,15 @@ mod tests {
             .unwrap();
         assert_eq!(h.count(), 2, "latency recorded on dispatch and redispatch");
 
-        let cmd = server.running.values().next().unwrap().cmd.clone();
+        let running_id = server.ledger.running_ids()[0];
+        let cmd = server
+            .ledger
+            .peek_running(running_id, |f| f.cmd.clone())
+            .unwrap();
         let output = CommandOutput::new(&cmd, worker, json!({}), 0.01);
         server.handle(ToServer::Completed { output });
-        assert!(server.queued_at.is_empty());
-        assert!(server.running.is_empty());
+        assert_eq!(server.ledger.queued_len(), 0);
+        assert_eq!(server.ledger.running_len(), 0);
         assert!(server.traces.is_empty(), "terminal commands close spans");
         assert_eq!(server.commands_completed, 1);
     }
@@ -1115,7 +1106,11 @@ mod tests {
         });
         server.handle(ToServer::RequestWork { worker });
         server.handle(ToServer::Heartbeat { worker });
-        let cmd = server.running.values().next().unwrap().cmd.clone();
+        let running_id = server.ledger.running_ids()[0];
+        let cmd = server
+            .ledger
+            .peek_running(running_id, |f| f.cmd.clone())
+            .unwrap();
         assert!(
             cmd.trace.is_some(),
             "dispatched command carries the attempt context"

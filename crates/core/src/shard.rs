@@ -1,0 +1,560 @@
+//! Sharded server hot-path structures: the command queue and the
+//! lifecycle ledger, split N ways by command-id hash.
+//!
+//! At a thousand workers the server core stops being bounded by I/O
+//! and starts being bounded by its own bookkeeping: every
+//! `RequestWork` rebuilt the entire priority queue
+//! (`CommandQueue::match_workload` drains and re-collects all N
+//! queued commands), every heartbeat scanned the whole running set to
+//! find the worker's in-flight commands, and everything serialized on
+//! the structures as one unit. This module splits both by
+//! `splitmix64(command id)`:
+//!
+//! - [`ShardedQueue`] — N sorted shards; `enqueue`/`remove` touch one
+//!   shard, and matching is a k-way merge over the shard heads in
+//!   (priority desc, seq asc) order that stops as soon as the
+//!   worker's cores are committed — identical greedy semantics to
+//!   [`CommandQueue`](crate::queue::CommandQueue) without the
+//!   drain-and-rebuild;
+//! - [`ShardedLedger`] — the running set and queued-at table in N
+//!   shards, plus a per-worker index so heartbeat marking and
+//!   watchdog orphan scans are O(commands of that worker), not
+//!   O(everything in flight).
+//!
+//! Per-shard `Mutex`es keep each shard independently lockable (the
+//! embedded single-threaded server pays only an uncontended lock;
+//! sharded deployments stop serializing dispatch, completion, and
+//! watchdog scans on one mutex). FIFO-within-priority is preserved
+//! across shards by a global enqueue sequence number merged on reads.
+
+use crate::command::Command;
+use crate::ids::{CommandId, WorkerId};
+use crate::resources::WorkerDescription;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default shard count: enough to spread a hash well, small enough
+/// that locking every shard for a merge stays cheap. Must be a power
+/// of two.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// splitmix64 — the id-spreading hash used across the codebase (cf.
+/// `peer::namespaced_worker`); command ids are sequential, so they
+/// need real mixing before masking.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn shard_of(id: CommandId, mask: usize) -> usize {
+    (splitmix64(id.0) as usize) & mask
+}
+
+/// One queued entry: the command plus its global arrival stamp, which
+/// makes FIFO-within-equal-priority well-defined across shards.
+struct Queued {
+    seq: u64,
+    cmd: Command,
+}
+
+/// Dispatch order: highest priority first, then earliest arrival.
+fn dispatch_before(a: &Queued, b: &Queued) -> bool {
+    (a.cmd.priority, std::cmp::Reverse(a.seq)) > (b.cmd.priority, std::cmp::Reverse(b.seq))
+}
+
+/// Priority command queue in N hash shards with capability-aware
+/// matching. Semantically identical to
+/// [`CommandQueue`](crate::queue::CommandQueue): priority order, FIFO
+/// ties, retry embargoes skipped-but-retained, greedy best-fit
+/// matching.
+pub struct ShardedQueue {
+    shards: Vec<Mutex<Vec<Queued>>>,
+    mask: usize,
+    seq: AtomicU64,
+    len: AtomicUsize,
+}
+
+impl Default for ShardedQueue {
+    fn default() -> Self {
+        ShardedQueue::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedQueue {
+    pub fn new(shards: usize) -> ShardedQueue {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "shard count must be a power of two"
+        );
+        ShardedQueue {
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            mask: shards - 1,
+            seq: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Insert a command in its shard's dispatch order.
+    pub fn enqueue(&self, cmd: Command) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let entry = Queued { seq, cmd };
+        let mut shard = self.shards[shard_of(entry.cmd.id, self.mask)].lock().unwrap();
+        // Shards stay sorted; position by the same dispatch order the
+        // merge uses. New arrivals sort after equal-priority entries.
+        let pos = shard.partition_point(|q| !dispatch_before(&entry, q));
+        shard.insert(pos, entry);
+        self.len.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Build a workload for a presenting worker: a k-way merge over
+    /// the sorted shards in (priority, arrival) order, taking every
+    /// command the worker can execute while uncommitted resources
+    /// remain. Embargoed commands (`not_before` in the future) are
+    /// skipped in place.
+    ///
+    /// Stops the moment the worker's cores are fully committed —
+    /// every command requires at least one core (`Resources::new`
+    /// asserts it), so nothing further can fit. This is what turns
+    /// the old whole-queue rebuild into O(scanned), with untaken
+    /// commands never moving at all.
+    pub fn match_workload(&self, desc: &WorkerDescription, now: Instant) -> Vec<Command> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        let mut cursors = vec![0usize; guards.len()];
+        let mut taken_idx: Vec<Vec<usize>> = vec![Vec::new(); guards.len()];
+        let mut remaining = desc.resources;
+        let mut taken = 0usize;
+
+        while remaining.cores > 0 {
+            // Next un-scanned entry across all shards in dispatch
+            // order. Shard count is small and fixed; a linear scan of
+            // the heads beats heap maintenance at these widths.
+            let mut best: Option<usize> = None;
+            for (i, guard) in guards.iter().enumerate() {
+                if cursors[i] >= guard.len() {
+                    continue;
+                }
+                let cand = &guard[cursors[i]];
+                if best.map_or(true, |b| dispatch_before(cand, &guards[b][cursors[b]])) {
+                    best = Some(i);
+                }
+            }
+            let Some(i) = best else { break };
+            let entry = &guards[i][cursors[i]];
+            let fits = entry.cmd.ready_at(now)
+                && desc.can_run(&entry.cmd.command_type)
+                && remaining.satisfies(&entry.cmd.required);
+            if fits {
+                remaining = remaining.minus(&entry.cmd.required);
+                taken_idx[i].push(cursors[i]);
+                taken += 1;
+            }
+            cursors[i] += 1;
+        }
+
+        if taken == 0 {
+            return Vec::new();
+        }
+        // Extract taken entries shard by shard (indices are ascending
+        // per shard), then re-sort into global dispatch order.
+        let mut out: Vec<Queued> = Vec::with_capacity(taken);
+        for (i, idxs) in taken_idx.iter().enumerate() {
+            for (removed, &idx) in idxs.iter().enumerate() {
+                out.push(guards[i].remove(idx - removed));
+            }
+        }
+        self.len.fetch_sub(taken, Ordering::Relaxed);
+        out.sort_by(|a, b| {
+            (b.cmd.priority, std::cmp::Reverse(b.seq))
+                .cmp(&(a.cmd.priority, std::cmp::Reverse(a.seq)))
+        });
+        out.into_iter().map(|q| q.cmd).collect()
+    }
+
+    /// Remove and return a specific command (controller cancel, or
+    /// the server cancelling a re-queued duplicate whose original
+    /// attempt delivered a result).
+    pub fn remove(&self, id: CommandId) -> Option<Command> {
+        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let pos = shard.iter().position(|q| q.cmd.id == id)?;
+        let entry = shard.remove(pos);
+        self.len.fetch_sub(1, Ordering::Relaxed);
+        Some(entry.cmd)
+    }
+
+    /// Run `f` on a queued command without removing it.
+    pub fn peek<R>(&self, id: CommandId, f: impl FnOnce(&Command) -> R) -> Option<R> {
+        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        shard.iter().find(|q| q.cmd.id == id).map(|q| f(&q.cmd))
+    }
+
+    /// Queued commands in dispatch order (test/diagnostic use; locks
+    /// every shard).
+    pub fn snapshot_ids(&self) -> Vec<CommandId> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        let mut all: Vec<(i32, u64, CommandId)> = guards
+            .iter()
+            .flat_map(|g| g.iter().map(|q| (q.cmd.priority, q.seq, q.cmd.id)))
+            .collect();
+        all.sort_by(|a, b| (b.0, std::cmp::Reverse(b.1)).cmp(&(a.0, std::cmp::Reverse(a.1))));
+        all.into_iter().map(|(_, _, id)| id).collect()
+    }
+}
+
+/// A dispatched command: who runs it, under which attempt epoch, and
+/// the command itself (kept for re-queueing on fault).
+pub struct InFlight {
+    pub worker: WorkerId,
+    pub dispatched_at: Instant,
+    pub cmd: Command,
+}
+
+impl InFlight {
+    pub fn epoch(&self) -> u32 {
+        self.cmd.attempts
+    }
+}
+
+struct LedgerShard {
+    running: HashMap<CommandId, InFlight>,
+    queued_at: HashMap<CommandId, Instant>,
+}
+
+/// The command lifecycle ledger — running set and queued-at table —
+/// in N hash shards, with a per-worker index over the running set.
+///
+/// The index is what makes heartbeats cheap: marking liveness on a
+/// worker's attempts, and orphaning its commands when the watchdog
+/// declares it lost, both resolve to a direct lookup instead of a
+/// scan of every in-flight command.
+pub struct ShardedLedger {
+    shards: Vec<Mutex<LedgerShard>>,
+    mask: usize,
+    /// CommandIds currently running per worker.
+    by_worker: Mutex<HashMap<WorkerId, HashSet<CommandId>>>,
+    running_len: AtomicUsize,
+}
+
+impl Default for ShardedLedger {
+    fn default() -> Self {
+        ShardedLedger::new(DEFAULT_SHARDS)
+    }
+}
+
+impl ShardedLedger {
+    pub fn new(shards: usize) -> ShardedLedger {
+        assert!(
+            shards.is_power_of_two() && shards > 0,
+            "shard count must be a power of two"
+        );
+        ShardedLedger {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(LedgerShard {
+                        running: HashMap::new(),
+                        queued_at: HashMap::new(),
+                    })
+                })
+                .collect(),
+            mask: shards - 1,
+            by_worker: Mutex::new(HashMap::new()),
+            running_len: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn running_len(&self) -> usize {
+        self.running_len.load(Ordering::Relaxed)
+    }
+
+    pub fn start_running(&self, inflight: InFlight) {
+        let id = inflight.cmd.id;
+        let worker = inflight.worker;
+        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        if shard.running.insert(id, inflight).is_none() {
+            self.running_len.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(shard);
+        self.by_worker
+            .lock()
+            .unwrap()
+            .entry(worker)
+            .or_default()
+            .insert(id);
+    }
+
+    pub fn stop_running(&self, id: CommandId) -> Option<InFlight> {
+        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let inflight = shard.running.remove(&id)?;
+        self.running_len.fetch_sub(1, Ordering::Relaxed);
+        drop(shard);
+        let mut by_worker = self.by_worker.lock().unwrap();
+        if let Some(set) = by_worker.get_mut(&inflight.worker) {
+            set.remove(&id);
+            if set.is_empty() {
+                by_worker.remove(&inflight.worker);
+            }
+        }
+        Some(inflight)
+    }
+
+    /// The attempt epoch of a running command, if it is running.
+    pub fn running_epoch(&self, id: CommandId) -> Option<u32> {
+        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        shard.running.get(&id).map(|f| f.epoch())
+    }
+
+    /// Run `f` on a running command's in-flight record.
+    pub fn peek_running<R>(&self, id: CommandId, f: impl FnOnce(&InFlight) -> R) -> Option<R> {
+        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        shard.running.get(&id).map(f)
+    }
+
+    /// Every running command id (test/diagnostic use; locks all
+    /// shards in turn).
+    pub fn running_ids(&self) -> Vec<CommandId> {
+        self.shards
+            .iter()
+            .flat_map(|s| s.lock().unwrap().running.keys().copied().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Commands currently dispatched to `worker` (direct index hit).
+    pub fn commands_of(&self, worker: WorkerId) -> Vec<CommandId> {
+        self.by_worker
+            .lock()
+            .unwrap()
+            .get(&worker)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Whether `worker` has anything in flight (heartbeat fast path).
+    pub fn worker_is_idle(&self, worker: WorkerId) -> bool {
+        !self.by_worker.lock().unwrap().contains_key(&worker)
+    }
+
+    pub fn mark_queued(&self, id: CommandId, at: Instant) {
+        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        shard.queued_at.insert(id, at);
+    }
+
+    pub fn take_queued(&self, id: CommandId) -> Option<Instant> {
+        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        shard.queued_at.remove(&id)
+    }
+
+    pub fn queued_len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().queued_at.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandSpec;
+    use crate::ids::ProjectId;
+    use crate::queue::CommandQueue;
+    use crate::resources::{ExecutableSpec, Platform, Resources};
+    use serde_json::json;
+    use std::time::Duration;
+
+    fn cmd(id: u64, ctype: &str, cores: usize, priority: i32) -> Command {
+        Command::from_spec(
+            CommandId(id),
+            ProjectId(0),
+            CommandSpec::new(ctype, Resources::new(cores, 1), json!(null)).with_priority(priority),
+        )
+    }
+
+    fn worker(cores: usize, types: &[&str]) -> WorkerDescription {
+        WorkerDescription {
+            platform: Platform::Smp,
+            resources: Resources::new(cores, 1_000_000),
+            executables: types
+                .iter()
+                .map(|t| ExecutableSpec::new(*t, Platform::Smp, "1"))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ids_spread_across_shards() {
+        let q = ShardedQueue::new(8);
+        for i in 0..64 {
+            q.enqueue(cmd(i, "a", 1, 0));
+        }
+        let occupied = q
+            .shards
+            .iter()
+            .filter(|s| !s.lock().unwrap().is_empty())
+            .count();
+        assert!(occupied >= 6, "sequential ids must spread: {occupied}/8");
+        assert_eq!(q.len(), 64);
+    }
+
+    #[test]
+    fn priority_order_with_fifo_ties_across_shards() {
+        let q = ShardedQueue::new(4);
+        q.enqueue(cmd(1, "a", 1, 0));
+        q.enqueue(cmd(2, "a", 1, 5));
+        q.enqueue(cmd(3, "a", 1, 0));
+        assert_eq!(
+            q.snapshot_ids(),
+            vec![CommandId(2), CommandId(1), CommandId(3)]
+        );
+        // Dispatch preserves the same order.
+        let load = q.match_workload(&worker(8, &["a"]), Instant::now());
+        let ids: Vec<u64> = load.iter().map(|c| c.id.0).collect();
+        assert_eq!(ids, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn matching_agrees_with_the_unsharded_queue() {
+        // The sharded queue must take exactly the commands the
+        // reference implementation takes, in the same order, across a
+        // spread of priorities/sizes/capabilities/embargoes.
+        let now = Instant::now();
+        let mut reference = CommandQueue::new();
+        let sharded = ShardedQueue::new(8);
+        let mut seed = 0xfeed_5eedu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for i in 0..200 {
+            let ctype = if next() % 3 == 0 { "fep" } else { "mdrun" };
+            let cores = (next() % 4 + 1) as usize;
+            let priority = (next() % 7) as i32 - 3;
+            let mut c = cmd(i, ctype, cores, priority);
+            if next() % 5 == 0 {
+                c.not_before = Some(now + Duration::from_secs(60));
+            }
+            reference.enqueue(c.clone());
+            sharded.enqueue(c);
+        }
+        let w = worker(16, &["mdrun"]);
+        for round in 0..20 {
+            let a = reference.match_workload(&w, now);
+            let b = sharded.match_workload(&w, now);
+            let ids_a: Vec<u64> = a.iter().map(|c| c.id.0).collect();
+            let ids_b: Vec<u64> = b.iter().map(|c| c.id.0).collect();
+            assert_eq!(ids_a, ids_b, "divergence at round {round}");
+            assert_eq!(reference.len(), sharded.len());
+            if a.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn embargoed_commands_are_skipped_but_retained() {
+        let now = Instant::now();
+        let q = ShardedQueue::new(4);
+        let mut embargoed = cmd(1, "mdrun", 1, 10);
+        embargoed.not_before = Some(now + Duration::from_secs(60));
+        q.enqueue(embargoed);
+        q.enqueue(cmd(2, "mdrun", 1, 0));
+        let w = worker(8, &["mdrun"]);
+        let load = q.match_workload(&w, now);
+        assert_eq!(load.len(), 1);
+        assert_eq!(load[0].id.0, 2);
+        assert_eq!(q.len(), 1);
+        let load = q.match_workload(&w, now + Duration::from_secs(61));
+        assert_eq!(load.len(), 1);
+        assert_eq!(load[0].id.0, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn matching_stops_at_zero_cores() {
+        let q = ShardedQueue::new(4);
+        for i in 0..100 {
+            q.enqueue(cmd(i, "mdrun", 2, 0));
+        }
+        let w = worker(5, &["mdrun"]);
+        let load = q.match_workload(&w, Instant::now());
+        assert_eq!(load.len(), 2, "5 cores fit two 2-core commands");
+        assert_eq!(q.len(), 98);
+    }
+
+    #[test]
+    fn remove_and_peek_route_to_the_right_shard() {
+        let q = ShardedQueue::new(8);
+        for i in 0..32 {
+            q.enqueue(cmd(i, "a", 1, 0));
+        }
+        assert_eq!(q.peek(CommandId(17), |c| c.id.0), Some(17));
+        assert!(q.remove(CommandId(17)).is_some());
+        assert!(q.remove(CommandId(17)).is_none());
+        assert_eq!(q.peek(CommandId(17), |c| c.id.0), None);
+        assert_eq!(q.len(), 31);
+    }
+
+    #[test]
+    fn ledger_tracks_running_by_worker() {
+        let ledger = ShardedLedger::new(4);
+        let w1 = WorkerId(1);
+        let w2 = WorkerId(2);
+        for i in 0..10 {
+            ledger.start_running(InFlight {
+                worker: if i % 3 == 0 { w2 } else { w1 },
+                dispatched_at: Instant::now(),
+                cmd: cmd(i, "a", 1, 0),
+            });
+        }
+        assert_eq!(ledger.running_len(), 10);
+        let mut of_w2 = ledger.commands_of(w2);
+        of_w2.sort();
+        assert_eq!(of_w2, vec![CommandId(0), CommandId(3), CommandId(6), CommandId(9)]);
+        assert!(!ledger.worker_is_idle(w1));
+
+        let gone = ledger.stop_running(CommandId(3)).unwrap();
+        assert_eq!(gone.worker, w2);
+        assert_eq!(ledger.running_len(), 9);
+        assert_eq!(ledger.commands_of(w2).len(), 3);
+        assert!(ledger.stop_running(CommandId(3)).is_none());
+
+        for id in ledger.commands_of(w2) {
+            ledger.stop_running(id);
+        }
+        assert!(ledger.worker_is_idle(w2));
+        assert!(ledger.commands_of(w2).is_empty());
+    }
+
+    #[test]
+    fn ledger_epoch_and_queued_at() {
+        let ledger = ShardedLedger::new(4);
+        let mut c = cmd(5, "a", 1, 0);
+        c.attempts = 3;
+        ledger.start_running(InFlight {
+            worker: WorkerId(9),
+            dispatched_at: Instant::now(),
+            cmd: c,
+        });
+        assert_eq!(ledger.running_epoch(CommandId(5)), Some(3));
+        assert_eq!(ledger.running_epoch(CommandId(6)), None);
+
+        let t = Instant::now();
+        ledger.mark_queued(CommandId(8), t);
+        assert_eq!(ledger.queued_len(), 1);
+        assert_eq!(ledger.take_queued(CommandId(8)), Some(t));
+        assert_eq!(ledger.take_queued(CommandId(8)), None);
+        assert_eq!(ledger.queued_len(), 0);
+    }
+}

@@ -148,6 +148,16 @@ impl TcpServerTransport {
                 None
             }
             WireEvent::Frame { conn, payload } => match codec::decode_inbound(&payload) {
+                Ok(codec::Inbound::Worker(ToServer::Batch(msgs))) => {
+                    // A coalesced frame expands into its members here,
+                    // so the server loop (and the reply-path learning)
+                    // sees exactly the traffic of the unbatched wire.
+                    for msg in msgs {
+                        self.learn(msg.worker(), conn);
+                        self.pending.push_back(msg);
+                    }
+                    self.pending.pop_front()
+                }
                 Ok(codec::Inbound::Worker(msg)) => {
                     self.learn(msg.worker(), conn);
                     Some(msg)
@@ -271,9 +281,66 @@ impl ServerTransport for TcpServerTransport {
 // Worker side
 // ---------------------------------------------------------------------
 
+/// How recently the worker loop must have sent a frame for the
+/// heartbeat ticker to bet on piggybacking: within this window the
+/// loop is actively talking (request/poll cycle), so the heartbeat is
+/// deferred and rides in a [`ToServer::Batch`] with the next frame
+/// instead of costing its own. Outside it — the worker is deep in a
+/// long command — the heartbeat goes out immediately, exactly as an
+/// unbatched one would, so liveness never depends on the bet.
+const PIGGYBACK_WINDOW: Duration = Duration::from_millis(10);
+
+/// Deferred-heartbeat state shared between a [`TcpWorkerTransport`]
+/// and the detached senders it hands out (the heartbeat ticker).
+struct Coalesce {
+    /// At most one deferred heartbeat (the ticker flushes rather than
+    /// defers when one is already waiting, bounding staleness to one
+    /// heartbeat interval), plus when the link last sent any frame.
+    state: std::sync::Mutex<(Vec<ToServer>, Instant)>,
+}
+
+impl Coalesce {
+    fn new() -> std::sync::Arc<Coalesce> {
+        std::sync::Arc::new(Coalesce {
+            state: std::sync::Mutex::new((Vec::new(), Instant::now())),
+        })
+    }
+
+    /// Fold `msg` together with anything deferred into one encoded
+    /// frame (a [`ToServer::Batch`] only when there is company) and
+    /// stamp the send time.
+    fn take_with(&self, msg: ToServer) -> Vec<u8> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.1 = Instant::now();
+        if st.0.is_empty() {
+            codec::encode_to_server(&msg)
+        } else {
+            let mut msgs = std::mem::take(&mut st.0);
+            msgs.push(msg);
+            codec::encode_to_server(&ToServer::Batch(msgs))
+        }
+    }
+
+    /// Try to defer a heartbeat. `None` means it was buffered for the
+    /// next frame; otherwise the message comes back for the caller to
+    /// send now (folded with any deferred company via [`take_with`]).
+    fn defer(&self, msg: ToServer) -> Option<ToServer> {
+        if !matches!(msg, ToServer::Heartbeat { .. }) {
+            return Some(msg);
+        }
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.0.is_empty() && st.1.elapsed() < PIGGYBACK_WINDOW {
+            st.0.push(msg);
+            return None;
+        }
+        Some(msg)
+    }
+}
+
 /// [`WorkerTransport`] over a supervised, reconnecting TCP client.
 pub struct TcpWorkerTransport {
     client: WireClient,
+    coalesce: std::sync::Arc<Coalesce>,
 }
 
 impl TcpWorkerTransport {
@@ -287,6 +354,7 @@ impl TcpWorkerTransport {
     ) -> Result<TcpWorkerTransport, ConnectError> {
         Ok(TcpWorkerTransport {
             client: WireClient::connect(addr, key, policy, stats)?,
+            coalesce: Coalesce::new(),
         })
     }
 
@@ -308,8 +376,9 @@ impl WorkerTransport for TcpWorkerTransport {
     }
 
     fn send(&mut self, msg: ToServer) -> Result<(), TransportClosed> {
+        // Any deferred heartbeat rides along in the same frame.
         self.client
-            .send(&codec::encode_to_server(&msg))
+            .send(&self.coalesce.take_with(msg))
             .map_err(|_| TransportClosed)
     }
 
@@ -340,18 +409,25 @@ impl WorkerTransport for TcpWorkerTransport {
     fn sender(&self) -> Box<dyn WorkerSender> {
         Box::new(TcpWorkerSender {
             client: self.client.clone(),
+            coalesce: self.coalesce.clone(),
         })
     }
 }
 
 struct TcpWorkerSender {
     client: WireClient,
+    coalesce: std::sync::Arc<Coalesce>,
 }
 
 impl WorkerSender for TcpWorkerSender {
     fn send(&self, msg: ToServer) -> Result<(), TransportClosed> {
+        // A heartbeat on a link that just carried a frame piggybacks
+        // on the loop's next send instead of costing its own.
+        let Some(msg) = self.coalesce.defer(msg) else {
+            return Ok(());
+        };
         self.client
-            .send(&codec::encode_to_server(&msg))
+            .send(&self.coalesce.take_with(msg))
             .map_err(|_| TransportClosed)
     }
 }
@@ -473,6 +549,7 @@ pub fn serve_project(
     // goes to a router, so every worker dialing in is offered first to
     // the local project and then to each peer in rotation.
     let peers = config.server.peers.clone();
+    let heartbeat_interval = config.server.heartbeat_interval;
     let (hub, hub_transport) = channel();
     let server = Server::new(
         ProjectId(0),
@@ -488,6 +565,11 @@ pub fn serve_project(
         vec![Box::new(LocalUpstream::new("local", hub))];
     let link_config = PeerLinkConfig {
         hello_timeout: config.overlay.hello_timeout,
+        // Coalesced heartbeats may pool for at most a quarter of the
+        // heartbeat interval, keeping their added delivery delay well
+        // inside the watchdog's 2x-interval slack.
+        heartbeat_flush: (heartbeat_interval / 4)
+            .min(PeerLinkConfig::default().heartbeat_flush),
         ..PeerLinkConfig::default()
     };
     for addr in &peers {
@@ -521,6 +603,12 @@ pub fn serve_project(
 
 /// Dial `addr` and spawn `n` workers over authenticated links. Worker
 /// identities come from the handshake session ids.
+///
+/// Connects every link *before* starting any worker loop: if workers
+/// started as soon as their own link was up, the first few could drain
+/// a small backlog (finishing the project and closing the server's
+/// listener) while later dials are still in flight, and those dials
+/// would be refused. Two phases make the pool all-or-nothing.
 pub fn connect_workers(
     addr: &str,
     key: AuthKey,
@@ -528,21 +616,20 @@ pub fn connect_workers(
     config: WorkerConfig,
     registry: ExecutorRegistry,
 ) -> Result<Vec<WorkerHandle>, ConnectError> {
-    (0..n)
+    let transports: Vec<TcpWorkerTransport> = (0..n)
         .map(|i| {
             let stats = match &config.telemetry {
                 Some(t) => LinkStats::new(t.registry(), &format!("{addr}#{i}"), "client"),
                 None => LinkStats::detached(),
             };
-            let transport =
-                TcpWorkerTransport::connect(addr, key, ReconnectPolicy::default(), stats)?;
-            let id = transport.session_worker_id();
-            Ok(spawn_worker(
-                id,
-                config.clone(),
-                registry.clone(),
-                Box::new(transport),
-            ))
+            TcpWorkerTransport::connect(addr, key, ReconnectPolicy::default(), stats)
         })
-        .collect()
+        .collect::<Result<_, _>>()?;
+    Ok(transports
+        .into_iter()
+        .map(|transport| {
+            let id = transport.session_worker_id();
+            spawn_worker(id, config.clone(), registry.clone(), Box::new(transport))
+        })
+        .collect())
 }

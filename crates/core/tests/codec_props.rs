@@ -134,6 +134,20 @@ fn rand_output(rng: &mut Rng) -> CommandOutput {
 }
 
 fn rand_to_server(rng: &mut Rng) -> ToServer {
+    match rng.below(6) {
+        // One level only: the codec flattens nested batches at encode
+        // and rejects them on decode, so leaves keep the re-encode
+        // equality property meaningful.
+        5 => ToServer::Batch(
+            (0..1 + rng.below(4))
+                .map(|_| rand_to_server_leaf(rng))
+                .collect(),
+        ),
+        _ => rand_to_server_leaf(rng),
+    }
+}
+
+fn rand_to_server_leaf(rng: &mut Rng) -> ToServer {
     match rng.below(5) {
         0 => ToServer::Announce {
             worker: WorkerId(rng.next_u64()),
@@ -170,7 +184,10 @@ fn rand_to_worker(rng: &mut Rng) -> ToWorker {
 }
 
 fn rand_peer(rng: &mut Rng) -> PeerMsg {
-    match rng.below(7) {
+    match rng.below(8) {
+        7 => PeerMsg::Heartbeats {
+            workers: (0..rng.below(6)).map(|_| WorkerId(rng.next_u64())).collect(),
+        },
         0 => PeerMsg::Hello {
             server: rand_string(rng, 24),
             projects: (0..rng.below(4)).map(|_| ProjectId(rng.next_u64())).collect(),

@@ -183,6 +183,91 @@ pub fn server_handshake<S: Read + Write>(
     })
 }
 
+// ---------------------------------------------------------------------
+// Frame-driven server handshake (event-loop form)
+// ---------------------------------------------------------------------
+
+/// What the state machine wants after absorbing one handshake frame.
+#[derive(Debug)]
+pub enum HandshakeStep {
+    /// Queue this frame payload for the client and keep feeding.
+    Reply(Vec<u8>),
+    /// Handshake complete; the connection is authenticated.
+    Complete(Session),
+}
+
+enum HandshakeState {
+    AwaitHello,
+    AwaitProof {
+        expected: [u8; MAC_LEN],
+        session_id: u64,
+    },
+    Done,
+}
+
+/// The server leg of the handshake as a state machine over whole
+/// frames, for the event loop: no thread ever blocks mid-transcript,
+/// and the handshake deadline is a timer-wheel entry instead of a
+/// `set_read_timeout`. Same transcript, same errors as
+/// [`server_handshake`].
+pub struct ServerHandshake {
+    key: AuthKey,
+    state: HandshakeState,
+}
+
+impl ServerHandshake {
+    pub fn new(key: AuthKey) -> ServerHandshake {
+        ServerHandshake {
+            key,
+            state: HandshakeState::AwaitHello,
+        }
+    }
+
+    /// Feed one inbound frame payload. Errors mean the connection must
+    /// be dropped (with an auth-failure event).
+    pub fn on_frame(&mut self, payload: &[u8]) -> Result<HandshakeStep, AuthError> {
+        match &self.state {
+            HandshakeState::AwaitHello => {
+                if payload.len() != MAGIC.len() + NONCE_LEN {
+                    return Err(AuthError::Malformed);
+                }
+                if &payload[..MAGIC.len()] != MAGIC {
+                    return Err(AuthError::BadMagic);
+                }
+                let client_nonce = &payload[MAGIC.len()..];
+                let server_nonce = fresh_nonce();
+                let mut challenge = Vec::with_capacity(NONCE_LEN + MAC_LEN);
+                challenge.extend_from_slice(&server_nonce);
+                challenge.extend_from_slice(&transcript_mac(
+                    &self.key,
+                    b"server",
+                    client_nonce,
+                    &server_nonce,
+                ));
+                self.state = HandshakeState::AwaitProof {
+                    expected: transcript_mac(&self.key, b"client", client_nonce, &server_nonce),
+                    session_id: derive_session_id(&self.key, client_nonce, &server_nonce),
+                };
+                Ok(HandshakeStep::Reply(challenge))
+            }
+            HandshakeState::AwaitProof {
+                expected,
+                session_id,
+            } => {
+                if !hash::ct_eq(payload, expected) {
+                    return Err(AuthError::BadKey);
+                }
+                let session = Session {
+                    session_id: *session_id,
+                };
+                self.state = HandshakeState::Done;
+                Ok(HandshakeStep::Complete(session))
+            }
+            HandshakeState::Done => Err(AuthError::Malformed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 //! error and the caller is expected to drop the connection (framing
 //! cannot be resynchronised once the stream position is suspect).
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 
 /// Hard upper bound on a frame payload. Generous for this codebase: the
 /// largest real message is a `Workload` carrying conformation
@@ -18,16 +18,58 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// Bytes of framing overhead per frame (the length prefix).
 pub const HEADER_LEN: usize = 4;
 
-/// Write one frame. Errors if the payload exceeds `MAX_FRAME`.
-pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+/// Payloads up to this size are copied into one contiguous buffer so
+/// header+payload leave in a single `write` syscall; larger ones go
+/// through `write_vectored` to avoid the copy.
+const COALESCE_LIMIT: usize = 64 * 1024;
+
+/// Encode one frame (header + payload) into a fresh buffer. Errors if
+/// the payload exceeds `MAX_FRAME`.
+pub fn encode_frame(payload: &[u8]) -> io::Result<Vec<u8>> {
     if payload.len() > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    Ok(buf)
+}
+
+/// Write one frame. Errors if the payload exceeds `MAX_FRAME`.
+///
+/// Header and payload leave together — one buffered write for small
+/// frames, one vectored write for large ones — never as two separate
+/// syscalls (which, pre-`TCP_NODELAY`, also meant a Nagle stall
+/// between the 4-byte header segment and the payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() <= COALESCE_LIMIT {
+        let buf = encode_frame(payload)?;
+        w.write_all(&buf)?;
+        return w.flush();
+    }
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    let header = (payload.len() as u32).to_be_bytes();
+    let mut written = 0usize;
+    let total = HEADER_LEN + payload.len();
+    while written < total {
+        let n = if written < HEADER_LEN {
+            w.write_vectored(&[IoSlice::new(&header[written..]), IoSlice::new(payload)])?
+        } else {
+            w.write(&payload[written - HEADER_LEN..])?
+        };
+        if n == 0 {
+            return Err(io::ErrorKind::WriteZero.into());
+        }
+        written += n;
+    }
     w.flush()
 }
 
@@ -55,6 +97,142 @@ pub fn read_frame_limited(r: &mut impl Read, max: usize) -> io::Result<Vec<u8>> 
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Nonblocking-side framing: incremental decode, resumable writes
+// ---------------------------------------------------------------------
+
+/// Incremental frame parser for nonblocking reads.
+///
+/// Bytes arrive in arbitrary fragments (`extend`); complete frames come
+/// out of [`next_frame`]. Partial headers and partial payloads persist
+/// across calls — the event loop resumes a half-read frame whenever the
+/// socket becomes readable again, with no thread parked mid-`read_exact`.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Read position: consumed frames are compacted away lazily so a
+    /// burst of small frames doesn't memmove per frame.
+    pos: usize,
+    max: usize,
+}
+
+impl FrameDecoder {
+    pub fn new(max: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max,
+        }
+    }
+
+    /// Append raw bytes from the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        // Compact when the dead prefix dominates, to amortise the copy.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Next complete frame, `Ok(None)` if more bytes are needed, or
+    /// `InvalidData` for a length prefix above the cap (the stream is
+    /// unrecoverable — drop the connection).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        let avail = self.buf.len() - self.pos;
+        if avail < HEADER_LEN {
+            return Ok(None);
+        }
+        let header: [u8; HEADER_LEN] = self.buf[self.pos..self.pos + HEADER_LEN]
+            .try_into()
+            .expect("slice is HEADER_LEN bytes");
+        let len = u32::from_be_bytes(header) as usize;
+        if len > self.max {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds cap {}", self.max),
+            ));
+        }
+        if avail < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let start = self.pos + HEADER_LEN;
+        let frame = self.buf[start..start + len].to_vec();
+        self.pos = start + len;
+        self.compact();
+        Ok(Some(frame))
+    }
+}
+
+/// Outbound frame queue with partial-write resumption.
+///
+/// Frames are queued pre-encoded (header already prepended); `flush`
+/// writes as much as the socket takes, remembers the offset into the
+/// head frame on `WouldBlock`, and resumes exactly there next time the
+/// socket reports writable. `queued_bytes` is the backpressure signal —
+/// the event loop drops connections whose peers stop draining.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    frames: std::collections::VecDeque<Vec<u8>>,
+    /// Bytes of the head frame already written.
+    head_written: usize,
+    queued: usize,
+}
+
+impl WriteQueue {
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// Queue one pre-encoded frame (see [`encode_frame`]).
+    pub fn push(&mut self, frame: Vec<u8>) {
+        self.queued += frame.len();
+        self.frames.push_back(frame);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Total bytes not yet accepted by the socket.
+    pub fn queued_bytes(&self) -> usize {
+        self.queued - self.head_written
+    }
+
+    /// Write until drained or the writer refuses progress. Returns
+    /// `Ok(true)` when the queue is empty, `Ok(false)` on `WouldBlock`
+    /// (re-arm write interest and resume later). Other errors are the
+    /// connection's death.
+    pub fn flush(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while let Some(head) = self.frames.front() {
+            match w.write(&head[self.head_written..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.head_written += n;
+                    if self.head_written == head.len() {
+                        self.queued -= head.len();
+                        self.head_written = 0;
+                        self.frames.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +312,106 @@ mod tests {
         let err = write_frame(&mut sink, &big).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(sink.is_empty(), "no partial frame may be emitted");
+    }
+
+    #[test]
+    fn write_frame_emits_header_and_payload_in_one_write() {
+        // A writer that counts calls: the whole point of the buffered
+        // path is exactly one OS write per small frame.
+        struct CountingWriter {
+            calls: usize,
+            data: Vec<u8>,
+        }
+        impl Write for CountingWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.calls += 1;
+                self.data.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = CountingWriter {
+            calls: 0,
+            data: Vec::new(),
+        };
+        write_frame(&mut w, b"payload").unwrap();
+        assert_eq!(w.calls, 1, "small frame must be a single write");
+        let mut cur = Cursor::new(w.data);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"payload");
+    }
+
+    #[test]
+    fn large_frame_roundtrips_through_vectored_path() {
+        let payload = vec![0xabu8; COALESCE_LIMIT + 11];
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(buf.len(), HEADER_LEN + payload.len());
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap(), payload);
+    }
+
+    #[test]
+    fn decoder_reassembles_fragmented_frames() {
+        let mut stream = framed(b"alpha");
+        stream.extend_from_slice(&framed(b""));
+        stream.extend_from_slice(&framed(b"gamma"));
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        for b in stream {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix() {
+        let mut dec = FrameDecoder::new(16);
+        dec.extend(&100u32.to_be_bytes());
+        let err = dec.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn write_queue_resumes_partial_writes() {
+        // A writer that takes at most 3 bytes then blocks until poked.
+        struct Dribble {
+            data: Vec<u8>,
+            budget: usize,
+        }
+        impl Write for Dribble {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(self.budget).min(3);
+                self.budget -= n;
+                self.data.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut q = WriteQueue::new();
+        q.push(encode_frame(b"first-frame").unwrap());
+        q.push(encode_frame(b"second").unwrap());
+        let mut w = Dribble {
+            data: Vec::new(),
+            budget: 7,
+        };
+        assert!(!q.flush(&mut w).unwrap(), "must report WouldBlock");
+        assert!(q.queued_bytes() > 0);
+        w.budget = usize::MAX;
+        assert!(q.flush(&mut w).unwrap());
+        assert_eq!(q.queued_bytes(), 0);
+        let mut cur = Cursor::new(w.data);
+        assert_eq!(read_frame(&mut cur).unwrap(), b"first-frame");
+        assert_eq!(read_frame(&mut cur).unwrap(), b"second");
     }
 }

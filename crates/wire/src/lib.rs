@@ -15,9 +15,13 @@
 //!   reflection-safe;
 //! - [`client`] — supervised outbound link: reconnect with exponential
 //!   backoff, session-frame replay, idle-vs-broken discrimination;
-//! - [`listener`] — accept loop with per-connection supervision
-//!   (handshake timeout, heartbeat/idle timeout, malformed-frame
-//!   hygiene) surfacing [`WireEvent`]s;
+//! - [`poll`] — zero-dependency readiness polling (`epoll` on Linux,
+//!   `poll(2)` elsewhere), the engine under the listener;
+//! - [`timer`] — a hashed timer wheel for handshake/idle deadlines;
+//! - [`listener`] — accept + per-connection supervision (handshake
+//!   timeout, heartbeat/idle timeout, malformed-frame hygiene,
+//!   write-backlog eviction) surfacing [`WireEvent`]s, all driven by
+//!   one event-loop thread over nonblocking sockets;
 //! - [`stats`] — per-link byte/frame/reconnect counters in the shared
 //!   telemetry registry;
 //! - [`metrics`] — a minimal plain-TCP endpoint serving live Prometheus
@@ -30,15 +34,21 @@
 
 pub mod auth;
 pub mod client;
+pub(crate) mod event_loop;
 pub mod frame;
 pub mod hash;
 pub mod listener;
 pub mod metrics;
+pub mod poll;
 pub mod stats;
+pub mod timer;
 
 pub use auth::{AuthError, AuthKey, Session};
 pub use client::{ConnectError, LinkDown, ReconnectPolicy, RecvError, WireClient};
-pub use frame::{read_frame, read_frame_limited, write_frame, HEADER_LEN, MAX_FRAME};
+pub use frame::{
+    encode_frame, read_frame, read_frame_limited, write_frame, FrameDecoder, WriteQueue,
+    HEADER_LEN, MAX_FRAME,
+};
 pub use listener::{ConnId, ListenerConfig, WireEvent, WireListener};
 pub use metrics::MetricsServer;
 pub use stats::LinkStats;

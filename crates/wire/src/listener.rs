@@ -1,5 +1,5 @@
-//! Server side of the wire: accept loop, per-connection supervision,
-//! and an event queue.
+//! Server side of the wire: accept, per-connection supervision, and an
+//! event queue — all multiplexed on one readiness loop.
 //!
 //! A [`WireListener`] binds a TCP port, handshakes every inbound
 //! connection against the pre-shared key, and surfaces everything that
@@ -7,25 +7,32 @@
 //! drains (`recv_timeout`/`try_recv`). Outbound frames go through
 //! [`WireListener::send`] addressed by [`ConnId`].
 //!
+//! Internally every connection is owned by a single event-loop thread
+//! (see [`crate::event_loop`]): nonblocking sockets, resumable framing,
+//! and a timer wheel replace the old thread-per-connection design, so
+//! a thousand workers cost one polling thread instead of a thousand
+//! parked readers contending one writer-table mutex.
+//!
 //! Supervision rules, all of which resolve to *drop the connection,
-//! never panic, never block the accept loop*:
+//! never panic, never wedge the loop*:
 //! - handshake must complete within `handshake_timeout` (a peer that
 //!   connects and goes silent cannot wedge a slot),
-//! - a connection with no inbound frame for `idle_timeout` is declared
-//!   dead (workers heartbeat far more often than that),
-//! - any malformed frame — oversized length prefix, truncated payload,
-//!   socket error mid-frame — closes the connection, because framing
-//!   cannot be resynchronised.
+//! - a connection with no inbound traffic for `idle_timeout` is
+//!   declared dead (workers heartbeat far more often than that),
+//! - any malformed frame — oversized length prefix, socket error
+//!   mid-frame — closes the connection, because framing cannot be
+//!   resynchronised,
+//! - a peer that stops draining its socket is evicted once its write
+//!   backlog passes a cap (the server never buffers unboundedly).
 
-use crate::auth::{server_handshake, AuthKey};
+use crate::auth::AuthKey;
+use crate::event_loop::{self, LoopCmd, LoopHandle};
 use crate::frame;
 use crate::stats::LinkStats;
-use std::collections::HashMap;
 use std::fmt;
 use std::io::{self};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::mpsc;
 use std::thread;
 use std::time::Duration;
 
@@ -79,21 +86,12 @@ impl Default for ListenerConfig {
     }
 }
 
-struct Shared {
-    key: AuthKey,
-    config: ListenerConfig,
-    stats: LinkStats,
-    writers: Mutex<HashMap<ConnId, TcpStream>>,
-    next_conn: AtomicU64,
-    shutdown: AtomicBool,
-    events: mpsc::Sender<WireEvent>,
-}
-
 pub struct WireListener {
-    shared: Arc<Shared>,
+    handle: LoopHandle,
     events: mpsc::Receiver<WireEvent>,
     local_addr: SocketAddr,
-    accept_thread: Option<thread::JoinHandle<()>>,
+    stats: LinkStats,
+    loop_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl WireListener {
@@ -106,28 +104,15 @@ impl WireListener {
         stats: LinkStats,
     ) -> io::Result<WireListener> {
         let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let (tx, rx) = mpsc::channel();
-        let shared = Arc::new(Shared {
-            key,
-            config,
-            stats,
-            writers: Mutex::new(HashMap::new()),
-            next_conn: AtomicU64::new(0),
-            shutdown: AtomicBool::new(false),
-            events: tx,
-        });
-        let accept_shared = Arc::clone(&shared);
-        let accept_thread = thread::Builder::new()
-            .name("wire-accept".into())
-            .spawn(move || accept_loop(listener, accept_shared))
-            .expect("spawn accept thread");
+        let (handle, loop_thread) = event_loop::spawn(listener, key, config, stats.clone(), tx)?;
         Ok(WireListener {
-            shared,
+            handle,
             events: rx,
             local_addr,
-            accept_thread: Some(accept_thread),
+            stats,
+            loop_thread: Some(loop_thread),
         })
     }
 
@@ -136,7 +121,7 @@ impl WireListener {
     }
 
     pub fn stats(&self) -> &LinkStats {
-        &self.shared.stats
+        &self.stats
     }
 
     /// Next event, waiting up to `timeout`.
@@ -149,33 +134,38 @@ impl WireListener {
     }
 
     /// Send one frame to a live connection.
+    ///
+    /// The frame is encoded here (so an oversized payload errors
+    /// synchronously) and handed to the event loop, which writes as
+    /// much as the socket accepts and resumes on writability — the
+    /// caller never blocks on a slow peer's socket.
     pub fn send(&self, conn: ConnId, payload: &[u8]) -> io::Result<()> {
-        let writers = self.shared.writers.lock().unwrap();
-        let stream = writers.get(&conn).ok_or_else(|| {
-            io::Error::new(io::ErrorKind::NotFound, format!("{conn} is not connected"))
-        })?;
-        frame::write_frame(&mut (&*stream), payload)?;
-        self.shared.stats.on_frame_sent(payload.len());
+        if !self.handle.is_live(conn) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{conn} is not connected"),
+            ));
+        }
+        let encoded = frame::encode_frame(payload)?;
+        self.handle.submit(LoopCmd::Send {
+            conn,
+            frame: encoded,
+        });
+        self.stats.on_frame_sent(payload.len());
         Ok(())
     }
 
     /// Forcibly drop a connection (used by tests to simulate a network
     /// partition, and by servers evicting a misbehaving peer). The
-    /// connection's reader thread reports the resulting
-    /// [`WireEvent::Disconnected`].
+    /// event loop reports the resulting [`WireEvent::Disconnected`].
     pub fn kick(&self, conn: ConnId) {
-        if let Some(stream) = self.shared.writers.lock().unwrap().get(&conn) {
-            stream.shutdown(Shutdown::Both).ok();
-        }
+        self.handle.submit(LoopCmd::Kick(conn));
     }
 
     /// Stop accepting and drop every connection.
     pub fn shutdown(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Relaxed);
-        for stream in self.shared.writers.lock().unwrap().values() {
-            stream.shutdown(Shutdown::Both).ok();
-        }
-        if let Some(handle) = self.accept_thread.take() {
+        self.handle.submit(LoopCmd::Shutdown);
+        if let Some(handle) = self.loop_thread.take() {
             handle.join().ok();
         }
     }
@@ -185,107 +175,4 @@ impl Drop for WireListener {
     fn drop(&mut self) {
         self.shutdown();
     }
-}
-
-fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
-    loop {
-        if shared.shutdown.load(Ordering::Relaxed) {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, peer)) => {
-                let conn_shared = Arc::clone(&shared);
-                thread::Builder::new()
-                    .name(format!("wire-conn-{peer}"))
-                    .spawn(move || serve_connection(stream, peer, conn_shared))
-                    .ok();
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => {
-                // Transient accept errors (e.g. EMFILE) must not kill
-                // the listener.
-                thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
-}
-
-fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>) {
-    stream.set_nodelay(true).ok();
-    stream
-        .set_read_timeout(Some(shared.config.handshake_timeout))
-        .ok();
-    let session = match server_handshake(&mut (&stream), &shared.key) {
-        Ok(session) => session,
-        Err(e) => {
-            shared.stats.auth_failures.inc();
-            shared
-                .events
-                .send(WireEvent::AuthFailed {
-                    peer,
-                    reason: e.to_string(),
-                })
-                .ok();
-            stream.shutdown(Shutdown::Both).ok();
-            return;
-        }
-    };
-
-    let conn = ConnId(shared.next_conn.fetch_add(1, Ordering::Relaxed));
-    let writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    shared.writers.lock().unwrap().insert(conn, writer);
-    if shared
-        .events
-        .send(WireEvent::Connected {
-            conn,
-            session: session.session_id,
-            peer,
-        })
-        .is_err()
-    {
-        // Listener already dropped.
-        shared.writers.lock().unwrap().remove(&conn);
-        return;
-    }
-
-    // Inbound loop: the idle timeout doubles as heartbeat-loss
-    // detection — a healthy worker heartbeats well inside it.
-    stream
-        .set_read_timeout(Some(shared.config.idle_timeout))
-        .ok();
-    let reason = loop {
-        match frame::read_frame_limited(&mut (&stream), shared.config.max_frame) {
-            Ok(payload) => {
-                shared.stats.on_frame_recv(payload.len());
-                if shared
-                    .events
-                    .send(WireEvent::Frame { conn, payload })
-                    .is_err()
-                {
-                    break "listener dropped".to_string();
-                }
-            }
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                break format!("idle for {:?} (heartbeat lost)", shared.config.idle_timeout);
-            }
-            Err(e) => break format!("{} ({:?})", e, e.kind()),
-        }
-    };
-
-    shared.writers.lock().unwrap().remove(&conn);
-    stream.shutdown(Shutdown::Both).ok();
-    shared
-        .events
-        .send(WireEvent::Disconnected { conn, reason })
-        .ok();
 }

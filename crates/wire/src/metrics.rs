@@ -105,6 +105,9 @@ impl Drop for MetricsServer {
 /// scrape with no headers still works), write one 200 with the current
 /// render, close.
 fn serve_one(mut stream: TcpStream, render: &impl Fn() -> String) -> std::io::Result<()> {
+    // Scrape responses are one small write; don't let Nagle hold the
+    // tail segment back from a latency-sensitive poller.
+    stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
     stream.set_nonblocking(false)?;

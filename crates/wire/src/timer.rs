@@ -1,0 +1,203 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The event loop arms two kinds of deadline per connection — finish
+//! the handshake by T, or show traffic by T — and both are coarse
+//! (hundreds of milliseconds to tens of seconds). A wheel of fixed
+//! slots gives O(1) arm and O(slots-crossed) expiry with no per-conn
+//! allocation, replacing the per-thread `set_read_timeout` sleeps of
+//! the thread-per-connection design.
+//!
+//! Cancellation is *lazy*: entries carry a generation stamp and the
+//! caller ignores expirations whose generation no longer matches the
+//! connection's current one (re-arming the idle deadline just bumps
+//! the generation). The wheel never needs to find-and-remove.
+
+use std::time::{Duration, Instant};
+
+/// One armed deadline: opaque token (the event loop uses the conn
+/// slot), generation for lazy cancellation, and the exact deadline
+/// (slots are coarse; expiry re-checks the precise instant).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    gen: u64,
+    deadline: Instant,
+}
+
+pub struct TimerWheel {
+    /// Slot width. Deadlines are only honoured at this granularity —
+    /// fine for handshake/idle timeouts, which are policy, not pacing.
+    tick: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// Index of the slot containing `base`.
+    cursor: usize,
+    /// Start instant of the cursor slot.
+    base: Instant,
+    /// Live entries (including lazily-cancelled ones not yet swept).
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new(tick: Duration, slots: usize, now: Instant) -> TimerWheel {
+        assert!(slots >= 2, "wheel needs at least two slots");
+        assert!(!tick.is_zero(), "wheel tick must be non-zero");
+        TimerWheel {
+            tick,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            base: now,
+            len: 0,
+        }
+    }
+
+    /// Arm a deadline. Deadlines beyond the wheel's horizon are parked
+    /// in the furthest slot and re-filed as the wheel turns.
+    pub fn arm(&mut self, token: u64, gen: u64, deadline: Instant) {
+        let ticks = if deadline <= self.base {
+            0
+        } else {
+            let dt = deadline - self.base;
+            // Integer division floors; an entry never lands in a slot
+            // that expires after its deadline.
+            (dt.as_nanos() / self.tick.as_nanos().max(1)) as u64
+        };
+        let horizon = (self.slots.len() - 1) as u64;
+        let offset = ticks.min(horizon) as usize;
+        let idx = (self.cursor + offset) % self.slots.len();
+        self.slots[idx].push(Entry {
+            token,
+            gen,
+            deadline,
+        });
+        self.len += 1;
+    }
+
+    /// Whether any entries are armed (lazily-cancelled ones included).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Upper bound on when the caller should next call [`expire`]:
+    /// the end of the current slot, or `None` when nothing is armed.
+    pub fn next_wakeup(&self, now: Instant) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let slot_end = self.base + self.tick;
+        Some(slot_end.max(now))
+    }
+
+    /// Advance to `now`, appending `(token, gen)` for every entry whose
+    /// deadline has passed. Entries parked short of their deadline
+    /// (wheel-horizon overflow, coarse slotting) are re-filed.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<(u64, u64)>) {
+        // Sweep every slot the cursor crosses, plus the current slot.
+        loop {
+            let slot = std::mem::take(&mut self.slots[self.cursor]);
+            let mut kept = Vec::new();
+            for entry in slot {
+                if entry.deadline <= now {
+                    out.push((entry.token, entry.gen));
+                    self.len -= 1;
+                } else {
+                    kept.push(entry);
+                }
+            }
+            let crossed = now >= self.base + self.tick;
+            if crossed {
+                // Re-file survivors relative to the advanced cursor.
+                self.base += self.tick;
+                self.cursor = (self.cursor + 1) % self.slots.len();
+                for entry in kept {
+                    self.len -= 1;
+                    self.arm(entry.token, entry.gen, entry.deadline);
+                }
+            } else {
+                self.slots[self.cursor] = kept;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn expires_in_deadline_order_at_tick_granularity() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(Duration::from_millis(100), 16, start);
+        wheel.arm(1, 0, start + Duration::from_millis(250));
+        wheel.arm(2, 0, start + Duration::from_millis(50));
+        let mut out = Vec::new();
+
+        wheel.expire(start + Duration::from_millis(120), &mut out);
+        assert_eq!(out, vec![(2, 0)]);
+
+        out.clear();
+        wheel.expire(start + Duration::from_millis(200), &mut out);
+        assert!(out.is_empty(), "250ms deadline fired early: {out:?}");
+
+        wheel.expire(start + Duration::from_millis(300), &mut out);
+        assert_eq!(out, vec![(1, 0)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(Duration::from_millis(100), 8, start);
+        wheel.arm(9, 3, start); // already due
+        let mut out = Vec::new();
+        wheel.expire(start, &mut out);
+        assert_eq!(out, vec![(9, 3)]);
+    }
+
+    #[test]
+    fn beyond_horizon_deadlines_survive_the_turns() {
+        let start = t0();
+        // Horizon = 4 slots × 10ms = 40ms; arm at 95ms.
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 4, start);
+        wheel.arm(5, 1, start + Duration::from_millis(95));
+        let mut out = Vec::new();
+        for step in 1..=9 {
+            wheel.expire(start + Duration::from_millis(step * 10), &mut out);
+            assert!(out.is_empty(), "fired at {}ms", step * 10);
+        }
+        wheel.expire(start + Duration::from_millis(100), &mut out);
+        assert_eq!(out, vec![(5, 1)]);
+    }
+
+    #[test]
+    fn generations_ride_through_for_lazy_cancellation() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(Duration::from_millis(10), 8, start);
+        // Old generation armed, then the conn re-armed with gen 2 at a
+        // later deadline: both fire; the caller drops the stale one.
+        wheel.arm(7, 1, start + Duration::from_millis(10));
+        wheel.arm(7, 2, start + Duration::from_millis(30));
+        let mut out = Vec::new();
+        wheel.expire(start + Duration::from_millis(50), &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![(7, 1), (7, 2)]);
+    }
+
+    #[test]
+    fn next_wakeup_tracks_armed_state() {
+        let start = t0();
+        let mut wheel = TimerWheel::new(Duration::from_millis(100), 8, start);
+        assert!(wheel.next_wakeup(start).is_none());
+        wheel.arm(1, 0, start + Duration::from_secs(1));
+        let wake = wheel.next_wakeup(start).unwrap();
+        assert!(wake <= start + Duration::from_millis(100));
+        let mut out = Vec::new();
+        wheel.expire(start + Duration::from_secs(2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(wheel.next_wakeup(start + Duration::from_secs(2)).is_none());
+    }
+}

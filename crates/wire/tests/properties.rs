@@ -7,8 +7,11 @@
 //! and the seed comes from `COPERNICUS_TEST_SEED` so CI can sweep a
 //! matrix of seeds while any failure stays reproducible.
 
-use copernicus_wire::frame::{read_frame, read_frame_limited, write_frame, HEADER_LEN, MAX_FRAME};
-use std::io::{self, Cursor, Read};
+use copernicus_wire::frame::{
+    encode_frame, read_frame, read_frame_limited, write_frame, FrameDecoder, WriteQueue,
+    HEADER_LEN, MAX_FRAME,
+};
+use std::io::{self, Cursor, Read, Write};
 
 /// Deterministic generator (splitmix64): good distribution, no deps.
 struct Rng(u64);
@@ -98,6 +101,124 @@ fn random_payloads_roundtrip_through_fragmented_reads() {
         // The stream is exactly consumed: one more read is clean EOF.
         let err = read_frame(&mut reader).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+}
+
+/// A writer with a byte budget: accepts exactly `budget` bytes, then
+/// reports `WouldBlock` — the socket model for the nonblocking write
+/// path ([`WriteQueue::flush`] must remember its offset and resume).
+struct BudgetWriter {
+    data: Vec<u8>,
+    budget: usize,
+}
+
+impl Write for BudgetWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.budget == 0 {
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = buf.len().min(self.budget);
+        self.budget -= n;
+        self.data.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Drain `queue` through a writer that blocks after exactly `split`
+/// bytes, then takes the rest; returns the bytes the "socket" saw.
+fn drain_split(mut queue: WriteQueue, split: usize, total: usize) -> Vec<u8> {
+    let mut w = BudgetWriter {
+        data: Vec::new(),
+        budget: split,
+    };
+    let drained = queue.flush(&mut w).expect("no real IO to fail");
+    assert_eq!(drained, split >= total, "split {split}/{total}");
+    assert_eq!(queue.queued_bytes(), total - w.data.len());
+    w.budget = usize::MAX;
+    assert!(queue.flush(&mut w).expect("no real IO to fail"));
+    assert_eq!(queue.queued_bytes(), 0);
+    w.data
+}
+
+#[test]
+fn every_byte_boundary_through_the_nonblocking_writer_reassembles_exactly() {
+    let mut rng = Rng::new(seed().rotate_left(7));
+    // Small payloads (including empty) so the exhaustive boundary sweep
+    // stays cheap while still crossing header/payload and frame/frame
+    // boundaries many times.
+    let payloads: Vec<Vec<u8>> = (0..6)
+        .map(|_| {
+            let len = rng.below(48);
+            rng.bytes(len)
+        })
+        .collect();
+    let total: usize = payloads.iter().map(|p| HEADER_LEN + p.len()).sum();
+    let expected: Vec<u8> = payloads
+        .iter()
+        .flat_map(|p| encode_frame(p).expect("within MAX_FRAME"))
+        .collect();
+
+    // Interrupt the writer at every byte boundary of the stream; the
+    // resumed queue must emit the identical bytes, and a decoder fed
+    // the two fragments must reassemble every frame byte-exactly.
+    for split in 0..=total {
+        let mut queue = WriteQueue::new();
+        for p in &payloads {
+            queue.push(encode_frame(p).expect("within MAX_FRAME"));
+        }
+        let wire = drain_split(queue, split, total);
+        assert_eq!(wire, expected, "split {split}: bytes diverged");
+
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        for fragment in [&wire[..split], &wire[split..]] {
+            dec.extend(fragment);
+            while let Some(f) = dec.next_frame().expect("stream is valid") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, payloads, "split {split}: frames diverged");
+        assert_eq!(dec.pending(), 0, "split {split}: leftover bytes");
+    }
+}
+
+#[test]
+fn single_byte_dribble_survives_writer_and_decoder_in_lockstep() {
+    let mut rng = Rng::new(seed().rotate_left(11));
+    for round in 0..8 {
+        let payloads: Vec<Vec<u8>> = (0..4)
+            .map(|_| {
+                let len = rng.below(200);
+                rng.bytes(len)
+            })
+            .collect();
+        let mut queue = WriteQueue::new();
+        for p in &payloads {
+            queue.push(encode_frame(p).expect("within MAX_FRAME"));
+        }
+        // The cruellest socket: one byte per writability event. Each
+        // byte is handed straight to the decoder, interleaving partial
+        // writes with partial reads exactly as the event loop would.
+        let mut dec = FrameDecoder::new(MAX_FRAME);
+        let mut out = Vec::new();
+        while !queue.is_empty() {
+            let mut w = BudgetWriter {
+                data: Vec::new(),
+                budget: 1,
+            };
+            queue.flush(&mut w).expect("no real IO to fail");
+            assert_eq!(w.data.len(), 1, "round {round}: writer made no progress");
+            dec.extend(&w.data);
+            while let Some(f) = dec.next_frame().expect("stream is valid") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, payloads, "round {round}");
+        assert_eq!(dec.pending(), 0, "round {round}");
     }
 }
 
