@@ -336,6 +336,7 @@ impl Broker {
                     format!("error {command} (epoch {epoch})")
                 }
                 ToServer::Heartbeat { .. } => String::new(),
+                ToServer::WorkerDeparted { worker } => format!("departed {worker}"),
                 ToServer::Batch(msgs) => format!("batch x{}", msgs.len()),
             };
             if !tag.is_empty() {
@@ -436,6 +437,11 @@ impl Broker {
                         self.mark_done(idx);
                     }
                 }
+            }
+            ToServer::WorkerDeparted { .. } => {
+                // The broker simply stops relaying the worker's
+                // heartbeats; each upstream owner's watchdog draws the
+                // worker-lost verdict on its own schedule.
             }
         }
     }

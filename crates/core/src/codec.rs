@@ -357,6 +357,7 @@ const TS_COMPLETED: u8 = 2;
 const TS_COMMAND_ERROR: u8 = 3;
 const TS_HEARTBEAT: u8 = 4;
 const TS_BATCH: u8 = 5;
+const TS_WORKER_DEPARTED: u8 = 6;
 
 /// Collect the non-batch messages of a (possibly nested) batch in
 /// order. Encoding flattens, so the wire carries exactly one level of
@@ -403,6 +404,12 @@ fn put_to_server_leaf(out: &mut Vec<u8>, msg: &ToServer) {
             put_u8(out, TS_HEARTBEAT);
             put_u64(out, worker.0);
         }
+        // Normally synthesized server-side, but encodable so relaying
+        // transports (overlay hops) can forward the departure.
+        ToServer::WorkerDeparted { worker } => {
+            put_u8(out, TS_WORKER_DEPARTED);
+            put_u64(out, worker.0);
+        }
         // `encode_to_server` flattens batches before reaching here.
         ToServer::Batch(_) => unreachable!("nested batches are flattened at encode"),
     }
@@ -446,6 +453,9 @@ fn get_to_server_leaf(r: &mut Reader, tag: u8) -> Result<ToServer, CodecError> {
             error: r.str()?,
         },
         TS_HEARTBEAT => ToServer::Heartbeat {
+            worker: WorkerId(r.u64()?),
+        },
+        TS_WORKER_DEPARTED => ToServer::WorkerDeparted {
             worker: WorkerId(r.u64()?),
         },
         TS_BATCH => return err("nested Batch"),
@@ -734,6 +744,9 @@ mod tests {
                 error: "bad payload: missing \"steps\"".to_string(),
             },
             ToServer::Heartbeat {
+                worker: WorkerId(42),
+            },
+            ToServer::WorkerDeparted {
                 worker: WorkerId(42),
             },
         ];

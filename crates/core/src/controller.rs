@@ -67,6 +67,25 @@ pub trait Controller: Send {
 
     /// Handle one event, returning follow-up actions.
     fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action>;
+
+    /// Serialize the controller's decision state for the server's
+    /// write-ahead log, or `None` if the controller is stateless (the
+    /// default). Called after every event delivery, so keep it cheap
+    /// relative to the events it survives.
+    fn snapshot(&self) -> Option<serde_json::Value> {
+        None
+    }
+
+    /// Restore state captured by [`Controller::snapshot`] during crash
+    /// recovery. Return `true` if the snapshot was applied; the default
+    /// ignores it (a stateless controller re-derives everything from
+    /// the replayed command stream). When this returns `false` for a
+    /// stateful controller, recovery still re-queues the in-flight
+    /// work, but the controller restarts its decision-making from
+    /// scratch.
+    fn restore(&mut self, _snapshot: serde_json::Value) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ pub mod server;
 pub mod shard;
 pub mod tcp;
 pub mod transport;
+pub mod wal;
 pub mod worker;
 
 pub use broker::{
@@ -74,6 +75,7 @@ pub use transport::{
     ChannelHub, ServerRecvError, ServerTransport, TransportClosed, WorkerRecvError, WorkerSender,
     WorkerTransport,
 };
+pub use wal::{FsyncMode, RecoveredState, Wal, WalRecord};
 pub use worker::{spawn_worker, WorkerConfig, WorkerHandle};
 
 /// The framed, authenticated TCP link layer, re-exported so binaries
@@ -105,6 +107,7 @@ pub mod prelude {
     pub use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
     pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};
     pub use crate::server::{ProjectResult, ServerConfig};
+    pub use crate::wal::FsyncMode;
     pub use crate::tcp::{connect_workers, serve_project};
     pub use crate::transport::{ServerTransport, WorkerTransport};
     pub use crate::worker::WorkerConfig;

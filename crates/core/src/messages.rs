@@ -43,6 +43,12 @@ pub enum ToServer {
     },
     /// Periodic liveness signal.
     Heartbeat { worker: WorkerId },
+    /// The transport observed the worker's link die (connection reset,
+    /// or evicted at the write-backlog cap). Synthesized by transports,
+    /// never sent by workers: the server orphans the worker's in-flight
+    /// commands immediately instead of waiting out the heartbeat
+    /// watchdog.
+    WorkerDeparted { worker: WorkerId },
     /// Several messages coalesced into one wire frame. Transports use
     /// this to amortize framing and syscall cost on chatty paths
     /// (heartbeats riding along with the next request); the server
@@ -65,7 +71,8 @@ impl ToServer {
             ToServer::Announce { worker, .. }
             | ToServer::RequestWork { worker }
             | ToServer::CommandError { worker, .. }
-            | ToServer::Heartbeat { worker } => *worker,
+            | ToServer::Heartbeat { worker }
+            | ToServer::WorkerDeparted { worker } => *worker,
             ToServer::Completed { output } => output.worker,
             ToServer::Batch(msgs) => msgs.first().map(ToServer::worker).unwrap_or(WorkerId(0)),
         }

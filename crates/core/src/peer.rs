@@ -35,6 +35,18 @@
 //! waiting for the watchdog — the price of never leaking a command
 //! into a workload nobody is tracking.
 //!
+//! **Owner crash and restart.** Because ownership never moves, an
+//! owner restarting from its write-ahead log (`--state-dir`, see
+//! [`crate::wal`]) recovers delegated commands like any other
+//! in-flight work: the namespaced synthetic worker is restored as a
+//! heartbeat-tracked placeholder. If the delegate is still alive it
+//! reconnects (the peer link redials), its forwarded heartbeats keep
+//! the placeholder fresh, and the delegated result lands under its
+//! original attempt epoch; if the delegate never returns, the watchdog
+//! orphans the placeholder and the command re-queues locally. The
+//! delegate side holds no durable state at all — a decline or a
+//! redial resolves anything a dead owner left dangling on its side.
+//!
 //! Two types implement the two roles:
 //!
 //! * [`PeerEndpoint`] — owner side, composed into the TCP server

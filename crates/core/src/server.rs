@@ -23,8 +23,10 @@ use crate::lifecycle::{self, Disposition, FaultKind, Phase, RetryPolicy, Verdict
 use crate::messages::{ToServer, ToWorker};
 use crate::monitor::Monitor;
 use crate::resources::WorkerDescription;
+use crate::resources::{Platform, Resources};
 use crate::shard::{InFlight, ShardedLedger, ShardedQueue};
 use crate::transport::{ServerRecvError, ServerTransport};
+use crate::wal::{FsyncMode, RecoveredState, Wal, WalRecord};
 use copernicus_telemetry::{
     buckets, names, span_names, ActiveSpan, Counter, Event, Gauge, Histogram, Labels, Telemetry,
     Tracer,
@@ -32,6 +34,8 @@ use copernicus_telemetry::{
 use copernicus_wire::AuthKey;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -73,6 +77,14 @@ pub struct ServerConfig {
     /// Peer servers to dial and pull delegated work from
     /// (`copernicus serve --peer <addr>`). Requires `auth_key`.
     pub peers: Vec<String>,
+    /// Directory for the durable write-ahead log (`copernicus serve
+    /// --state-dir`). `None` keeps all state in memory — a server
+    /// crash then loses the project, exactly as before the WAL
+    /// existed. When set, every lifecycle transition is journaled and
+    /// a restart with the same directory resumes the pre-crash state.
+    pub state_dir: Option<String>,
+    /// When WAL appends reach stable storage (`--fsync always|never|<ms>`).
+    pub fsync: FsyncMode,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +99,8 @@ impl Default for ServerConfig {
             auth_key: None,
             name: None,
             peers: Vec::new(),
+            state_dir: None,
+            fsync: FsyncMode::Always,
         }
     }
 }
@@ -143,6 +157,11 @@ impl ServerConfig {
         if !self.peers.is_empty() && self.auth_key.is_none() {
             return Err(ConfigError(
                 "peers are set but auth_key is not: peer links must authenticate".into(),
+            ));
+        }
+        if matches!(&self.state_dir, Some(dir) if dir.is_empty()) {
+            return Err(ConfigError(
+                "state_dir is set but empty: pass a directory path or leave it unset".into(),
             ));
         }
         Ok(())
@@ -214,6 +233,19 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Persist lifecycle state to `dir` and recover from it on
+    /// restart (see [`crate::wal`]).
+    pub fn state_dir(mut self, dir: impl Into<String>) -> Self {
+        self.config.state_dir = Some(dir.into());
+        self
+    }
+
+    /// WAL fsync policy; only meaningful with [`Self::state_dir`].
+    pub fn fsync(mut self, mode: FsyncMode) -> Self {
+        self.config.fsync = mode;
+        self
+    }
+
     pub fn build(self) -> Result<ServerConfig, ConfigError> {
         self.config.validate()?;
         Ok(self.config)
@@ -241,6 +273,13 @@ struct WorkerState {
     desc: WorkerDescription,
     last_heartbeat: Instant,
     alive: bool,
+    /// A placeholder restored by WAL recovery for a worker that held
+    /// in-flight commands when the previous incarnation died. Until the
+    /// worker re-announces, its heartbeats prove nothing about those
+    /// commands (the worker may have finished them and lost the result
+    /// with the dead server), so they must not keep the placeholder
+    /// alive — see the `Announce` and `Heartbeat` arms.
+    recovered: bool,
 }
 
 /// The owning server's live spans for one command: the root `command`
@@ -345,6 +384,15 @@ pub struct Server {
     monitor: Monitor,
     ids: IdGen,
     transport: Box<dyn ServerTransport>,
+    /// Durable transition log; `None` without a `state_dir`.
+    wal: Option<Wal>,
+    /// `ProjectStarted` already delivered (set by recovery replay so a
+    /// restart does not re-fire it and double-spawn the initial work).
+    started: bool,
+    /// Cooperative SIGKILL stand-in for crash tests: when flipped, the
+    /// run loop returns abruptly — no shutdown broadcast, no finished
+    /// flag, nothing a dying process would not have done.
+    kill_switch: Option<Arc<AtomicBool>>,
     finished: Option<serde_json::Value>,
     commands_completed: u64,
     commands_requeued: u64,
@@ -366,7 +414,28 @@ impl Server {
     ) -> Self {
         let metrics = monitor.telemetry().cloned().map(ServerMetrics::new);
         let policy = config.retry_policy();
-        Server {
+        // Durable mode: open (or create) the WAL and replay whatever a
+        // previous incarnation left behind, *before* the server starts
+        // accepting messages.
+        let mut wal = None;
+        let mut recovered = None;
+        if let Some(dir) = &config.state_dir {
+            match Wal::open(Path::new(dir), config.fsync) {
+                Ok((w, state)) => {
+                    wal = Some(w);
+                    recovered = Some(state);
+                }
+                Err(e) => {
+                    // A server that silently runs non-durably when asked
+                    // to be durable is worse than a loud degradation.
+                    monitor.log(format!("wal: cannot open state dir {dir}: {e} (running without durability)"));
+                }
+            }
+        }
+        if let Some(w) = &wal {
+            shared_fs.attach_wal(w.clone());
+        }
+        let mut server = Server {
             project,
             config,
             policy,
@@ -379,6 +448,9 @@ impl Server {
             monitor,
             ids: IdGen::new(),
             transport,
+            wal,
+            started: false,
+            kill_switch: None,
             finished: None,
             commands_completed: 0,
             commands_requeued: 0,
@@ -387,18 +459,141 @@ impl Server {
             workers_lost: 0,
             bytes_received: 0,
             metrics,
+        };
+        if let Some(state) = recovered {
+            server.recover(&state);
         }
+        server
+    }
+
+    /// Install a cooperative kill switch (crash-test SIGKILL stand-in:
+    /// see the `kill_switch` field).
+    pub fn with_kill_switch(mut self, switch: Arc<AtomicBool>) -> Self {
+        self.kill_switch = Some(switch);
+        self
+    }
+
+    /// Rebuild in-memory structures from a replayed WAL: re-queue
+    /// queued work, restore the running set with attempt epochs
+    /// intact, preload surviving checkpoints, resume id minting past
+    /// everything already spawned, and restore counters plus the
+    /// controller snapshot. In-flight commands get a *placeholder*
+    /// worker record: if the pre-crash worker reconnects and
+    /// heartbeats, its result (same epoch) is accepted; if it never
+    /// returns, the ordinary watchdog re-orphans the command after the
+    /// usual 2× heartbeat silence.
+    fn recover(&mut self, state: &RecoveredState) {
+        if state.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        for (id, checkpoint) in state.checkpoints() {
+            self.shared_fs.preload_checkpoint(id, checkpoint);
+        }
+        let queued = state.queued();
+        let running = state.running();
+        for cmd in queued {
+            self.ledger.mark_queued(cmd.id, now);
+            self.queue.enqueue(cmd);
+        }
+        for (cmd, worker) in running {
+            // Placeholder: heartbeat-tracked but matching nothing (no
+            // executables), so it cannot be handed new work before it
+            // re-announces for real.
+            self.workers.entry(worker).or_insert_with(|| WorkerState {
+                desc: crate::resources::WorkerDescription {
+                    platform: Platform::Smp,
+                    resources: Resources::new(1, 1),
+                    executables: Vec::new(),
+                },
+                last_heartbeat: now,
+                alive: true,
+                recovered: true,
+            });
+            self.ledger.start_running(InFlight {
+                worker,
+                dispatched_at: now,
+                cmd,
+            });
+        }
+        self.ids.advance_to(state.next_command_id());
+        self.started = state.started;
+        self.commands_completed = state.counters.commands_completed;
+        self.commands_requeued = state.counters.commands_requeued;
+        self.commands_dropped = state.counters.commands_dropped;
+        self.stale_results_dropped = state.counters.stale_results_dropped;
+        self.workers_lost = state.counters.workers_lost;
+        self.bytes_received = state.counters.bytes_received;
+        if let Some(result) = &state.finished {
+            self.finished =
+                Some(serde_json::from_str(result).unwrap_or(serde_json::Value::Null));
+        }
+        if let Some(snapshot) = &state.controller {
+            if let Ok(value) = serde_json::from_str(snapshot) {
+                if self.controller.restore(value) {
+                    self.monitor.log("wal: controller state restored".to_string());
+                }
+            }
+        }
+        self.monitor.log(format!(
+            "wal: recovered {} queued, {} running, {} checkpoints (completed so far: {})",
+            self.queue.len(),
+            self.ledger.running_len(),
+            self.shared_fs.n_checkpoints(),
+            self.commands_completed,
+        ));
+    }
+
+    fn wal_append(&self, record: &WalRecord) {
+        if let Some(wal) = &self.wal {
+            if let Err(e) = wal.append(record) {
+                self.monitor.log(format!("wal append failed: {e}"));
+            }
+        }
+    }
+
+    /// Deliver an event to the controller, apply its actions, then
+    /// journal the controller's (possibly updated) decision state so a
+    /// restart restores it alongside the command ledger.
+    fn notify_controller(&mut self, event: ControllerEvent<'_>) {
+        let actions = self.controller.on_event(event);
+        self.apply_actions(actions);
+        if self.wal.is_some() {
+            if let Some(snapshot) = self.controller.snapshot() {
+                let state = serde_json::to_string(&snapshot)
+                    .unwrap_or_else(|_| "null".to_string());
+                self.wal_append(&WalRecord::ControllerState { state });
+            }
+        }
+    }
+
+    fn killed(&self) -> bool {
+        self.kill_switch
+            .as_ref()
+            .is_some_and(|k| k.load(Ordering::Relaxed))
     }
 
     /// Drive the project to completion: fire `ProjectStarted`, then
     /// process messages until the controller finishes the project.
     pub fn run(mut self) -> ProjectResult {
         let t0 = Instant::now();
-        let actions = self.controller.on_event(ControllerEvent::ProjectStarted);
-        self.apply_actions(actions);
+        // `started` is set by recovery replay: a restarted project must
+        // not re-fire ProjectStarted and double-spawn the initial work.
+        if !self.started {
+            self.started = true;
+            self.wal_append(&WalRecord::Started);
+            self.notify_controller(ControllerEvent::ProjectStarted);
+        }
         let mut last_watchdog = Instant::now();
 
         while self.finished.is_none() {
+            if self.killed() {
+                // Crash-test SIGKILL: stop dead. No shutdown broadcast,
+                // no finished flag, no final WAL sync beyond what the
+                // fsync policy already forced — exactly the state a
+                // killed process leaves behind.
+                return self.abrupt_result(t0);
+            }
             match self.transport.recv_timeout(self.config.watchdog_period) {
                 Ok(msg) => self.handle(msg),
                 Err(ServerRecvError::Timeout) => {}
@@ -407,11 +602,14 @@ impl Server {
             // Drain the backlog before judging liveness: a long
             // controller step (clustering) must not turn queued-up
             // heartbeats into false worker deaths.
-            while self.finished.is_none() {
+            while self.finished.is_none() && !self.killed() {
                 match self.transport.try_recv() {
                     Some(msg) => self.handle(msg),
                     None => break,
                 }
+            }
+            if self.killed() {
+                return self.abrupt_result(t0);
             }
             if self.finished.is_none() && last_watchdog.elapsed() >= self.config.watchdog_period {
                 self.check_heartbeats();
@@ -427,6 +625,22 @@ impl Server {
         ProjectResult {
             project: self.project,
             result: self.finished.unwrap_or(serde_json::Value::Null),
+            commands_completed: self.commands_completed,
+            commands_requeued: self.commands_requeued,
+            commands_dropped: self.commands_dropped,
+            stale_results_dropped: self.stale_results_dropped,
+            workers_lost: self.workers_lost,
+            bytes_received: self.bytes_received,
+            wall: t0.elapsed(),
+        }
+    }
+
+    /// The result of a kill-switch exit: whatever counters stood at the
+    /// moment of death, with a null project result.
+    fn abrupt_result(&self, t0: Instant) -> ProjectResult {
+        ProjectResult {
+            project: self.project,
+            result: serde_json::Value::Null,
             commands_completed: self.commands_completed,
             commands_requeued: self.commands_requeued,
             commands_dropped: self.commands_dropped,
@@ -519,6 +733,11 @@ impl Server {
                     worker,
                     dispatched_at: now,
                     cmd: cmd.clone(),
+                });
+                self.wal_append(&WalRecord::Dispatched {
+                    command: cmd.id,
+                    worker,
+                    epoch: cmd.attempts,
                 });
                 Some(cmd)
             }
@@ -659,12 +878,12 @@ impl Server {
                         self.ledger.mark_queued(command, now);
                         self.queue.enqueue(cmd);
                         self.commands_requeued += 1;
+                        self.wal_append(&WalRecord::Requeued { command, attempts });
                         if kind == FaultKind::WorkerLost {
-                            let actions = self.controller.on_event(ControllerEvent::WorkerFailed {
+                            self.notify_controller(ControllerEvent::WorkerFailed {
                                 worker,
                                 requeued: Some(command),
                             });
-                            self.apply_actions(actions);
                         }
                     }
                     Disposition::Drop => {
@@ -674,6 +893,7 @@ impl Server {
                         self.shared_fs.clear(command);
                         self.ledger.take_queued(command);
                         self.commands_dropped += 1;
+                        self.wal_append(&WalRecord::Dropped { command, attempts });
                         self.monitor
                             .log(format!("{command} dropped after {attempts} attempts"));
                         if let Some(m) = &self.metrics {
@@ -688,18 +908,16 @@ impl Server {
                             FaultKind::WorkerLost => DropReason::WorkerLost,
                         };
                         if kind == FaultKind::WorkerLost {
-                            let actions = self.controller.on_event(ControllerEvent::WorkerFailed {
+                            self.notify_controller(ControllerEvent::WorkerFailed {
                                 worker,
                                 requeued: None,
                             });
-                            self.apply_actions(actions);
                         }
-                        let actions = self.controller.on_event(ControllerEvent::CommandDropped {
+                        self.notify_controller(ControllerEvent::CommandDropped {
                             command,
                             attempts,
                             reason,
                         });
-                        self.apply_actions(actions);
                     }
                 }
                 None
@@ -712,6 +930,7 @@ impl Server {
                 // A re-queued command may carry a checkpoint from an
                 // earlier attempt; cancelling is terminal, so drop it.
                 self.shared_fs.clear(command);
+                self.wal_append(&WalRecord::Cancelled { command });
                 None
             }
         }
@@ -722,6 +941,10 @@ impl Server {
     /// judge sends every later result to `drop_stale_result`).
     fn complete(&mut self, output: CommandOutput, dispatched_at: Option<Instant>) {
         self.finish_trace(output.command, "completed");
+        self.wal_append(&WalRecord::Completed {
+            command: output.command,
+            bytes: output.bytes,
+        });
         self.shared_fs.clear(output.command);
         self.ledger.take_queued(output.command);
         self.commands_completed += 1;
@@ -738,14 +961,12 @@ impl Server {
                 wall_secs: output.wall_secs,
             });
         }
-        let actions = self
-            .controller
-            .on_event(ControllerEvent::CommandFinished(&output));
-        self.apply_actions(actions);
+        self.notify_controller(ControllerEvent::CommandFinished(&output));
     }
 
     fn drop_stale_result(&mut self, id: CommandId, epoch: u32, what: &str) {
         self.stale_results_dropped += 1;
+        self.wal_append(&WalRecord::StaleResult);
         self.monitor
             .log(format!("{id}: {what} (epoch {epoch}) dropped"));
         if let Some(m) = &self.metrics {
@@ -774,12 +995,38 @@ impl Server {
                         cores: desc.resources.cores as u64,
                     });
                 }
+                // A (re)announce declares a fresh, idle session. If a
+                // recovered placeholder still attributes in-flight
+                // commands to this worker, those results either died
+                // with the previous server incarnation or are still on
+                // their way — and the attempt epoch dedups the latter.
+                // Re-queue now instead of trusting the worker to report
+                // work it may never have been asked to remember.
+                if self.workers.get(&worker).is_some_and(|ws| ws.recovered) {
+                    let held = self.ledger.commands_of(worker);
+                    if !held.is_empty() {
+                        self.monitor.log(format!(
+                            "{worker} re-announced after recovery: re-queuing {} held command(s)",
+                            held.len()
+                        ));
+                    }
+                    for command in held {
+                        self.transition(Transition::Fault {
+                            command,
+                            worker,
+                            kind: FaultKind::WorkerLost,
+                            epoch: None,
+                            error: None,
+                        });
+                    }
+                }
                 self.workers.insert(
                     worker,
                     WorkerState {
                         desc,
                         last_heartbeat: Instant::now(),
                         alive: true,
+                        recovered: false,
                     },
                 );
             }
@@ -831,15 +1078,29 @@ impl Server {
                     error: Some(error),
                 });
             }
+            ToServer::WorkerDeparted { worker } => {
+                // Transport-level disconnect (link evicted or closed):
+                // orphan the worker's commands now, not at the watchdog
+                // timeout.
+                self.monitor.log(format!("{worker} link dropped by transport"));
+                self.declare_lost(worker);
+            }
             ToServer::Heartbeat { worker } => {
                 if let Some(ws) = self.workers.get_mut(&worker) {
-                    ws.last_heartbeat = Instant::now();
-                    // Heartbeats resurrect workers that were presumed
-                    // dead during a long controller step.
-                    let was_dead = !ws.alive;
-                    ws.alive = true;
-                    if was_dead {
-                        self.resurrect(worker);
+                    // A recovered placeholder is only reconciled by a
+                    // real re-announce (above) or by the watchdog;
+                    // heartbeats alone must not keep it alive, or a
+                    // surviving worker whose result died with the old
+                    // server would strand its command forever.
+                    if !ws.recovered {
+                        ws.last_heartbeat = Instant::now();
+                        // Heartbeats resurrect workers that were presumed
+                        // dead during a long controller step.
+                        let was_dead = !ws.alive;
+                        ws.alive = true;
+                        if was_dead {
+                            self.resurrect(worker);
+                        }
                     }
                 }
                 // Trace: mark the heartbeat on every attempt span this
@@ -880,21 +1141,41 @@ impl Server {
             .map(|(&id, _)| id)
             .collect();
         for worker in dead {
-            self.workers.get_mut(&worker).expect("listed").alive = false;
-            self.workers_lost += 1;
-            if let Some(m) = &self.metrics {
-                m.workers_lost.inc();
-                m.record(Event::WorkerLost { worker: worker.0 });
-            }
-            for command in self.ledger.commands_of(worker) {
-                self.transition(Transition::Fault {
-                    command,
-                    worker,
-                    kind: FaultKind::WorkerLost,
-                    epoch: None,
-                    error: None,
-                });
-            }
+            self.declare_lost(worker);
+        }
+    }
+
+    /// Mark a worker dead and orphan its in-flight commands. Reached
+    /// from the heartbeat watchdog (silence timeout) and from
+    /// [`ToServer::WorkerDeparted`] (the transport observed the link
+    /// drop — eviction at the write-backlog cap, TCP reset — so the
+    /// re-queue happens immediately instead of after 2× heartbeat).
+    fn declare_lost(&mut self, worker: WorkerId) {
+        let Some(ws) = self.workers.get_mut(&worker) else {
+            return;
+        };
+        if !ws.alive {
+            return;
+        }
+        ws.alive = false;
+        // Once reaped, the placeholder's attribution is gone; if the
+        // worker later heartbeats or announces it is just an ordinary
+        // (re)arrival.
+        ws.recovered = false;
+        self.workers_lost += 1;
+        if let Some(m) = &self.metrics {
+            m.workers_lost.inc();
+            m.record(Event::WorkerLost { worker: worker.0 });
+        }
+        self.wal_append(&WalRecord::WorkerLost { worker });
+        for command in self.ledger.commands_of(worker) {
+            self.transition(Transition::Fault {
+                command,
+                worker,
+                kind: FaultKind::WorkerLost,
+                epoch: None,
+                error: None,
+            });
         }
     }
 
@@ -927,6 +1208,7 @@ impl Server {
                                 },
                             );
                         }
+                        self.wal_append(&WalRecord::Spawned { cmd: cmd.clone() });
                         self.ledger.mark_queued(cmd.id, now);
                         self.queue.enqueue(cmd);
                     }
@@ -935,6 +1217,10 @@ impl Server {
                     self.transition(Transition::Cancel { command: id });
                 }
                 Action::FinishProject { result } => {
+                    self.wal_append(&WalRecord::Finished {
+                        result: serde_json::to_string(&result)
+                            .unwrap_or_else(|_| "null".to_string()),
+                    });
                     self.finished = Some(result);
                 }
                 Action::Log(line) => {

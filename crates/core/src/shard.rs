@@ -54,6 +54,19 @@ fn shard_of(id: CommandId, mask: usize) -> usize {
     (splitmix64(id.0) as usize) & mask
 }
 
+/// Lock a shard mutex, recovering from poisoning. A thread that
+/// panics while holding a shard (a bad command tripping an assert in
+/// an executor callback, say) would otherwise poison it and make
+/// every later `.lock().unwrap()` cascade the panic across the server
+/// — taking down dispatch for 1/16th of the id space. Each critical
+/// section here is a small collection mutation with its invariants
+/// restored before any call that could panic, so the data behind a
+/// poisoned lock is still consistent; recover it instead of dying
+/// (same policy as `tcp::Coalesce`).
+fn lock_tolerant<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// One queued entry: the command plus its global arrival stamp, which
 /// makes FIFO-within-equal-priority well-defined across shards.
 struct Queued {
@@ -110,7 +123,7 @@ impl ShardedQueue {
     pub fn enqueue(&self, cmd: Command) {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let entry = Queued { seq, cmd };
-        let mut shard = self.shards[shard_of(entry.cmd.id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(entry.cmd.id, self.mask)]);
         // Shards stay sorted; position by the same dispatch order the
         // merge uses. New arrivals sort after equal-priority entries.
         let pos = shard.partition_point(|q| !dispatch_before(&entry, q));
@@ -130,7 +143,7 @@ impl ShardedQueue {
     /// the old whole-queue rebuild into O(scanned), with untaken
     /// commands never moving at all.
     pub fn match_workload(&self, desc: &WorkerDescription, now: Instant) -> Vec<Command> {
-        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        let mut guards: Vec<_> = self.shards.iter().map(|s| lock_tolerant(s)).collect();
         let mut cursors = vec![0usize; guards.len()];
         let mut taken_idx: Vec<Vec<usize>> = vec![Vec::new(); guards.len()];
         let mut remaining = desc.resources;
@@ -186,7 +199,7 @@ impl ShardedQueue {
     /// the server cancelling a re-queued duplicate whose original
     /// attempt delivered a result).
     pub fn remove(&self, id: CommandId) -> Option<Command> {
-        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         let pos = shard.iter().position(|q| q.cmd.id == id)?;
         let entry = shard.remove(pos);
         self.len.fetch_sub(1, Ordering::Relaxed);
@@ -195,14 +208,14 @@ impl ShardedQueue {
 
     /// Run `f` on a queued command without removing it.
     pub fn peek<R>(&self, id: CommandId, f: impl FnOnce(&Command) -> R) -> Option<R> {
-        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         shard.iter().find(|q| q.cmd.id == id).map(|q| f(&q.cmd))
     }
 
     /// Queued commands in dispatch order (test/diagnostic use; locks
     /// every shard).
     pub fn snapshot_ids(&self) -> Vec<CommandId> {
-        let guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        let guards: Vec<_> = self.shards.iter().map(|s| lock_tolerant(s)).collect();
         let mut all: Vec<(i32, u64, CommandId)> = guards
             .iter()
             .flat_map(|g| g.iter().map(|q| (q.cmd.priority, q.seq, q.cmd.id)))
@@ -280,25 +293,23 @@ impl ShardedLedger {
     pub fn start_running(&self, inflight: InFlight) {
         let id = inflight.cmd.id;
         let worker = inflight.worker;
-        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         if shard.running.insert(id, inflight).is_none() {
             self.running_len.fetch_add(1, Ordering::Relaxed);
         }
         drop(shard);
-        self.by_worker
-            .lock()
-            .unwrap()
+        lock_tolerant(&self.by_worker)
             .entry(worker)
             .or_default()
             .insert(id);
     }
 
     pub fn stop_running(&self, id: CommandId) -> Option<InFlight> {
-        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         let inflight = shard.running.remove(&id)?;
         self.running_len.fetch_sub(1, Ordering::Relaxed);
         drop(shard);
-        let mut by_worker = self.by_worker.lock().unwrap();
+        let mut by_worker = lock_tolerant(&self.by_worker);
         if let Some(set) = by_worker.get_mut(&inflight.worker) {
             set.remove(&id);
             if set.is_empty() {
@@ -310,13 +321,13 @@ impl ShardedLedger {
 
     /// The attempt epoch of a running command, if it is running.
     pub fn running_epoch(&self, id: CommandId) -> Option<u32> {
-        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         shard.running.get(&id).map(|f| f.epoch())
     }
 
     /// Run `f` on a running command's in-flight record.
     pub fn peek_running<R>(&self, id: CommandId, f: impl FnOnce(&InFlight) -> R) -> Option<R> {
-        let shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         shard.running.get(&id).map(f)
     }
 
@@ -325,15 +336,13 @@ impl ShardedLedger {
     pub fn running_ids(&self) -> Vec<CommandId> {
         self.shards
             .iter()
-            .flat_map(|s| s.lock().unwrap().running.keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| lock_tolerant(s).running.keys().copied().collect::<Vec<_>>())
             .collect()
     }
 
     /// Commands currently dispatched to `worker` (direct index hit).
     pub fn commands_of(&self, worker: WorkerId) -> Vec<CommandId> {
-        self.by_worker
-            .lock()
-            .unwrap()
+        lock_tolerant(&self.by_worker)
             .get(&worker)
             .map(|set| set.iter().copied().collect())
             .unwrap_or_default()
@@ -341,23 +350,23 @@ impl ShardedLedger {
 
     /// Whether `worker` has anything in flight (heartbeat fast path).
     pub fn worker_is_idle(&self, worker: WorkerId) -> bool {
-        !self.by_worker.lock().unwrap().contains_key(&worker)
+        !lock_tolerant(&self.by_worker).contains_key(&worker)
     }
 
     pub fn mark_queued(&self, id: CommandId, at: Instant) {
-        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         shard.queued_at.insert(id, at);
     }
 
     pub fn take_queued(&self, id: CommandId) -> Option<Instant> {
-        let mut shard = self.shards[shard_of(id, self.mask)].lock().unwrap();
+        let mut shard = lock_tolerant(&self.shards[shard_of(id, self.mask)]);
         shard.queued_at.remove(&id)
     }
 
     pub fn queued_len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().queued_at.len())
+            .map(|s| lock_tolerant(s).queued_at.len())
             .sum()
     }
 }
@@ -556,5 +565,70 @@ mod tests {
         assert_eq!(ledger.take_queued(CommandId(8)), Some(t));
         assert_eq!(ledger.take_queued(CommandId(8)), None);
         assert_eq!(ledger.queued_len(), 0);
+    }
+
+    /// Poison every queue shard by panicking while holding its lock,
+    /// then assert dispatch keeps working: one bad command must not
+    /// take down its slice of the id space.
+    #[test]
+    fn queue_recovers_from_poisoned_shards() {
+        let q = ShardedQueue::new(4);
+        q.enqueue(cmd(1, "a", 1, 5));
+        for shard in &q.shards {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("executor panic while holding the shard");
+            }));
+            assert!(result.is_err(), "the panic itself must propagate");
+        }
+        // Single-shard ops and the all-shard merge both cross the
+        // poisoned mutexes.
+        for i in 2..=32 {
+            q.enqueue(cmd(i, "a", 1, 0));
+        }
+        assert_eq!(q.remove(CommandId(32)).map(|c| c.id), Some(CommandId(32)));
+        assert_eq!(q.snapshot_ids().len(), 31);
+        let got = q.match_workload(&worker(64, &["a"]), Instant::now());
+        assert_eq!(got.len(), 31, "matching must survive poisoning");
+        assert_eq!(got[0].id, CommandId(1), "order preserved after recovery");
+        assert!(q.is_empty());
+    }
+
+    /// Same for the ledger: poisoned running/queued-at shards and the
+    /// by-worker index must all recover.
+    #[test]
+    fn ledger_recovers_from_poisoned_shards() {
+        let ledger = ShardedLedger::new(4);
+        let w = WorkerId(7);
+        ledger.start_running(InFlight {
+            worker: w,
+            dispatched_at: Instant::now(),
+            cmd: cmd(1, "a", 1, 0),
+        });
+        for shard in &ledger.shards {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _guard = shard.lock().unwrap();
+                panic!("poison the ledger shard");
+            }));
+        }
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = ledger.by_worker.lock().unwrap();
+            panic!("poison the worker index");
+        }));
+        ledger.start_running(InFlight {
+            worker: w,
+            dispatched_at: Instant::now(),
+            cmd: cmd(2, "a", 1, 0),
+        });
+        assert_eq!(ledger.running_len(), 2);
+        let mut of_worker = ledger.commands_of(w);
+        of_worker.sort();
+        assert_eq!(of_worker, vec![CommandId(1), CommandId(2)]);
+        assert_eq!(ledger.running_epoch(CommandId(1)), Some(0));
+        assert!(ledger.stop_running(CommandId(1)).is_some());
+        assert!(ledger.stop_running(CommandId(2)).is_some());
+        assert!(ledger.worker_is_idle(w));
+        ledger.mark_queued(CommandId(3), Instant::now());
+        assert!(ledger.take_queued(CommandId(3)).is_some());
     }
 }

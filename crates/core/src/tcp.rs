@@ -13,11 +13,15 @@
 //! [`WorkerRecvError::Reconnected`] so the worker re-requests work —
 //! safe under the server's attempt-epoch dedup.
 //!
-//! Worker *liveness* stays with the lifecycle watchdog: a dropped
-//! connection here only unmaps the reply path. If the worker is really
-//! gone its heartbeats stop and the watchdog orphans its commands; if
-//! it reconnects, the new connection takes over the mapping and its
-//! next heartbeat resurrects it.
+//! Worker *liveness* verdicts stay with the lifecycle watchdog, but the
+//! transport reports what it sees: a dropped connection unmaps the
+//! reply path **and** surfaces as a synthesized
+//! [`ToServer::WorkerDeparted`], so the server orphans the worker's
+//! in-flight commands immediately (a link evicted at the write-backlog
+//! cap would otherwise sit on its commands until the heartbeat timeout).
+//! If the worker reconnects, the new connection takes over the mapping
+//! and its next heartbeat resurrects it — safe under the server's
+//! attempt-epoch dedup.
 
 use crate::broker::{spawn_router, BrokerConfig, LocalUpstream, RouterHandle, Upstream};
 use crate::codec;
@@ -43,6 +47,8 @@ use copernicus_wire::{
 use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -191,12 +197,20 @@ impl TcpServerTransport {
                 if let Some(worker) = self.worker_of.remove(&conn) {
                     self.conn_of.remove(&worker);
                     self.log(format!("{conn} ({worker}) dropped: {reason}"));
+                    // Tell the server now rather than letting the
+                    // worker's commands ride out the heartbeat timeout.
+                    // Only the *current* connection of a worker counts:
+                    // a reconnected worker's stale link was already
+                    // unmapped by `learn`, so its close lands in the
+                    // anonymous branch below.
+                    Some(ToServer::WorkerDeparted { worker })
                 } else if let Some(peer) = self.peer.drop_conn(conn) {
                     self.log(format!("{conn} (peer '{peer}') dropped: {reason}"));
+                    None
                 } else {
                     self.log(format!("{conn} dropped: {reason}"));
+                    None
                 }
-                None
             }
             WireEvent::AuthFailed { peer, reason } => {
                 self.log(format!("handshake from {peer} rejected: {reason}"));
@@ -448,6 +462,9 @@ pub struct ServingProject {
     /// non-empty): the thread offering this server's workers to the
     /// local project and to every dialed peer.
     router: Option<RouterHandle>,
+    /// Flipping this makes the server loop return abruptly — no
+    /// shutdown broadcast, no result — the crash-test SIGKILL.
+    kill_switch: Arc<AtomicBool>,
 }
 
 impl ServingProject {
@@ -455,6 +472,19 @@ impl ServingProject {
     /// workers, as if the process died. Used by fault tests to sever a
     /// delegate mid-command; a no-op in the unpeered topology.
     pub fn stop_router(&self) {
+        if let Some(r) = &self.router {
+            r.stop();
+        }
+    }
+
+    /// SIGKILL stand-in for crash tests: the server loop stops dead at
+    /// its next iteration — no shutdown broadcast to workers, no
+    /// courtesy to peers, nothing flushed beyond what the WAL fsync
+    /// policy already forced. `join` afterwards returns whatever
+    /// counters stood at the moment of death. Restart by calling
+    /// [`serve_project`] again with the same `state_dir`.
+    pub fn kill(&self) {
+        self.kill_switch.store(true, Ordering::Relaxed);
         if let Some(r) = &self.router {
             r.stop();
         }
@@ -523,6 +553,8 @@ pub fn serve_project(
         .with_peer_identity(identity.clone(), config.telemetry.clone());
     let local_addr = transport.local_addr();
 
+    let kill_switch = Arc::new(AtomicBool::new(false));
+
     if config.server.peers.is_empty() {
         // Unpeered: the server consumes the TCP transport directly.
         // Dial-ins from peers still work — the transport's peer
@@ -534,7 +566,8 @@ pub fn serve_project(
             shared_fs.clone(),
             monitor.clone(),
             Box::new(transport),
-        );
+        )
+        .with_kill_switch(kill_switch.clone());
         let server_thread = std::thread::spawn(move || server.run());
         return Ok(ServingProject {
             monitor,
@@ -542,6 +575,7 @@ pub fn serve_project(
             local_addr,
             server_thread,
             router: None,
+            kill_switch,
         });
     }
 
@@ -558,7 +592,8 @@ pub fn serve_project(
         shared_fs.clone(),
         monitor.clone(),
         Box::new(hub_transport),
-    );
+    )
+    .with_kill_switch(kill_switch.clone());
     let server_thread = std::thread::spawn(move || server.run());
 
     let mut upstreams: Vec<Box<dyn Upstream>> =
@@ -598,6 +633,7 @@ pub fn serve_project(
         local_addr,
         server_thread,
         router: Some(router),
+        kill_switch,
     })
 }
 

@@ -148,7 +148,7 @@ fn rand_to_server(rng: &mut Rng) -> ToServer {
 }
 
 fn rand_to_server_leaf(rng: &mut Rng) -> ToServer {
-    match rng.below(5) {
+    match rng.below(6) {
         0 => ToServer::Announce {
             worker: WorkerId(rng.next_u64()),
             desc: rand_desc(rng),
@@ -165,6 +165,9 @@ fn rand_to_server_leaf(rng: &mut Rng) -> ToServer {
             command: CommandId(rng.next_u64()),
             epoch: rng.below(100) as u32,
             error: rand_string(rng, 40),
+        },
+        4 => ToServer::WorkerDeparted {
+            worker: WorkerId(rng.next_u64()),
         },
         _ => ToServer::Heartbeat {
             worker: WorkerId(rng.next_u64()),

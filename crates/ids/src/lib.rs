@@ -81,6 +81,13 @@ impl IdGen {
     pub fn next_node(&self) -> NodeId {
         NodeId(self.next_u64())
     }
+
+    /// Raise the generator so the next id is at least `next` — never
+    /// lowers it. Crash recovery uses this to resume minting past the
+    /// highest id found in a replayed log.
+    pub fn advance_to(&self, next: u64) {
+        self.next.fetch_max(next, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]
@@ -101,6 +108,15 @@ mod tests {
         let a = g.next_command();
         let b = g.next_command();
         assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn advance_to_never_lowers() {
+        let g = IdGen::new();
+        g.advance_to(10);
+        assert_eq!(g.next_command(), CommandId(10));
+        g.advance_to(5);
+        assert_eq!(g.next_command(), CommandId(11));
     }
 
     #[test]

@@ -41,11 +41,6 @@ const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKE: u64 = 1;
 const TOKEN_BASE: u64 = 2;
 
-/// Per-connection cap on unflushed outbound bytes. A peer that stops
-/// reading is evicted rather than buffered forever; comfortably above
-/// any legitimate burst (the largest frame is `MAX_FRAME`).
-const WRITE_BACKLOG_CAP: usize = 32 * 1024 * 1024;
-
 /// Timer wheel granularity. Deadlines here are seconds-scale policy
 /// (handshake, idle), so 25ms slots are plenty precise.
 const WHEEL_TICK: Duration = Duration::from_millis(25);
@@ -391,9 +386,13 @@ impl EventLoop {
             Some(conn) => match conn.writeq.flush(&mut conn.stream) {
                 Ok(true) => Ok(Interest::READ),
                 Ok(false) => {
-                    if conn.writeq.queued_bytes() > WRITE_BACKLOG_CAP {
+                    // Per-connection cap on unflushed outbound bytes: a
+                    // peer that stops reading is evicted rather than
+                    // buffered forever.
+                    let cap = self.config.write_backlog_cap;
+                    if conn.writeq.queued_bytes() > cap {
                         Err(format!(
-                            "write backlog exceeded {WRITE_BACKLOG_CAP} bytes (peer not draining)"
+                            "write backlog exceeded {cap} bytes (peer not draining)"
                         ))
                     } else {
                         Ok(Interest::BOTH)

@@ -74,6 +74,10 @@ pub struct ListenerConfig {
     pub handshake_timeout: Duration,
     /// Per-frame payload cap (defaults to [`frame::MAX_FRAME`]).
     pub max_frame: usize,
+    /// Evict a connection whose outbound queue exceeds this many bytes
+    /// (the peer stopped draining). Default 32 MiB; tests shrink it to
+    /// provoke evictions without buffering real gigabytes.
+    pub write_backlog_cap: usize,
 }
 
 impl Default for ListenerConfig {
@@ -82,6 +86,7 @@ impl Default for ListenerConfig {
             idle_timeout: Duration::from_secs(30),
             handshake_timeout: Duration::from_secs(5),
             max_frame: frame::MAX_FRAME,
+            write_backlog_cap: 32 * 1024 * 1024,
         }
     }
 }

@@ -96,6 +96,8 @@ fn main() {
                 flag_value("--key"),
                 flag_value("--name"),
                 peers,
+                flag_value("--state-dir"),
+                flag_value("--fsync"),
             )
         }
         "work" => run_work(&opts, flag_value("--connect"), flag_value("--key")),
@@ -113,6 +115,9 @@ fn main() {
             eprintln!("  serve   project server on TCP: --bind ADDR --key PASSPHRASE");
             eprintln!("          [--name NAME] [--peer ADDR]...  join the server overlay:");
             eprintln!("          dial each peer and pull work for idle local workers");
+            eprintln!("          [--state-dir DIR]  journal every lifecycle transition;");
+            eprintln!("          restarting with the same DIR resumes the pre-crash state");
+            eprintln!("          [--fsync always|never|MS]  WAL durability (default always)");
             eprintln!("  work    worker pool over TCP: --connect ADDR --key PASSPHRASE");
             eprintln!("  trace   merge span logs: trace merge <spans.jsonl>... [-o out.json]");
             eprintln!("          (writes Chrome trace-event JSON, viewable in Perfetto)");
@@ -225,9 +230,17 @@ fn run_serve(
     key: Option<String>,
     name: Option<String>,
     peers: Vec<String>,
+    state_dir: Option<String>,
+    fsync: Option<String>,
 ) {
     let bind = require_flag(bind, "--bind ADDR (e.g. --bind 0.0.0.0:7878)");
     let key = AuthKey::from_passphrase(&require_flag(key, "--key PASSPHRASE"));
+    let fsync = fsync.map(|spec| {
+        FsyncMode::parse(&spec).unwrap_or_else(|| {
+            eprintln!("invalid --fsync {spec:?}: expected always, never, or a millisecond count");
+            std::process::exit(2);
+        })
+    });
     let cfg: MsmProjectConfig = load_config(config_path);
     eprintln!(
         "MSM project server: {} trajectories/generation × {} generations",
@@ -247,6 +260,13 @@ fn run_serve(
     }
     for peer in &peers {
         builder = builder.peer(peer);
+    }
+    if let Some(dir) = state_dir {
+        eprintln!("durable state: {dir} (crash-restart with the same --state-dir resumes)");
+        builder = builder.state_dir(dir);
+    }
+    if let Some(mode) = fsync {
+        builder = builder.fsync(mode);
     }
     let server = builder.build().unwrap_or_else(|e| {
         eprintln!("invalid server config: {e}");
