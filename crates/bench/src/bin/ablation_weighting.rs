@@ -10,10 +10,10 @@
 //! cargo run -p copernicus-bench --release --bin ablation_weighting [-- --quick]
 //! ```
 
+use copernicus_bench::{save_json, Scale};
 use copernicus_core::plugins::msm::TrajectoryArchive;
 use copernicus_core::prelude::*;
 use copernicus_core::MdRunExecutor;
-use copernicus_bench::{save_json, Scale};
 use mdsim::VillinModel;
 use msm::Weighting;
 use parking_lot::Mutex;
@@ -50,14 +50,13 @@ fn main() {
                 ..base.clone()
             };
             let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-            let controller =
-                MsmController::new(model.clone(), config).with_archive(archive.clone());
+            let controller = MsmController::new(config).with_archive(archive.clone());
             let result = run_project(
                 Box::new(controller),
                 registry.clone(),
                 RuntimeConfig::default(),
             );
-            let report: MsmProjectReport = serde_json::from_value(result.result).unwrap();
+            let report = MsmProjectReport::from_value(&result.result).unwrap();
             let last = report.generations.last().unwrap();
             results.push(ArmResult {
                 weighting: format!("{weighting:?}"),
@@ -82,7 +81,12 @@ fn main() {
     for r in &results {
         println!(
             "{:>9} {:>6} {:>14} {:>12.2} {:>8} {:>12.3}",
-            r.weighting, r.seed, r.active_states, r.min_rmsd, r.folded_observed, r.folded_population
+            r.weighting,
+            r.seed,
+            r.active_states,
+            r.min_rmsd,
+            r.folded_observed,
+            r.folded_population
         );
     }
 

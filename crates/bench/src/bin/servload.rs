@@ -69,7 +69,7 @@ impl Controller for Load {
         "servload"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 vec![Action::Spawn(std::mem::take(&mut self.specs))]
@@ -98,7 +98,7 @@ impl Controller for Idle {
         "servload-idle"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => vec![Action::FinishProject {
                 result: json!("idle"),

@@ -57,8 +57,14 @@ impl Scale {
         }
     }
 
-    /// The adaptive-sampling configuration at this scale.
+    /// The adaptive-sampling configuration at this scale. The figure
+    /// pipeline reproduces the paper's generational loop; the streaming
+    /// loop has its own benchmark (`fig2_streaming`).
     pub fn msm_config(&self) -> MsmProjectConfig {
+        let base = MsmProjectConfig {
+            mode: AdaptiveMode::Generational,
+            ..MsmProjectConfig::default()
+        };
         match self {
             Scale::Quick => MsmProjectConfig {
                 n_starts: 3,
@@ -66,7 +72,7 @@ impl Scale {
                 segment_ns: 25.0,
                 n_clusters: 50,
                 generations: 4,
-                ..MsmProjectConfig::default()
+                ..base.clone()
             },
             Scale::Default => MsmProjectConfig {
                 n_starts: 9,
@@ -74,7 +80,7 @@ impl Scale {
                 segment_ns: 50.0,
                 n_clusters: 150,
                 generations: 10,
-                ..MsmProjectConfig::default()
+                ..base.clone()
             },
             Scale::Paper => MsmProjectConfig {
                 n_starts: 9,
@@ -82,7 +88,7 @@ impl Scale {
                 segment_ns: 50.0,
                 n_clusters: 600,
                 generations: 10,
-                ..MsmProjectConfig::default()
+                ..base.clone()
             },
         }
     }
@@ -190,10 +196,10 @@ fn execute_adaptive_run(scale: Scale) -> AdaptiveRunData {
 
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
     let telemetry = Telemetry::new();
-    let controller = MsmController::new(model.clone(), config)
-        .with_archive(archive.clone())
-        .with_telemetry(telemetry.clone());
-    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model.clone())));
+    let controller = MsmController::new(config).with_archive(archive.clone());
+    let registry = ExecutorRegistry::new()
+        .with(Arc::new(MdRunExecutor::new(model.clone())))
+        .with(Arc::new(MsmBuildExecutor));
     let n_workers = std::thread::available_parallelism().map_or(2, |n| n.get());
     let t0 = std::time::Instant::now();
     let result = run_project(
@@ -208,8 +214,7 @@ fn execute_adaptive_run(scale: Scale) -> AdaptiveRunData {
     let wall_secs = t0.elapsed().as_secs_f64();
     let (snap_path, _) = save_telemetry(&format!("adaptive_run_{}", scale.label()), &telemetry);
     eprintln!("[bench] telemetry snapshot: {}", snap_path.display());
-    let report: MsmProjectReport =
-        serde_json::from_value(result.result).expect("controller report");
+    let report = MsmProjectReport::from_value(&result.result).expect("controller report");
 
     let trajs = archive.lock().clone();
     let native = model.native.clone();
@@ -275,11 +280,7 @@ fn execute_adaptive_run(scale: Scale) -> AdaptiveRunData {
         .map(|s| series.iter().map(|p| p[s]).collect())
         .collect();
 
-    let center_rmsd_to_native: Vec<f64> = msm
-        .centers
-        .iter()
-        .map(|c| rmsd(c, &native))
-        .collect();
+    let center_rmsd_to_native: Vec<f64> = msm.centers.iter().map(|c| rmsd(c, &native)).collect();
 
     AdaptiveRunData {
         scale,

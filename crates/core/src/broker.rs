@@ -191,7 +191,12 @@ impl Upstream for LocalUpstream {
                 return Offer::NoWork;
             }
             let stale = self.pending.get(&worker).copied().unwrap_or(0);
-            let reply = match self.proxies.get_mut(&worker).unwrap().recv_timeout(remaining) {
+            let reply = match self
+                .proxies
+                .get_mut(&worker)
+                .unwrap()
+                .recv_timeout(remaining)
+            {
                 Ok(reply) => reply,
                 Err(WorkerRecvError::Timeout) | Err(WorkerRecvError::Reconnected) => continue,
                 Err(WorkerRecvError::Closed(_)) => return Offer::Done,
@@ -378,7 +383,10 @@ impl Broker {
                             Offer::NoWork => "nowork".into(),
                             Offer::Done => "done".into(),
                         };
-                        eprintln!("[broker] offer {} -> {what}", self.upstreams[idx].up.label());
+                        eprintln!(
+                            "[broker] offer {} -> {what}",
+                            self.upstreams[idx].up.label()
+                        );
                     }
                     match offer {
                         Offer::Workload(cmds) => {
@@ -507,7 +515,7 @@ pub fn spawn_broker(servers: Vec<ChannelHub>) -> (ChannelHub, JoinHandle<()>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::controller::{Action, Controller, ControllerEvent};
+    use crate::controller::{Action, Controller, ControllerCtx, ControllerEvent};
     use crate::executor::{ExecutorRegistry, SleepExecutor};
     use crate::fs::SharedFs;
     use crate::ids::ProjectId;
@@ -531,7 +539,7 @@ mod tests {
         fn name(&self) -> &str {
             self.label
         }
-        fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+        fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
             match event {
                 ControllerEvent::ProjectStarted => {
                     let specs = (0..self.n)

@@ -904,8 +904,7 @@ mod tests {
             };
             assert_eq!(cmds[0].trace, trace);
 
-            let mut out =
-                CommandOutput::new(&sample_command(), WorkerId(9), json!({"ok": 1}), 0.5);
+            let mut out = CommandOutput::new(&sample_command(), WorkerId(9), json!({"ok": 1}), 0.5);
             out.trace = trace;
             let bytes = encode_to_server(&ToServer::Completed { output: out });
             let ToServer::Completed { output } = decode_to_server(&bytes).unwrap() else {

@@ -8,9 +8,63 @@
 //! A [`Controller`] receives [`ControllerEvent`]s from the project server
 //! and answers with [`Action`]s: spawn commands, terminate queued
 //! commands, or finish the project with a result.
+//!
+//! ## API v2: the controller context
+//!
+//! Every `on_event` call receives a [`ControllerCtx`] alongside the
+//! event. The context carries the server-owned plumbing — project
+//! identity, a monotonic clock, the telemetry handle, a deterministic
+//! RNG seed — that plugins previously smuggled in through constructor
+//! fields. Controllers own their *domain* state (models, samples,
+//! estimators); everything tied to the server process arrives per-event
+//! through the context, which is what lets the registry instantiate a
+//! controller from its name and config alone (WAL recovery, `serve`).
 
 use crate::command::{CommandOutput, CommandSpec};
-use crate::ids::{CommandId, WorkerId};
+use crate::ids::{CommandId, ProjectId, WorkerId};
+use copernicus_telemetry::Telemetry;
+use std::time::Duration;
+
+/// Server-provided context delivered with every controller event.
+#[derive(Clone, Copy)]
+pub struct ControllerCtx<'a> {
+    /// The project this event belongs to.
+    pub project: ProjectId,
+    /// Monotonic time since the server started. All events share this
+    /// one timeline, so latency measurements made inside a controller
+    /// (e.g. time-to-first-folded) are attributable even when results
+    /// originate on remote workers.
+    pub now: Duration,
+    /// The server's telemetry handle, when the deployment carries one.
+    pub telemetry: Option<&'a Telemetry>,
+    /// Deterministic seed derived from the project identity. Controllers
+    /// whose config carries no seed of its own should derive RNG streams
+    /// from this rather than hardcoding one.
+    pub seed: u64,
+}
+
+impl std::fmt::Debug for ControllerCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerCtx")
+            .field("project", &self.project)
+            .field("now", &self.now)
+            .field("telemetry", &self.telemetry.is_some())
+            .field("seed", &self.seed)
+            .finish()
+    }
+}
+
+impl ControllerCtx<'_> {
+    /// A bare context for unit tests and inline harnesses.
+    pub fn test() -> ControllerCtx<'static> {
+        ControllerCtx {
+            project: ProjectId(0),
+            now: Duration::ZERO,
+            telemetry: None,
+            seed: 0xC0FFEE,
+        }
+    }
+}
 
 /// Why a command left the lifecycle without a result.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,11 +93,15 @@ pub enum ControllerEvent<'a> {
     /// A command exhausted its attempt budget and was dropped: no
     /// `CommandFinished` will ever arrive for it. Controllers that
     /// count completions must account for this event or the project
-    /// hangs.
+    /// hangs. `tag` is the command payload's `"tag"` field (or `Null`),
+    /// so controllers that key in-flight work by tag — a lineage id, an
+    /// epoch — can tell *which* unit of work died without keeping a
+    /// `CommandId → tag` map of their own.
     CommandDropped {
         command: CommandId,
         attempts: u32,
         reason: DropReason,
+        tag: serde_json::Value,
     },
 }
 
@@ -66,7 +124,7 @@ pub trait Controller: Send {
     fn name(&self) -> &str;
 
     /// Handle one event, returning follow-up actions.
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action>;
+    fn on_event(&mut self, ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action>;
 
     /// Serialize the controller's decision state for the server's
     /// write-ahead log, or `None` if the controller is stateless (the
@@ -103,7 +161,7 @@ mod tests {
         fn name(&self) -> &str {
             "countdown"
         }
-        fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+        fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
             match event {
                 ControllerEvent::ProjectStarted => {
                     let specs = (0..self.remaining)
@@ -140,11 +198,19 @@ mod tests {
     fn controller_protocol_shape() {
         let mut c = CountDown { remaining: 2 };
         assert_eq!(c.name(), "countdown");
-        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        let actions = c.on_event(ControllerCtx::test(), ControllerEvent::ProjectStarted);
         assert_eq!(actions.len(), 1);
         match &actions[0] {
             Action::Spawn(specs) => assert_eq!(specs.len(), 2),
             other => panic!("expected spawn, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn test_ctx_is_bare() {
+        let ctx = ControllerCtx::test();
+        assert_eq!(ctx.project, ProjectId(0));
+        assert_eq!(ctx.now, Duration::ZERO);
+        assert!(ctx.telemetry.is_none());
     }
 }

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 pub use crate::md_executors::{
     FepSampleExecutor, FepSampleOutput, FepSampleSpec, MdRunExecutor, MdRunOutput, MdRunSpec,
+    MsmBuildExecutor, MsmBuildOutput, MsmBuildSpec,
 };
 
 /// Context an executor runs under.

@@ -17,9 +17,10 @@
 //! use copernicus_core::prelude::*;
 //! use std::sync::Arc;
 //!
-//! let model = Arc::new(mdsim::VillinModel::hp35());
-//! let controller = MsmController::new(model.clone(), MsmProjectConfig::default());
-//! let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+//! let controller = MsmController::new(MsmProjectConfig::default());
+//! let registry = ExecutorRegistry::new()
+//!     .with(Arc::new(MdRunExecutor::new(controller.model())))
+//!     .with(Arc::new(MsmBuildExecutor));
 //! let result = run_project(Box::new(controller), registry, RuntimeConfig::default());
 //! println!("{}", result.result);
 //! ```
@@ -38,11 +39,11 @@ pub mod messages;
 pub mod monitor;
 pub mod peer;
 pub mod plugins;
-pub mod queue;
+pub(crate) mod queue;
 pub mod resources;
 pub mod runtime;
 pub mod server;
-pub mod shard;
+pub(crate) mod shard;
 pub mod tcp;
 pub mod transport;
 pub mod wal;
@@ -53,10 +54,11 @@ pub use broker::{
     UpstreamGone,
 };
 pub use command::{Command, CommandOutput, CommandSpec};
-pub use controller::{Action, Controller, ControllerEvent, DropReason};
+pub use controller::{Action, Controller, ControllerCtx, ControllerEvent, DropReason};
 pub use executor::{
     CommandExecutor, ExecContext, ExecError, ExecutorRegistry, FepSampleExecutor, FepSampleOutput,
-    FepSampleSpec, MdRunExecutor, MdRunOutput, MdRunSpec, SleepExecutor,
+    FepSampleSpec, MdRunExecutor, MdRunOutput, MdRunSpec, MsmBuildExecutor, MsmBuildOutput,
+    MsmBuildSpec, SleepExecutor,
 };
 pub use faults::{ChaosExecutor, ChaosProfile, CrashingExecutor, ExecutionLog, FlakyExecutor};
 pub use fs::SharedFs;
@@ -64,7 +66,6 @@ pub use ids::{CommandId, IdGen, ProjectId, WorkerId};
 pub use lifecycle::{Disposition, FaultKind, Phase, RetryPolicy, Verdict};
 pub use monitor::{Monitor, ProjectStatus, LOG_CAPACITY};
 pub use peer::{namespaced_worker, PeerEndpoint, PeerIdentity, PeerLink, PeerLinkConfig};
-pub use queue::CommandQueue;
 pub use resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
 pub use runtime::{run_project, start_project, OverlayConfig, RunningProject, RuntimeConfig};
 pub use server::{ConfigError, ProjectResult, Server, ServerConfig, ServerConfigBuilder};
@@ -92,24 +93,25 @@ pub use copernicus_telemetry::Telemetry;
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::command::{Command, CommandOutput, CommandSpec};
-    pub use crate::controller::{Action, Controller, ControllerEvent, DropReason};
+    pub use crate::controller::{Action, Controller, ControllerCtx, ControllerEvent, DropReason};
     pub use crate::executor::{
-        CommandExecutor, ExecutorRegistry, FepSampleExecutor, MdRunExecutor, SleepExecutor,
+        CommandExecutor, ExecutorRegistry, FepSampleExecutor, MdRunExecutor, MsmBuildExecutor,
+        SleepExecutor,
     };
     pub use crate::fs::SharedFs;
     pub use crate::ids::{CommandId, ProjectId, WorkerId};
     pub use crate::lifecycle::{Phase, RetryPolicy};
     pub use crate::monitor::{Monitor, ProjectStatus};
     pub use crate::plugins::{
-        FepController, FepProjectConfig, FepProjectReport, MsmController, MsmProjectConfig,
-        MsmProjectReport,
+        AdaptiveMode, FepController, FepProjectConfig, FepProjectReport, MsmController,
+        MsmProjectConfig, MsmProjectReport,
     };
     pub use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
     pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};
     pub use crate::server::{ProjectResult, ServerConfig};
-    pub use crate::wal::FsyncMode;
     pub use crate::tcp::{connect_workers, serve_project};
     pub use crate::transport::{ServerTransport, WorkerTransport};
+    pub use crate::wal::FsyncMode;
     pub use crate::worker::WorkerConfig;
     pub use copernicus_telemetry::Telemetry;
     pub use copernicus_wire::AuthKey;

@@ -3,17 +3,24 @@
 //! [`MdRunExecutor`] is the Gromacs stand-in — it runs a coarse-grained
 //! villin segment with mid-run checkpointing to the shared filesystem.
 //! [`FepSampleExecutor`] samples perturbation work values for the BAR
-//! plugin. Both sit on the `mdsim` crate; the dependency-free executor
+//! plugin. [`MsmBuildExecutor`] runs the full recluster the streaming
+//! controller dispatches as a background command (§16 of DESIGN.md).
+//! All sit on the `mdsim`/`msm` crates; the dependency-free executor
 //! protocol lives in [`crate::executor`].
+//!
+//! Payloads use the hand-rolled wire codecs from [`mdsim::jsonv`]: one
+//! canonical JSON shape per command type, independent of derive layout.
 
 use crate::executor::{CommandExecutor, ExecContext, ExecError};
 use crate::resources::{ExecutableSpec, Platform};
 use copernicus_telemetry::{buckets, labels, names, Event};
+use mdsim::jsonv;
 use mdsim::model::villin::VillinModel;
 use mdsim::rng::rng_for_stream;
 use mdsim::trajectory::Trajectory;
 use mdsim::vec3::Vec3;
 use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
@@ -56,12 +63,87 @@ pub struct MdRunOutput {
     pub tag: serde_json::Value,
 }
 
+impl MdRunSpec {
+    /// Wire encoding of the command payload.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "start_positions": jsonv::frame_to_value(&self.start_positions),
+            "temperature": self.temperature,
+            "n_steps": self.n_steps,
+            "record_interval": self.record_interval,
+            "seed": self.seed,
+            "checkpoint_steps": self.checkpoint_steps,
+            "inject_crash_at_step": self.inject_crash_at_step,
+            "tag": self.tag.clone(),
+            "kernel": match &self.kernel {
+                Some(k) => k.to_value(),
+                None => Value::Null,
+            },
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<MdRunSpec, String> {
+        Ok(MdRunSpec {
+            start_positions: jsonv::frame_from_value(jsonv::field(v, "start_positions")?)?,
+            temperature: jsonv::num(v, "temperature")?,
+            n_steps: jsonv::int(v, "n_steps")?,
+            record_interval: jsonv::int(v, "record_interval")?,
+            seed: jsonv::int(v, "seed")?,
+            checkpoint_steps: jsonv::int(v, "checkpoint_steps")?,
+            inject_crash_at_step: jsonv::opt_int(v, "inject_crash_at_step"),
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+            kernel: match v.get("kernel") {
+                None | Some(Value::Null) => None,
+                Some(k) => Some(mdsim::forces::KernelConfig::from_value(k)?),
+            },
+        })
+    }
+}
+
+impl MdRunOutput {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "trajectory": self.trajectory.to_value(),
+            "final_positions": jsonv::frame_to_value(&self.final_positions),
+            "steps_executed": self.steps_executed,
+            "tag": self.tag.clone(),
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<MdRunOutput, String> {
+        Ok(MdRunOutput {
+            trajectory: Trajectory::from_value(jsonv::field(v, "trajectory")?)?,
+            final_positions: jsonv::frame_from_value(jsonv::field(v, "final_positions")?)?,
+            steps_executed: jsonv::int(v, "steps_executed")?,
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
 /// Mid-run checkpoint: engine state plus the frames recorded so far.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct MdCheckpoint {
     engine: mdsim::engine::Checkpoint,
     partial_trajectory: Trajectory,
     steps_done: u64,
+}
+
+impl MdCheckpoint {
+    fn to_value(&self) -> Value {
+        json!({
+            "engine": self.engine.to_value(),
+            "partial_trajectory": self.partial_trajectory.to_value(),
+            "steps_done": self.steps_done,
+        })
+    }
+
+    fn from_value(v: &Value) -> Result<MdCheckpoint, String> {
+        Ok(MdCheckpoint {
+            engine: mdsim::engine::Checkpoint::from_value(jsonv::field(v, "engine")?)?,
+            partial_trajectory: Trajectory::from_value(jsonv::field(v, "partial_trajectory")?)?,
+            steps_done: jsonv::int(v, "steps_done")?,
+        })
+    }
 }
 
 /// The Gromacs-equivalent executable: runs villin Gō-model segments.
@@ -87,8 +169,7 @@ impl CommandExecutor for MdRunExecutor {
     }
 
     fn execute(&self, ctx: ExecContext<'_>) -> Result<serde_json::Value, ExecError> {
-        let spec: MdRunSpec = serde_json::from_value(ctx.command.payload.clone())
-            .map_err(|e| ExecError::BadPayload(e.to_string()))?;
+        let spec = MdRunSpec::from_value(&ctx.command.payload).map_err(ExecError::BadPayload)?;
         if spec.record_interval == 0 || spec.n_steps == 0 {
             return Err(ExecError::BadPayload(
                 "n_steps and record_interval must be positive".into(),
@@ -98,7 +179,7 @@ impl CommandExecutor for MdRunExecutor {
         // Resume from a checkpoint if the command carries one.
         let (mut sim, mut trajectory, mut steps_done) = match &ctx.command.checkpoint {
             Some(cp_json) => {
-                let cp: MdCheckpoint = serde_json::from_value(cp_json.clone())
+                let cp = MdCheckpoint::from_value(cp_json)
                     .map_err(|e| ExecError::BadPayload(format!("bad checkpoint: {e}")))?;
                 let mut sim = self.model.simulation(
                     cp.engine.state.positions.clone(),
@@ -165,11 +246,9 @@ impl CommandExecutor for MdRunExecutor {
                     partial_trajectory: trajectory.clone(),
                     steps_done,
                 };
-                let value = serde_json::to_value(&cp).expect("checkpoint serializes");
+                let value = cp.to_value();
                 if let Some(t) = ctx.telemetry {
-                    let bytes = serde_json::to_vec(&value)
-                        .map(|v| v.len() as u64)
-                        .unwrap_or(0);
+                    let bytes = value.to_string().len() as u64;
                     fs.store_checkpoint(ctx.command.id, value);
                     t.registry()
                         .histogram(
@@ -223,7 +302,7 @@ impl CommandExecutor for MdRunExecutor {
             steps_executed,
             tag: spec.tag,
         };
-        Ok(serde_json::to_value(output).expect("output serializes"))
+        Ok(output.to_value())
     }
 }
 
@@ -257,6 +336,50 @@ pub struct FepSampleOutput {
     pub tag: serde_json::Value,
 }
 
+impl FepSampleSpec {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "k_sample": self.k_sample,
+            "k_eval": self.k_eval,
+            "temperature": self.temperature,
+            "equil_steps": self.equil_steps,
+            "n_steps": self.n_steps,
+            "record_interval": self.record_interval,
+            "seed": self.seed,
+            "tag": self.tag.clone(),
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<FepSampleSpec, String> {
+        Ok(FepSampleSpec {
+            k_sample: jsonv::num(v, "k_sample")?,
+            k_eval: jsonv::num(v, "k_eval")?,
+            temperature: jsonv::num(v, "temperature")?,
+            equil_steps: jsonv::int(v, "equil_steps")?,
+            n_steps: jsonv::int(v, "n_steps")?,
+            record_interval: jsonv::int(v, "record_interval")?,
+            seed: jsonv::int(v, "seed")?,
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+impl FepSampleOutput {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "works": jsonv::f64s_to_value(&self.works),
+            "tag": self.tag.clone(),
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<FepSampleOutput, String> {
+        Ok(FepSampleOutput {
+            works: jsonv::f64s_from_value(jsonv::field(v, "works")?)?,
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
 /// Samples perturbation work values with real Langevin dynamics.
 pub struct FepSampleExecutor;
 
@@ -281,8 +404,8 @@ impl CommandExecutor for FepSampleExecutor {
         use mdsim::topology::{LjParams, Particle, Topology};
         use mdsim::Simulation;
 
-        let spec: FepSampleSpec = serde_json::from_value(ctx.command.payload.clone())
-            .map_err(|e| ExecError::BadPayload(e.to_string()))?;
+        let spec =
+            FepSampleSpec::from_value(&ctx.command.payload).map_err(ExecError::BadPayload)?;
         if spec.record_interval == 0 {
             return Err(ExecError::BadPayload(
                 "record_interval must be positive".into(),
@@ -310,11 +433,156 @@ impl CommandExecutor for FepSampleExecutor {
             }
         });
 
-        Ok(serde_json::to_value(FepSampleOutput {
+        Ok(FepSampleOutput {
             works,
             tag: spec.tag,
+        }
+        .to_value())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MSM rebuild executor
+// ---------------------------------------------------------------------------
+
+/// Payload of an `msm-build` command: the full recluster the streaming
+/// controller runs as a *background* workload on the fleet instead of
+/// stopping the world (DESIGN.md §16). Carries a frozen copy of the
+/// trajectory frame lists; the result is swapped in atomically when it
+/// lands.
+#[derive(Debug, Clone)]
+pub struct MsmBuildSpec {
+    /// One frame list per trajectory (terminated first, then the live
+    /// lineages in slot order — the controller relies on this order).
+    pub trajs: Vec<Vec<Vec<Vec3>>>,
+    pub n_clusters: usize,
+    /// Opaque controller metadata echoed into the output.
+    pub tag: Value,
+}
+
+/// Output of an `msm-build` command.
+#[derive(Debug, Clone)]
+pub struct MsmBuildOutput {
+    /// Cluster center conformations, in discovery order.
+    pub centers: Vec<Vec<Vec3>>,
+    /// Per-input-trajectory state assignments.
+    pub dtrajs: Vec<Vec<usize>>,
+    /// Largest assignment distance — the radius the streaming assigner
+    /// uses to decide "new state" until the next rebuild.
+    pub radius: f64,
+    pub tag: Value,
+}
+
+impl MsmBuildSpec {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "trajs": Value::from(
+                self.trajs.iter().map(|t| jsonv::frames_to_value(t)).collect::<Vec<_>>()
+            ),
+            "n_clusters": self.n_clusters as u64,
+            "tag": self.tag.clone(),
         })
-        .expect("output serializes"))
+    }
+
+    pub fn from_value(v: &Value) -> Result<MsmBuildSpec, String> {
+        let trajs = jsonv::field(v, "trajs")?
+            .as_array()
+            .ok_or("trajs is not an array")?
+            .iter()
+            .map(jsonv::frames_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MsmBuildSpec {
+            trajs,
+            n_clusters: jsonv::int(v, "n_clusters")? as usize,
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+impl MsmBuildOutput {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "centers": jsonv::frames_to_value(&self.centers),
+            "dtrajs": Value::from(
+                self.dtrajs.iter().map(|d| jsonv::usizes_to_value(d)).collect::<Vec<_>>()
+            ),
+            "radius": self.radius,
+            "tag": self.tag.clone(),
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<MsmBuildOutput, String> {
+        let dtrajs = jsonv::field(v, "dtrajs")?
+            .as_array()
+            .ok_or("dtrajs is not an array")?
+            .iter()
+            .map(jsonv::usizes_from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(MsmBuildOutput {
+            centers: jsonv::frames_from_value(jsonv::field(v, "centers")?)?,
+            dtrajs,
+            radius: jsonv::num(v, "radius")?,
+            tag: v.get("tag").cloned().unwrap_or(Value::Null),
+        })
+    }
+}
+
+/// Runs the periodic full recluster on a worker like any other command.
+pub struct MsmBuildExecutor;
+
+impl MsmBuildExecutor {
+    pub const COMMAND_TYPE: &'static str = "msm-build";
+}
+
+impl CommandExecutor for MsmBuildExecutor {
+    fn executables(&self) -> Vec<ExecutableSpec> {
+        vec![ExecutableSpec::new(
+            Self::COMMAND_TYPE,
+            Platform::Smp,
+            "copernicus-msm-0.1",
+        )]
+    }
+
+    fn execute(&self, ctx: ExecContext<'_>) -> Result<Value, ExecError> {
+        let spec = MsmBuildSpec::from_value(&ctx.command.payload).map_err(ExecError::BadPayload)?;
+        if spec.n_clusters == 0 {
+            return Err(ExecError::BadPayload("n_clusters must be positive".into()));
+        }
+        let lengths: Vec<usize> = spec.trajs.iter().map(|t| t.len()).collect();
+        let pooled: Vec<Vec<Vec3>> = spec.trajs.into_iter().flatten().collect();
+        if pooled.is_empty() {
+            return Err(ExecError::BadPayload("no frames to cluster".into()));
+        }
+        let t0 = std::time::Instant::now();
+        let clustering =
+            msm::cluster::k_centers(&pooled, spec.n_clusters, 0, |a, b| msm::rmsd(a, b));
+        let centers: Vec<Vec<Vec3>> = clustering
+            .centers
+            .iter()
+            .map(|&i| pooled[i].clone())
+            .collect();
+        let mut dtrajs = Vec::with_capacity(lengths.len());
+        let mut offset = 0usize;
+        for len in lengths {
+            dtrajs.push(clustering.assignment[offset..offset + len].to_vec());
+            offset += len;
+        }
+        if let Some(t) = ctx.telemetry {
+            t.registry()
+                .histogram(
+                    names::CLUSTERING_SECS,
+                    labels(&[("mode", "background")]),
+                    buckets::SECONDS,
+                )
+                .record_duration(t0.elapsed());
+        }
+        Ok(MsmBuildOutput {
+            centers,
+            dtrajs,
+            radius: clustering.max_radius(),
+            tag: spec.tag,
+        }
+        .to_value())
     }
 }
 
@@ -339,7 +607,7 @@ mod tests {
             CommandSpec::new(
                 MdRunExecutor::COMMAND_TYPE,
                 Resources::new(1, 100),
-                serde_json::to_value(spec).unwrap(),
+                spec.to_value(),
             ),
         )
     }
@@ -372,7 +640,7 @@ mod tests {
                 telemetry: None,
             })
             .unwrap();
-        let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
+        let parsed = MdRunOutput::from_value(&out).unwrap();
         // initial frame + 4 recorded frames
         assert_eq!(parsed.trajectory.len(), 5);
         assert_eq!(parsed.steps_executed, 400);
@@ -449,7 +717,7 @@ mod tests {
                 telemetry: None,
             })
             .unwrap();
-        let parsed: MdRunOutput = serde_json::from_value(out).unwrap();
+        let parsed = MdRunOutput::from_value(&out).unwrap();
         // Full trajectory delivered despite the crash…
         assert_eq!(parsed.trajectory.len(), 5);
         // …but only the remaining 200 steps were re-executed.
@@ -495,7 +763,7 @@ mod tests {
             CommandSpec::new(
                 FepSampleExecutor::COMMAND_TYPE,
                 Resources::new(1, 1),
-                serde_json::to_value(&spec).unwrap(),
+                spec.to_value(),
             ),
         );
         let out = exec
@@ -506,7 +774,7 @@ mod tests {
                 telemetry: None,
             })
             .unwrap();
-        let parsed: FepSampleOutput = serde_json::from_value(out).unwrap();
+        let parsed = FepSampleOutput::from_value(&out).unwrap();
         assert_eq!(parsed.works.len(), 4000);
         // ⟨W⟩ = ½ dk ⟨r²⟩ = ½·1·(3 kT/k_sample) = 0.75.
         let mean = parsed.works.iter().sum::<f64>() / parsed.works.len() as f64;
@@ -518,10 +786,84 @@ mod tests {
         let m = model();
         let registry = ExecutorRegistry::new()
             .with(Arc::new(MdRunExecutor::new(m)))
-            .with(Arc::new(FepSampleExecutor));
+            .with(Arc::new(FepSampleExecutor))
+            .with(Arc::new(MsmBuildExecutor));
         assert!(registry.lookup("mdrun").is_some());
         assert!(registry.lookup("fep-sample").is_some());
+        assert!(registry.lookup("msm-build").is_some());
         assert!(registry.lookup("sleep").is_none());
-        assert_eq!(registry.executables().len(), 2);
+        assert_eq!(registry.executables().len(), 3);
+    }
+
+    #[test]
+    fn spec_value_roundtrips() {
+        let m = model();
+        let mut spec = base_spec(&m);
+        spec.inject_crash_at_step = Some(123);
+        spec.tag = json!({"lineage": 7});
+        spec.kernel = Some(mdsim::forces::KernelConfig::default());
+        let back = MdRunSpec::from_value(&spec.to_value()).unwrap();
+        assert_eq!(back.start_positions, spec.start_positions);
+        assert_eq!(back.n_steps, spec.n_steps);
+        assert_eq!(back.inject_crash_at_step, Some(123));
+        assert_eq!(back.tag["lineage"], 7);
+        assert_eq!(back.kernel, spec.kernel);
+        // Optional fields degrade to their defaults when absent.
+        let mut v = spec.to_value();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("inject_crash_at_step");
+        obj.remove("tag");
+        obj.remove("kernel");
+        let sparse = MdRunSpec::from_value(&v).unwrap();
+        assert_eq!(sparse.inject_crash_at_step, None);
+        assert_eq!(sparse.tag, Value::Null);
+        assert!(sparse.kernel.is_none());
+    }
+
+    #[test]
+    fn msm_build_clusters_and_splits_dtrajs() {
+        let m = model();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..6 {
+            let mut f = m.unfolded_start(1);
+            f[0].x += i as f64;
+            a.push(f);
+        }
+        for i in 0..4 {
+            let mut f = m.unfolded_start(2);
+            f[0].x -= i as f64;
+            b.push(f);
+        }
+        let spec = MsmBuildSpec {
+            trajs: vec![a, b],
+            n_clusters: 4,
+            tag: json!({"epoch": 1}),
+        };
+        let cmd = Command::from_spec(
+            CommandId(9),
+            ProjectId(0),
+            CommandSpec::new(
+                MsmBuildExecutor::COMMAND_TYPE,
+                Resources::new(1, 1),
+                spec.to_value(),
+            ),
+        );
+        let out = MsmBuildExecutor
+            .execute(ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            })
+            .unwrap();
+        let parsed = MsmBuildOutput::from_value(&out).unwrap();
+        assert_eq!(parsed.centers.len(), 4);
+        assert_eq!(parsed.dtrajs.len(), 2);
+        assert_eq!(parsed.dtrajs[0].len(), 6);
+        assert_eq!(parsed.dtrajs[1].len(), 4);
+        assert!(parsed.dtrajs.iter().flatten().all(|&s| s < 4));
+        assert!(parsed.radius.is_finite());
+        assert_eq!(parsed.tag["epoch"], 1);
     }
 }

@@ -8,12 +8,13 @@
 //! stratified BAR estimate is the project result.
 
 use crate::command::CommandSpec;
-use crate::controller::{Action, Controller, ControllerEvent};
+use crate::controller::{Action, Controller, ControllerCtx, ControllerEvent};
 use crate::executor::{FepSampleExecutor, FepSampleOutput, FepSampleSpec};
 use crate::resources::Resources;
 use fep::{stratified_bar, WindowSamples};
+use mdsim::jsonv;
 use serde::{Deserialize, Serialize};
-use serde_json::json;
+use serde_json::{json, Value};
 
 /// Configuration of a BAR project: perturb a harmonic spring constant
 /// `k_a → k_b` at the given temperature through `n_windows` windows.
@@ -45,6 +46,21 @@ impl Default for FepProjectConfig {
 }
 
 impl FepProjectConfig {
+    /// Parse from a JSON config document; missing fields keep defaults.
+    pub fn from_value(v: &Value) -> Result<FepProjectConfig, String> {
+        let d = FepProjectConfig::default();
+        Ok(FepProjectConfig {
+            k_a: jsonv::opt_num(v, "k_a").unwrap_or(d.k_a),
+            k_b: jsonv::opt_num(v, "k_b").unwrap_or(d.k_b),
+            temperature: jsonv::opt_num(v, "temperature").unwrap_or(d.temperature),
+            n_windows: jsonv::opt_int(v, "n_windows").map_or(d.n_windows, |n| n as usize),
+            equil_steps: jsonv::opt_int(v, "equil_steps").unwrap_or(d.equil_steps),
+            n_steps: jsonv::opt_int(v, "n_steps").unwrap_or(d.n_steps),
+            record_interval: jsonv::opt_int(v, "record_interval").unwrap_or(d.record_interval),
+            seed: jsonv::opt_int(v, "seed").unwrap_or(d.seed),
+        })
+    }
+
     /// Geometric λ-schedule of spring constants (even spacing in ln k,
     /// so every window has comparable overlap).
     pub fn k_schedule(&self) -> Vec<f64> {
@@ -69,6 +85,28 @@ pub struct FepProjectReport {
     pub per_window_delta_f: Vec<f64>,
     pub n_windows: usize,
     pub total_samples: usize,
+}
+
+impl FepProjectReport {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "delta_f": self.delta_f,
+            "std_err": self.std_err,
+            "per_window_delta_f": jsonv::f64s_to_value(&self.per_window_delta_f),
+            "n_windows": self.n_windows as u64,
+            "total_samples": self.total_samples as u64,
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<FepProjectReport, String> {
+        Ok(FepProjectReport {
+            delta_f: jsonv::num(v, "delta_f")?,
+            std_err: jsonv::num(v, "std_err")?,
+            per_window_delta_f: jsonv::f64s_from_value(jsonv::field(v, "per_window_delta_f")?)?,
+            n_windows: jsonv::int(v, "n_windows")? as usize,
+            total_samples: jsonv::int(v, "total_samples")? as usize,
+        })
+    }
 }
 
 /// The BAR controller.
@@ -110,7 +148,7 @@ impl FepController {
         CommandSpec::new(
             FepSampleExecutor::COMMAND_TYPE,
             Resources::new(1, 16),
-            serde_json::to_value(&spec).expect("spec serializes"),
+            spec.to_value(),
         )
     }
 
@@ -132,7 +170,7 @@ impl FepController {
             total_samples,
         };
         vec![Action::FinishProject {
-            result: serde_json::to_value(&report).expect("report serializes"),
+            result: report.to_value(),
         }]
     }
 }
@@ -142,7 +180,7 @@ impl Controller for FepController {
         "fep-bar"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 let ks = self.config.k_schedule();
@@ -162,7 +200,7 @@ impl Controller for FepController {
                 ]
             }
             ControllerEvent::CommandFinished(output) => {
-                let parsed: FepSampleOutput = match serde_json::from_value(output.data.clone()) {
+                let parsed = match FepSampleOutput::from_value(&output.data) {
                     Ok(p) => p,
                     Err(e) => {
                         return vec![Action::Log(format!("bad fep output: {e}"))];
@@ -188,6 +226,7 @@ impl Controller for FepController {
                 command,
                 attempts,
                 reason,
+                ..
             } => {
                 // The sampling command will never deliver: settle for the
                 // works gathered so far rather than hanging the project.
@@ -240,9 +279,32 @@ mod tests {
     }
 
     #[test]
+    fn config_from_value_fills_defaults() {
+        let cfg = FepProjectConfig::from_value(&json!({"n_windows": 6, "seed": 42})).unwrap();
+        assert_eq!(cfg.n_windows, 6);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.k_b, FepProjectConfig::default().k_b);
+    }
+
+    #[test]
+    fn report_value_roundtrips() {
+        let r = FepProjectReport {
+            delta_f: 4.5,
+            std_err: 0.1,
+            per_window_delta_f: vec![1.0, 1.5, 2.0],
+            n_windows: 3,
+            total_samples: 1200,
+        };
+        let back = FepProjectReport::from_value(&r.to_value()).unwrap();
+        assert_eq!(back.delta_f, r.delta_f);
+        assert_eq!(back.per_window_delta_f, r.per_window_delta_f);
+        assert_eq!(back.total_samples, 1200);
+    }
+
+    #[test]
     fn project_start_spawns_two_commands_per_window() {
         let mut c = FepController::new(FepProjectConfig::default());
-        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        let actions = c.on_event(ControllerCtx::test(), ControllerEvent::ProjectStarted);
         let spawned: usize = actions
             .iter()
             .map(|a| match a {

@@ -1,36 +1,76 @@
 //! The MSM adaptive-sampling controller plugin (§3 of the paper).
 //!
 //! Protocol, following §3.2: a fixed-size ensemble of trajectory
-//! *lineages* runs in 50-ns segments. When a segment finishes, its
-//! lineage is extended by another segment. Once all lineages of a
-//! generation have reported, the controller clusters **all** accumulated
-//! data, builds a Markov state model, *"marks trajectories for
-//! termination and spawns new trajectories as indicated"*: lineages
-//! sitting in well-explored (low-weight) microstates are terminated and
-//! replaced by fresh lineages started from under-explored (high-weight)
-//! microstates, with even or adaptive (transition-uncertainty) weighting.
+//! *lineages* runs in 50-ns segments. Lineages sitting in well-explored
+//! (low-weight) microstates are terminated and replaced by fresh
+//! lineages started from under-explored (high-weight) microstates, with
+//! even or adaptive (transition-uncertainty) weighting.
+//!
+//! Two adaptive loops are implemented (DESIGN.md §16):
+//!
+//! * [`AdaptiveMode::Generational`] — the classic barrier loop: when
+//!   *all* lineages of a generation have reported, cluster everything,
+//!   terminate/respawn, extend. Simple, but the fleet idles while the
+//!   last straggler finishes and the server clusters.
+//! * [`AdaptiveMode::Streaming`] (default) — segments are folded into an
+//!   incremental MSM ([`StreamingMsm`]) the moment they finish, and the
+//!   extend-or-respawn decision for a lineage is taken immediately from
+//!   the current weights, so the fleet never drains. The expensive full
+//!   recluster runs periodically as a *background* `msm-build` command
+//!   on the fleet and is swapped in atomically when it lands.
 //!
 //! The native structure is used **only** for reporting (the RMSD columns
 //! of Figs. 2–5); sampling decisions are blind, exactly as in the paper.
 
 use crate::command::CommandSpec;
-use crate::controller::{Action, Controller, ControllerEvent};
-use crate::executor::{MdRunExecutor, MdRunOutput, MdRunSpec};
+use crate::controller::{Action, Controller, ControllerCtx, ControllerEvent};
+use crate::executor::{
+    MdRunExecutor, MdRunOutput, MdRunSpec, MsmBuildExecutor, MsmBuildOutput, MsmBuildSpec,
+};
 use crate::resources::Resources;
-use copernicus_telemetry::{buckets, names, Event, Labels, Telemetry};
+use copernicus_telemetry::{buckets, names, Event, Labels};
+use mdsim::jsonv;
 use mdsim::model::villin::VillinModel;
-use mdsim::rng::{rng_for_stream, SimRng};
-use mdsim::trajectory::Trajectory;
+use mdsim::rng::splitmix64;
+use mdsim::trajectory::{chunk_steps, Trajectory};
 use mdsim::units::ns_to_steps;
 use mdsim::vec3::Vec3;
 use msm::{
-    adaptive_weights, allocate_spawns, even_weights, first_crossing, propagate_series, rmsd,
-    subset_population, MarkovStateModel, MsmConfig, Weighting,
+    first_crossing, propagate_series, rmsd, subset_population, MarkovStateModel, MsmConfig,
+    StreamingConfig, StreamingMsm, Weighting,
 };
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use serde_json::json;
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Which adaptive loop drives the project.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdaptiveMode {
+    /// Cluster at a generation barrier, then terminate/respawn/extend.
+    Generational,
+    /// Incremental MSM, per-segment respawn decisions, background
+    /// recluster — the fleet never waits for a barrier.
+    Streaming,
+}
+
+impl AdaptiveMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            AdaptiveMode::Generational => "Generational",
+            AdaptiveMode::Streaming => "Streaming",
+        }
+    }
+
+    fn parse(s: &str) -> Result<AdaptiveMode, String> {
+        match s {
+            "Generational" => Ok(AdaptiveMode::Generational),
+            "Streaming" => Ok(AdaptiveMode::Streaming),
+            other => Err(format!("unknown adaptive mode `{other}`")),
+        }
+    }
+}
 
 /// Configuration of the adaptive-sampling project.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,9 +101,13 @@ pub struct MsmProjectConfig {
     /// to use adaptive weighting").
     pub even_until_generation: usize,
     /// Fraction of lineages terminated and respawned at each clustering
-    /// step (the rest are extended).
+    /// step (generational) or held under respawn pressure (streaming:
+    /// a lineage finishing a segment respawns when its state weight
+    /// ranks in this bottom fraction of the live ensemble).
     pub respawn_fraction: f64,
-    /// Generations to run before finishing.
+    /// Generations to run before finishing. In streaming mode this
+    /// fixes the segment budget: `generations × n_starts ×
+    /// sims_per_start` segments in total.
     pub generations: usize,
     /// "Folded" definition for reporting: RMSD to native below this (Å;
     /// paper: 3.5).
@@ -81,6 +125,12 @@ pub struct MsmProjectConfig {
     pub seed: u64,
     /// Cores requested per simulation command.
     pub cores_per_sim: usize,
+    /// Which adaptive loop to run.
+    pub mode: AdaptiveMode,
+    /// Streaming only: split each segment into this many chunked
+    /// `mdrun` commands so partial trajectories reach the incremental
+    /// estimator earlier (1 = whole segments).
+    pub chunks_per_segment: usize,
 }
 
 impl Default for MsmProjectConfig {
@@ -103,6 +153,8 @@ impl Default for MsmProjectConfig {
             stop_folded_pop_stderr: None,
             seed: 2011,
             cores_per_sim: 1,
+            mode: AdaptiveMode::Streaming,
+            chunks_per_segment: 1,
         }
     }
 }
@@ -111,10 +163,113 @@ impl MsmProjectConfig {
     pub fn n_trajectories_per_generation(&self) -> usize {
         self.n_starts * self.sims_per_start
     }
+
+    /// Wire/WAL encoding. Field names match the serde derive so typed
+    /// consumers and the hand codec agree on one shape.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "n_starts": self.n_starts as u64,
+            "sims_per_start": self.sims_per_start as u64,
+            "segment_ns": self.segment_ns,
+            "record_interval": self.record_interval,
+            "checkpoint_steps": self.checkpoint_steps,
+            "temperature": self.temperature,
+            "n_clusters": self.n_clusters as u64,
+            "lag_frames": self.lag_frames as u64,
+            "weighting": match self.weighting {
+                Weighting::Even => "Even",
+                Weighting::Adaptive => "Adaptive",
+            },
+            "even_until_generation": self.even_until_generation as u64,
+            "respawn_fraction": self.respawn_fraction,
+            "generations": self.generations as u64,
+            "folded_rmsd": self.folded_rmsd,
+            "kinetics_horizon_ns": self.kinetics_horizon_ns,
+            "stop_folded_pop_stderr": match self.stop_folded_pop_stderr {
+                Some(x) => Value::from(x),
+                None => Value::Null,
+            },
+            "seed": self.seed,
+            "cores_per_sim": self.cores_per_sim as u64,
+            "mode": self.mode.as_str(),
+            "chunks_per_segment": self.chunks_per_segment as u64,
+        })
+    }
+
+    /// Parse a config document; absent fields keep their defaults, so a
+    /// registry caller can say `{"generations": 3}` and nothing else.
+    pub fn from_value(v: &Value) -> Result<MsmProjectConfig, String> {
+        if !v.is_object() {
+            return Err("msm config must be an object".into());
+        }
+        let mut c = MsmProjectConfig::default();
+        if let Some(x) = jsonv::opt_int(v, "n_starts") {
+            c.n_starts = x as usize;
+        }
+        if let Some(x) = jsonv::opt_int(v, "sims_per_start") {
+            c.sims_per_start = x as usize;
+        }
+        if let Some(x) = jsonv::opt_num(v, "segment_ns") {
+            c.segment_ns = x;
+        }
+        if let Some(x) = jsonv::opt_int(v, "record_interval") {
+            c.record_interval = x;
+        }
+        if let Some(x) = jsonv::opt_int(v, "checkpoint_steps") {
+            c.checkpoint_steps = x;
+        }
+        if let Some(x) = jsonv::opt_num(v, "temperature") {
+            c.temperature = x;
+        }
+        if let Some(x) = jsonv::opt_int(v, "n_clusters") {
+            c.n_clusters = x as usize;
+        }
+        if let Some(x) = jsonv::opt_int(v, "lag_frames") {
+            c.lag_frames = x as usize;
+        }
+        if let Some(w) = v.get("weighting").and_then(|w| w.as_str()) {
+            c.weighting = match w {
+                "Even" => Weighting::Even,
+                "Adaptive" => Weighting::Adaptive,
+                other => return Err(format!("unknown weighting `{other}`")),
+            };
+        }
+        if let Some(x) = jsonv::opt_int(v, "even_until_generation") {
+            c.even_until_generation = x as usize;
+        }
+        if let Some(x) = jsonv::opt_num(v, "respawn_fraction") {
+            c.respawn_fraction = x;
+        }
+        if let Some(x) = jsonv::opt_int(v, "generations") {
+            c.generations = x as usize;
+        }
+        if let Some(x) = jsonv::opt_num(v, "folded_rmsd") {
+            c.folded_rmsd = x;
+        }
+        if let Some(x) = jsonv::opt_num(v, "kinetics_horizon_ns") {
+            c.kinetics_horizon_ns = x;
+        }
+        c.stop_folded_pop_stderr = jsonv::opt_num(v, "stop_folded_pop_stderr");
+        if let Some(x) = jsonv::opt_int(v, "seed") {
+            c.seed = x;
+        }
+        if let Some(x) = jsonv::opt_int(v, "cores_per_sim") {
+            c.cores_per_sim = x as usize;
+        }
+        if let Some(m) = v.get("mode").and_then(|m| m.as_str()) {
+            c.mode = AdaptiveMode::parse(m)?;
+        }
+        if let Some(x) = jsonv::opt_int(v, "chunks_per_segment") {
+            c.chunks_per_segment = x as usize;
+        }
+        Ok(c)
+    }
 }
 
-/// Per-generation statistics (the rows of Fig. 2 and the headline §3
-/// numbers).
+/// Per-report-row statistics (the rows of Fig. 2 and the headline §3
+/// numbers). In generational mode one row per generation barrier; in
+/// streaming mode one row per `n_starts × sims_per_start` completed
+/// segments (the same amount of sampling).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct GenerationReport {
     pub generation: usize,
@@ -123,7 +278,8 @@ pub struct GenerationReport {
     pub n_frames_total: usize,
     pub n_states: usize,
     pub n_active_states: usize,
-    /// Lineages terminated/respawned at this clustering step.
+    /// Lineages terminated/respawned at this clustering step (streaming:
+    /// since the previous report row).
     pub n_respawned: usize,
     /// Lowest RMSD to native observed in any frame so far (Å).
     pub min_rmsd_to_native: f64,
@@ -141,6 +297,45 @@ pub struct GenerationReport {
     pub folded_observed: bool,
 }
 
+impl GenerationReport {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "generation": self.generation as u64,
+            "n_trajectories_total": self.n_trajectories_total as u64,
+            "n_frames_total": self.n_frames_total as u64,
+            "n_states": self.n_states as u64,
+            "n_active_states": self.n_active_states as u64,
+            "n_respawned": self.n_respawned as u64,
+            "min_rmsd_to_native": self.min_rmsd_to_native,
+            "predicted_native_rmsd": self.predicted_native_rmsd,
+            "predicted_native_population": self.predicted_native_population,
+            "folded_equilibrium_population": self.folded_equilibrium_population,
+            "folded_pop_stderr": match self.folded_pop_stderr {
+                Some(x) => Value::from(x),
+                None => Value::Null,
+            },
+            "folded_observed": self.folded_observed,
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<GenerationReport, String> {
+        Ok(GenerationReport {
+            generation: jsonv::int(v, "generation")? as usize,
+            n_trajectories_total: jsonv::int(v, "n_trajectories_total")? as usize,
+            n_frames_total: jsonv::int(v, "n_frames_total")? as usize,
+            n_states: jsonv::int(v, "n_states")? as usize,
+            n_active_states: jsonv::int(v, "n_active_states")? as usize,
+            n_respawned: jsonv::int(v, "n_respawned")? as usize,
+            min_rmsd_to_native: jsonv::num(v, "min_rmsd_to_native")?,
+            predicted_native_rmsd: jsonv::num(v, "predicted_native_rmsd")?,
+            predicted_native_population: jsonv::num(v, "predicted_native_population")?,
+            folded_equilibrium_population: jsonv::num(v, "folded_equilibrium_population")?,
+            folded_pop_stderr: jsonv::opt_num(v, "folded_pop_stderr"),
+            folded_observed: jsonv::boolean(v, "folded_observed")?,
+        })
+    }
+}
+
 /// Final kinetic analysis (Fig. 4): Chapman-Kolmogorov propagation of the
 /// microstate MSM from the unfolded starting distribution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -156,14 +351,91 @@ pub struct KineticsReport {
     pub final_folded_fraction: f64,
 }
 
+impl KineticsReport {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "times_ns": jsonv::f64s_to_value(&self.times_ns),
+            "folded_fraction": jsonv::f64s_to_value(&self.folded_fraction),
+            "t_half_ns": match self.t_half_ns {
+                Some(x) => Value::from(x),
+                None => Value::Null,
+            },
+            "final_folded_fraction": self.final_folded_fraction,
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<KineticsReport, String> {
+        Ok(KineticsReport {
+            times_ns: jsonv::f64s_from_value(jsonv::field(v, "times_ns")?)?,
+            folded_fraction: jsonv::f64s_from_value(jsonv::field(v, "folded_fraction")?)?,
+            t_half_ns: jsonv::opt_num(v, "t_half_ns"),
+            final_folded_fraction: jsonv::num(v, "final_folded_fraction")?,
+        })
+    }
+}
+
 /// Full project report returned by the controller.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MsmProjectReport {
     pub generations: Vec<GenerationReport>,
     pub first_folded_generation: Option<usize>,
+    /// Server-clock seconds from project start to the first frame within
+    /// `folded_rmsd` of native (streaming's time-to-first-folded metric;
+    /// also filled in generational mode, at barrier granularity).
+    pub first_folded_elapsed_secs: Option<f64>,
     pub min_rmsd_to_native: f64,
     pub final_predicted_native_rmsd: f64,
+    /// Background reclusters swapped in (streaming; 0 in generational).
+    pub n_rebuilds: usize,
     pub kinetics: Option<KineticsReport>,
+}
+
+impl MsmProjectReport {
+    pub fn to_value(&self) -> Value {
+        json!({
+            "generations": Value::from(
+                self.generations.iter().map(|g| g.to_value()).collect::<Vec<_>>()
+            ),
+            "first_folded_generation": match self.first_folded_generation {
+                Some(g) => Value::from(g as u64),
+                None => Value::Null,
+            },
+            "first_folded_elapsed_secs": match self.first_folded_elapsed_secs {
+                Some(x) => Value::from(x),
+                None => Value::Null,
+            },
+            "min_rmsd_to_native": self.min_rmsd_to_native,
+            "final_predicted_native_rmsd": self.final_predicted_native_rmsd,
+            "n_rebuilds": self.n_rebuilds as u64,
+            "kinetics": match &self.kinetics {
+                Some(k) => k.to_value(),
+                None => Value::Null,
+            },
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<MsmProjectReport, String> {
+        let generations = jsonv::field(v, "generations")?
+            .as_array()
+            .ok_or("generations is not an array")?
+            .iter()
+            .map(GenerationReport::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let kinetics = match v.get("kinetics") {
+            None | Some(Value::Null) => None,
+            Some(k) => Some(KineticsReport::from_value(k)?),
+        };
+        Ok(MsmProjectReport {
+            generations,
+            first_folded_generation: jsonv::opt_int(v, "first_folded_generation")
+                .map(|g| g as usize),
+            first_folded_elapsed_secs: jsonv::opt_num(v, "first_folded_elapsed_secs"),
+            min_rmsd_to_native: jsonv::num(v, "min_rmsd_to_native")?,
+            final_predicted_native_rmsd: jsonv::num(v, "final_predicted_native_rmsd")?,
+            n_rebuilds: jsonv::opt_int(v, "n_rebuilds").unwrap_or(0) as usize,
+            kinetics,
+        })
+    }
 }
 
 /// Shared trajectory archive, for callers that want the raw data (the
@@ -173,57 +445,112 @@ pub type TrajectoryArchive = Arc<Mutex<Vec<Trajectory>>>;
 
 /// One live trajectory lineage.
 struct Lineage {
+    /// Stable identity: survives slot reuse, tags every command.
+    uid: u64,
     traj: Trajectory,
-    /// Final coordinates, from which the next segment continues.
+    /// Final coordinates, from which the next chunk/segment continues.
     current: Vec<Vec3>,
+    /// Streaming: state assignment of every frame in `traj`, under the
+    /// current stream epoch.
+    dtraj: Vec<usize>,
+    /// Streaming: step counts of the chunks remaining in the segment
+    /// currently in flight (beyond the dispatched chunk).
+    chunks_left: Vec<u64>,
+    /// Streaming: the budget is spent and this slot has been parked.
+    done: bool,
+}
+
+/// A terminated lineage: kept whole for background reclusters and the
+/// final model estimation.
+struct ClosedLineage {
+    uid: u64,
+    traj: Trajectory,
+    dtraj: Vec<usize>,
+}
+
+/// Bookkeeping for the single in-flight background recluster.
+struct RebuildTicket {
+    /// Stream epoch when the freeze was taken; a result for an older
+    /// epoch is stale and ignored.
+    epoch: u64,
+    /// `(uid, frozen frame count)` in the order the trajectories were
+    /// packed into the `msm-build` payload.
+    frozen: Vec<(u64, usize)>,
 }
 
 /// The MSM adaptive-sampling controller.
 pub struct MsmController {
     config: MsmProjectConfig,
     model: Arc<VillinModel>,
-    rng: SimRng,
-    /// Live lineages, indexed by the `lineage` tag on commands.
+    /// Live lineages; commands are tagged with the lineage `uid`.
     lineages: Vec<Lineage>,
-    /// Full trajectories of terminated lineages.
-    terminated: Vec<Trajectory>,
+    terminated: Vec<ClosedLineage>,
     archive: Option<TrajectoryArchive>,
+    /// Generational: barrier index. Streaming: pseudo-generation used
+    /// only in command tags.
     current_generation: usize,
+    /// Generational: commands outstanding in the current barrier.
     outstanding: usize,
     next_seed: u64,
+    next_uid: u64,
+    /// Decision counter: every stochastic choice draws
+    /// `splitmix64(seed ^ f(counter))`, so decision state is a single
+    /// integer that snapshots into the WAL (an `Rng` object would not).
+    decisions: u64,
+    /// Streaming: the incremental estimator (absent until bootstrap).
+    stream: Option<StreamingMsm>,
+    segments_done: u64,
+    segments_started: u64,
+    respawns_since_report: usize,
+    rebuild: Option<RebuildTicket>,
+    n_rebuilds: usize,
+    /// Convergence reached: stop extending, drain, finish.
+    halt: bool,
     reports: Vec<GenerationReport>,
     min_rmsd: f64,
     first_folded_generation: Option<usize>,
+    first_folded_elapsed_secs: Option<f64>,
     /// Build the Fig. 4 kinetics report at the end (costs one more MSM
     /// propagation).
     pub analyze_kinetics: bool,
-    /// Per-generation clustering timings and `GenerationClustered`
-    /// journal events, when attached.
-    telemetry: Option<Telemetry>,
 }
 
 impl MsmController {
-    pub fn new(model: Arc<VillinModel>, config: MsmProjectConfig) -> Self {
+    /// Build a controller from configuration alone. The Gō model is
+    /// constructed internally; server-side plumbing (telemetry, clock,
+    /// project identity) arrives per-event through [`ControllerCtx`].
+    pub fn new(config: MsmProjectConfig) -> Self {
         assert!(
             (0.0..=1.0).contains(&config.respawn_fraction),
             "respawn_fraction must be in [0, 1]"
         );
-        let rng = rng_for_stream(config.seed, 0x315);
+        assert!(
+            config.chunks_per_segment >= 1,
+            "chunks_per_segment must be >= 1"
+        );
         MsmController {
             config,
-            model,
-            rng,
+            model: Arc::new(VillinModel::hp35()),
             lineages: Vec::new(),
             terminated: Vec::new(),
             archive: None,
             current_generation: 0,
             outstanding: 0,
             next_seed: 1,
+            next_uid: 0,
+            decisions: 0,
+            stream: None,
+            segments_done: 0,
+            segments_started: 0,
+            respawns_since_report: 0,
+            rebuild: None,
+            n_rebuilds: 0,
+            halt: false,
             reports: Vec::new(),
             min_rmsd: f64::INFINITY,
             first_folded_generation: None,
+            first_folded_elapsed_secs: None,
             analyze_kinetics: true,
-            telemetry: None,
         }
     }
 
@@ -233,52 +560,220 @@ impl MsmController {
         self
     }
 
-    /// Attach telemetry: each clustering step records its wall time,
-    /// updates the model-size gauge, and journals a
-    /// [`Event::GenerationClustered`] span.
-    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
-        self.telemetry = Some(telemetry);
-        self
+    /// The Gō model the controller samples — the same `hp35()` build the
+    /// MD executors construct, exposed for harnesses that want one.
+    pub fn model(&self) -> Arc<VillinModel> {
+        self.model.clone()
+    }
+
+    fn n_live(&self) -> usize {
+        self.config.n_trajectories_per_generation()
+    }
+
+    /// Streaming: total segments the project may start.
+    fn segment_budget(&self) -> u64 {
+        (self.config.generations * self.n_live()) as u64
     }
 
     fn segment_steps(&self) -> u64 {
         ns_to_steps(self.config.segment_ns, self.model.params.dt)
     }
 
-    fn md_command(&mut self, lineage: usize, start: Vec<Vec3>) -> CommandSpec {
-        let seed = mdsim::rng::splitmix64(self.config.seed ^ (self.next_seed << 17));
+    /// Streaming: the chunked command sizes of one segment. With more
+    /// than one chunk the segment length is rounded up to a whole number
+    /// of record intervals so every chunk ends on a recorded frame.
+    fn streaming_chunks(&self) -> Vec<u64> {
+        let steps = self.segment_steps();
+        if self.config.chunks_per_segment <= 1 {
+            return vec![steps];
+        }
+        let ri = self.config.record_interval.max(1);
+        let steps = ((steps.max(ri) + ri - 1) / ri) * ri;
+        chunk_steps(steps, self.config.chunks_per_segment, ri)
+    }
+
+    fn decision_u64(&mut self) -> u64 {
+        self.decisions += 1;
+        splitmix64(self.config.seed ^ self.decisions.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// A decision draw in [0, 1).
+    fn decision_unit(&mut self) -> f64 {
+        (self.decision_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn decision_pick(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.decision_u64() % n as u64) as usize
+    }
+
+    fn md_command(&mut self, uid: u64, start: Vec<Vec3>, n_steps: u64) -> CommandSpec {
+        let seed = splitmix64(self.config.seed ^ (self.next_seed << 17));
         self.next_seed += 1;
         let spec = MdRunSpec {
             start_positions: start,
             temperature: self.config.temperature,
-            n_steps: self.segment_steps(),
+            n_steps,
             record_interval: self.config.record_interval,
             seed,
             checkpoint_steps: self.config.checkpoint_steps,
             inject_crash_at_step: None,
-            tag: json!({ "lineage": lineage, "generation": self.current_generation }),
+            tag: json!({ "lineage": uid, "generation": self.current_generation as u64 }),
             kernel: None,
         };
         CommandSpec::new(
             MdRunExecutor::COMMAND_TYPE,
             Resources::new(self.config.cores_per_sim, 64),
-            serde_json::to_value(&spec).expect("spec serializes"),
+            spec.to_value(),
         )
     }
 
+    fn slot_of(&self, uid: u64) -> Option<usize> {
+        self.lineages.iter().position(|l| l.uid == uid)
+    }
+
+    /// All MSM-relevant trajectories: terminated plus live.
+    fn all_trajectories(&self) -> Vec<Trajectory> {
+        self.terminated
+            .iter()
+            .map(|c| c.traj.clone())
+            .chain(self.lineages.iter().map(|l| l.traj.clone()))
+            .collect()
+    }
+
+    /// Streaming: state sequences in `all_trajectories` order.
+    fn all_dtrajs(&self) -> Vec<Vec<usize>> {
+        self.terminated
+            .iter()
+            .map(|c| c.dtraj.clone())
+            .chain(self.lineages.iter().map(|l| l.dtraj.clone()))
+            .collect()
+    }
+
+    fn msm_config(&self) -> MsmConfig {
+        MsmConfig {
+            n_clusters: self.config.n_clusters,
+            lag_frames: self.config.lag_frames,
+            prior: 1e-4,
+            reversible: true,
+            kmedoids_iters: 0,
+        }
+    }
+
+    /// Track the running minimum native RMSD over newly arrived frames;
+    /// stamps time-to-first-folded off the server clock.
+    fn scan_frames(&mut self, ctx: &ControllerCtx<'_>, frames: &[Vec<Vec3>]) {
+        for f in frames {
+            let d = rmsd(f, &self.model.native);
+            if d < self.min_rmsd {
+                self.min_rmsd = d;
+            }
+        }
+        if self.min_rmsd <= self.config.folded_rmsd && self.first_folded_generation.is_none() {
+            self.first_folded_generation = Some(self.reports.len());
+            self.first_folded_elapsed_secs = Some(ctx.now.as_secs_f64());
+        }
+    }
+
+    /// MSM-derived report metrics shared by both loops: blind native
+    /// prediction and folded equilibrium population.
+    fn msm_metrics(&self, msm: &MarkovStateModel) -> (f64, f64, f64) {
+        let native = &self.model.native;
+        let (_state, pop, center) = msm.predict_native();
+        let predicted_rmsd = rmsd(center, native);
+        let folded_pop = msm.equilibrium_population_near(native, self.config.folded_rmsd);
+        (predicted_rmsd, pop, folded_pop)
+    }
+
+    /// Convergence check (§2): bootstrap the folded equilibrium
+    /// population over trajectories (state definitions fixed).
+    fn folded_stderr(&self, msm: &MarkovStateModel, folded_pop: f64) -> (Option<f64>, bool) {
+        let threshold = match self.config.stop_folded_pop_stderr {
+            Some(t) => t,
+            None => return (None, false),
+        };
+        let native = &self.model.native;
+        let folded_original_ids: Vec<usize> = msm
+            .states_near(native, self.config.folded_rmsd)
+            .into_iter()
+            .map(|k| msm.active[k])
+            .collect();
+        if folded_original_ids.is_empty() || msm.dtrajs.len() < 2 {
+            return (None, false);
+        }
+        let est = msm::bootstrap_subset_population(
+            &msm.dtrajs,
+            msm.n_states(),
+            self.config.lag_frames,
+            &folded_original_ids,
+            40,
+            self.config.seed ^ 0xb007,
+        );
+        let converged = folded_pop > 0.0 && est.std_err < threshold;
+        (Some(est.std_err), converged)
+    }
+
+    /// Fig. 4 analysis: propagate the final MSM from the unfolded initial
+    /// distribution and track the folded fraction.
+    fn kinetics_report(&self, msm: &MarkovStateModel) -> KineticsReport {
+        let folded_states = msm.states_near(&self.model.native, self.config.folded_rmsd);
+        let p0 = msm.initial_distribution();
+        let frame_ns = mdsim::units::steps_to_ns(self.config.record_interval, self.model.params.dt);
+        let lag_ns = frame_ns * self.config.lag_frames as f64;
+        let n_steps = (self.config.kinetics_horizon_ns / lag_ns).ceil().max(1.0) as usize;
+        let series = propagate_series(&msm.tmatrix, &p0, n_steps);
+        let folded = subset_population(&series, &folded_states);
+        let times_ns: Vec<f64> = (0..=n_steps).map(|i| i as f64 * lag_ns).collect();
+        let final_folded = (*folded.last().unwrap_or(&0.0)).max(0.0);
+        let t_half_ns = first_crossing(&times_ns, &folded, 0.5 * final_folded);
+        KineticsReport {
+            times_ns,
+            folded_fraction: folded,
+            t_half_ns,
+            final_folded_fraction: final_folded,
+        }
+    }
+
+    fn final_report(&self, kinetics: Option<KineticsReport>) -> MsmProjectReport {
+        MsmProjectReport {
+            generations: self.reports.clone(),
+            first_folded_generation: self.first_folded_generation,
+            first_folded_elapsed_secs: self.first_folded_elapsed_secs,
+            min_rmsd_to_native: self.min_rmsd,
+            final_predicted_native_rmsd: self
+                .reports
+                .last()
+                .map(|r| r.predicted_native_rmsd)
+                .unwrap_or(f64::NAN),
+            n_rebuilds: self.n_rebuilds,
+            kinetics,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generational loop (barrier at every clustering step)
+// ---------------------------------------------------------------------------
+
+impl MsmController {
     fn spawn_generation_zero(&mut self) -> Vec<Action> {
         let mut specs = Vec::new();
         for s in 0..self.config.n_starts {
             let start = self.model.unfolded_start(self.config.seed ^ (s as u64 + 1));
             for _ in 0..self.config.sims_per_start {
-                let idx = self.lineages.len();
+                let uid = self.next_uid;
+                self.next_uid += 1;
                 let mut traj = Trajectory::new();
                 traj.push(0.0, start.clone());
                 self.lineages.push(Lineage {
+                    uid,
                     traj,
                     current: start.clone(),
+                    dtraj: Vec::new(),
+                    chunks_left: Vec::new(),
+                    done: false,
                 });
-                specs.push(self.md_command(idx, start.clone()));
+                specs.push(self.md_command(uid, start.clone(), self.segment_steps()));
             }
         }
         self.outstanding = specs.len();
@@ -292,36 +787,14 @@ impl MsmController {
         ]
     }
 
-    /// All MSM-relevant trajectories: terminated plus live.
-    fn all_trajectories(&self) -> Vec<Trajectory> {
-        self.terminated
-            .iter()
-            .cloned()
-            .chain(self.lineages.iter().map(|l| l.traj.clone()))
-            .collect()
-    }
-
     /// Cluster everything, report, terminate/respawn, extend.
-    fn generation_boundary(&mut self) -> Vec<Action> {
+    fn generation_boundary(&mut self, ctx: &ControllerCtx<'_>) -> Vec<Action> {
         let trajs = self.all_trajectories();
-        let clustering_span = self
-            .telemetry
-            .as_ref()
-            .map(|t| t.journal().span("msm_clustering"));
-        let (msm, clustering_ns) = copernicus_telemetry::timed(|| {
-            MarkovStateModel::build(
-                &trajs,
-                MsmConfig {
-                    n_clusters: self.config.n_clusters,
-                    lag_frames: self.config.lag_frames,
-                    prior: 1e-4,
-                    reversible: true,
-                    kmedoids_iters: 0,
-                },
-            )
-        });
+        let clustering_span = ctx.telemetry.map(|t| t.journal().span("msm_clustering"));
+        let (msm, clustering_ns) =
+            copernicus_telemetry::timed(|| MarkovStateModel::build(&trajs, self.msm_config()));
         drop(clustering_span);
-        if let Some(t) = &self.telemetry {
+        if let Some(t) = ctx.telemetry {
             t.registry()
                 .histogram(names::CLUSTERING_SECS, Labels::new(), buckets::SECONDS)
                 .record(clustering_ns as f64 / 1e9);
@@ -344,34 +817,10 @@ impl MsmController {
         self.min_rmsd = min_rmsd;
         if min_rmsd <= self.config.folded_rmsd && self.first_folded_generation.is_none() {
             self.first_folded_generation = Some(self.current_generation);
+            self.first_folded_elapsed_secs = Some(ctx.now.as_secs_f64());
         }
-        let (_state, pop, center) = msm.predict_native();
-        let predicted_rmsd = rmsd(center, native);
-        let folded_pop = msm.equilibrium_population_near(native, self.config.folded_rmsd);
-
-        // Convergence check (§2): bootstrap the folded equilibrium
-        // population over trajectories (state definitions fixed).
-        let mut folded_pop_stderr = None;
-        let mut converged = false;
-        if let Some(threshold) = self.config.stop_folded_pop_stderr {
-            let folded_original_ids: Vec<usize> = msm
-                .states_near(native, self.config.folded_rmsd)
-                .into_iter()
-                .map(|k| msm.active[k])
-                .collect();
-            if !folded_original_ids.is_empty() && trajs.len() >= 2 {
-                let est = msm::bootstrap_subset_population(
-                    &msm.dtrajs,
-                    msm.n_states(),
-                    self.config.lag_frames,
-                    &folded_original_ids,
-                    40,
-                    self.config.seed ^ 0xb007,
-                );
-                folded_pop_stderr = Some(est.std_err);
-                converged = folded_pop > 0.0 && est.std_err < threshold;
-            }
-        }
+        let (predicted_rmsd, pop, folded_pop) = self.msm_metrics(&msm);
+        let (folded_pop_stderr, converged) = self.folded_stderr(&msm, folded_pop);
 
         let done = converged || self.current_generation + 1 >= self.config.generations;
         let n_respawn = if done {
@@ -402,7 +851,7 @@ impl MsmController {
             report.min_rmsd_to_native,
             report.predicted_native_rmsd,
         );
-        if let Some(t) = &self.telemetry {
+        if let Some(t) = ctx.telemetry {
             t.journal().record(Event::GenerationClustered {
                 generation: report.generation as u64,
                 n_states: report.n_states as u64,
@@ -425,21 +874,11 @@ impl MsmController {
             } else {
                 None
             };
-            let final_report = MsmProjectReport {
-                generations: self.reports.clone(),
-                first_folded_generation: self.first_folded_generation,
-                min_rmsd_to_native: self.min_rmsd,
-                final_predicted_native_rmsd: self
-                    .reports
-                    .last()
-                    .map(|r| r.predicted_native_rmsd)
-                    .unwrap_or(f64::NAN),
-                kinetics,
-            };
+            let final_report = self.final_report(kinetics);
             return vec![
                 Action::Log(log),
                 Action::FinishProject {
-                    result: serde_json::to_value(&final_report).expect("report serializes"),
+                    result: final_report.to_value(),
                 },
             ];
         }
@@ -454,15 +893,15 @@ impl MsmController {
             self.config.weighting
         };
         let weights = match effective_weighting {
-            Weighting::Even => even_weights(msm.n_active()),
-            Weighting::Adaptive => adaptive_weights(&msm.counts.restrict(&msm.active)),
+            Weighting::Even => msm::even_weights(msm.n_active()),
+            Weighting::Adaptive => msm::adaptive_weights(&msm.counts.restrict(&msm.active)),
         };
 
         // Current state of each live lineage = assignment of its last
         // frame. The pooled assignment vector is ordered: terminated
         // trajectories first, then live lineages (see all_trajectories).
         let assignment: Vec<usize> = msm.dtrajs.iter().flatten().copied().collect();
-        let mut frame_offset: usize = self.terminated.iter().map(|t| t.len()).sum();
+        let mut frame_offset: usize = self.terminated.iter().map(|c| c.traj.len()).sum();
         let mut lineage_state = Vec::with_capacity(self.lineages.len());
         for l in &self.lineages {
             lineage_state.push(assignment[frame_offset + l.traj.len() - 1]);
@@ -483,7 +922,7 @@ impl MsmController {
         let to_terminate: Vec<usize> = order.into_iter().take(n_respawn).collect();
 
         // Pick respawn start frames from high-weight states.
-        let allocation = allocate_spawns(&weights, n_respawn);
+        let allocation = msm::allocate_spawns(&weights, n_respawn);
         let frames: Vec<&[Vec3]> = trajs
             .iter()
             .flat_map(|t| t.frames().iter().map(|f| f.as_slice()))
@@ -501,8 +940,7 @@ impl MsmController {
                 .map(|(i, _)| i)
                 .collect();
             for _ in 0..count {
-                use rand::Rng;
-                let pick = members[self.rng.random_range(0..members.len())];
+                let pick = members[self.decision_pick(members.len())];
                 respawn_starts.push(frames[pick].to_vec());
             }
         }
@@ -511,58 +949,665 @@ impl MsmController {
         // Apply terminations: archive the full lineage trajectory and
         // restart the slot from a respawn frame.
         for (slot, start) in to_terminate.iter().zip(respawn_starts) {
+            let uid = self.next_uid;
+            self.next_uid += 1;
             let old = std::mem::replace(
                 &mut self.lineages[*slot],
                 Lineage {
+                    uid,
                     traj: {
                         let mut t = Trajectory::new();
                         t.push(0.0, start.clone());
                         t
                     },
                     current: start,
+                    dtraj: Vec::new(),
+                    chunks_left: Vec::new(),
+                    done: false,
                 },
             );
             if let Some(archive) = &self.archive {
                 archive.lock().push(old.traj.clone());
             }
-            self.terminated.push(old.traj);
+            self.terminated.push(ClosedLineage {
+                uid: old.uid,
+                traj: old.traj,
+                dtraj: Vec::new(),
+            });
         }
 
         // Next generation: extend every live lineage by one segment.
         self.current_generation += 1;
-        let starts: Vec<(usize, Vec<Vec3>)> = self
+        let starts: Vec<(u64, Vec<Vec3>)> = self
             .lineages
             .iter()
-            .enumerate()
-            .map(|(i, l)| (i, l.current.clone()))
+            .map(|l| (l.uid, l.current.clone()))
             .collect();
         let specs: Vec<CommandSpec> = starts
             .into_iter()
-            .map(|(i, s)| self.md_command(i, s))
+            .map(|(uid, s)| {
+                let steps = self.segment_steps();
+                self.md_command(uid, s, steps)
+            })
             .collect();
         self.outstanding = specs.len();
         vec![Action::Log(log), Action::Spawn(specs)]
     }
 
-    /// Fig. 4 analysis: propagate the final MSM from the unfolded initial
-    /// distribution and track the folded fraction.
-    fn kinetics_report(&self, msm: &MarkovStateModel) -> KineticsReport {
-        let folded_states = msm.states_near(&self.model.native, self.config.folded_rmsd);
-        let p0 = msm.initial_distribution();
-        let frame_ns = mdsim::units::steps_to_ns(self.config.record_interval, self.model.params.dt);
-        let lag_ns = frame_ns * self.config.lag_frames as f64;
-        let n_steps = (self.config.kinetics_horizon_ns / lag_ns).ceil().max(1.0) as usize;
-        let series = propagate_series(&msm.tmatrix, &p0, n_steps);
-        let folded = subset_population(&series, &folded_states);
-        let times_ns: Vec<f64> = (0..=n_steps).map(|i| i as f64 * lag_ns).collect();
-        let final_folded = (*folded.last().unwrap_or(&0.0)).max(0.0);
-        let t_half_ns = first_crossing(&times_ns, &folded, 0.5 * final_folded);
-        KineticsReport {
-            times_ns,
-            folded_fraction: folded,
-            t_half_ns,
-            final_folded_fraction: final_folded,
+    fn on_md_finished_generational(
+        &mut self,
+        ctx: &ControllerCtx<'_>,
+        parsed: MdRunOutput,
+    ) -> Vec<Action> {
+        let uid = parsed.tag["lineage"].as_u64().expect("tagged");
+        let slot = self.slot_of(uid).expect("live lineage");
+        let lineage = &mut self.lineages[slot];
+        lineage.traj.append_continuation(&parsed.trajectory);
+        lineage.current = parsed.final_positions;
+        self.outstanding -= 1;
+        if self.outstanding == 0 {
+            self.generation_boundary(ctx)
+        } else {
+            vec![]
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming loop (no barrier: incremental MSM + continuous respawn)
+// ---------------------------------------------------------------------------
+
+impl MsmController {
+    fn spawn_streaming_start(&mut self) -> Vec<Action> {
+        let mut specs = Vec::new();
+        for s in 0..self.config.n_starts {
+            let start = self.model.unfolded_start(self.config.seed ^ (s as u64 + 1));
+            for _ in 0..self.config.sims_per_start {
+                let uid = self.next_uid;
+                self.next_uid += 1;
+                let mut traj = Trajectory::new();
+                traj.push(0.0, start.clone());
+                self.lineages.push(Lineage {
+                    uid,
+                    traj,
+                    current: start.clone(),
+                    dtraj: Vec::new(),
+                    chunks_left: Vec::new(),
+                    done: false,
+                });
+            }
+        }
+        for slot in 0..self.lineages.len() {
+            specs.push(self.start_segment(slot));
+        }
+        vec![
+            Action::Log(format!(
+                "streaming start: {} lineages from {} unfolded starts, \
+                 {} segments budgeted, {} chunk(s) per segment",
+                specs.len(),
+                self.config.n_starts,
+                self.segment_budget(),
+                self.config.chunks_per_segment,
+            )),
+            Action::Spawn(specs),
+        ]
+    }
+
+    /// Dispatch the first chunk of a fresh segment for `slot`, queueing
+    /// the remaining chunks on the lineage. Spends one unit of budget.
+    fn start_segment(&mut self, slot: usize) -> CommandSpec {
+        let chunks = self.streaming_chunks();
+        let uid = self.lineages[slot].uid;
+        let start = self.lineages[slot].current.clone();
+        self.lineages[slot].chunks_left = chunks[1..].to_vec();
+        self.segments_started += 1;
+        self.md_command(uid, start, chunks[0])
+    }
+
+    fn on_md_finished_streaming(
+        &mut self,
+        ctx: &ControllerCtx<'_>,
+        parsed: MdRunOutput,
+    ) -> Vec<Action> {
+        let uid = match parsed.tag["lineage"].as_u64() {
+            Some(u) => u,
+            None => return vec![Action::Log("mdrun output without lineage tag".into())],
+        };
+        let slot = match self.slot_of(uid) {
+            Some(s) => s,
+            // A result for a lineage closed in the meantime cannot
+            // happen under exactly-once delivery; tolerate it anyway.
+            None => return vec![Action::Log(format!("stray segment for lineage {uid}"))],
+        };
+        // New frames only: chunk frame 0 duplicates the lineage's
+        // current last frame.
+        let new_frames: Vec<Vec<Vec3>> = parsed.trajectory.frames()[1..].to_vec();
+        {
+            let lineage = &mut self.lineages[slot];
+            lineage.traj.append_continuation(&parsed.trajectory);
+            lineage.current = parsed.final_positions;
+        }
+        self.scan_frames(ctx, &new_frames);
+        if let Some(stream) = &mut self.stream {
+            let assigned = stream.observe(uid, &new_frames);
+            self.lineages[slot].dtraj.extend(assigned);
+        }
+        // More chunks of this segment? Keep the slot hot immediately.
+        if !self.lineages[slot].chunks_left.is_empty() {
+            let next = self.lineages[slot].chunks_left.remove(0);
+            let start = self.lineages[slot].current.clone();
+            let spec = self.md_command(uid, start, next);
+            return vec![Action::Spawn(vec![spec])];
+        }
+        self.segments_done += 1;
+        self.segment_end(ctx, slot)
+    }
+
+    /// A lineage finished (or irrecoverably lost) a whole segment:
+    /// bootstrap/report as due, then decide this lineage's fate — the
+    /// streaming replacement for the generation barrier.
+    fn segment_end(&mut self, ctx: &ControllerCtx<'_>, slot: usize) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let n_live = self.n_live() as u64;
+        if self.stream.is_none() {
+            if self.segments_done >= n_live {
+                self.bootstrap(ctx, &mut actions);
+            } else {
+                // First round still filling in: sampling decisions need
+                // a model, so extend unconditionally.
+                if self.segments_started < self.segment_budget() && !self.halt {
+                    let spec = self.start_segment(slot);
+                    actions.push(Action::Spawn(vec![spec]));
+                } else {
+                    self.lineages[slot].done = true;
+                    actions.extend(self.maybe_finish(ctx));
+                }
+                return actions;
+            }
+        }
+        // Report row + convergence check at generation-equivalent
+        // cadence: every n_live completed segments.
+        if self.segments_done % n_live == 0 {
+            self.streaming_report_row(ctx, &mut actions);
+        }
+        actions.extend(self.streaming_decision(ctx, slot));
+        self.maybe_spawn_rebuild(&mut actions);
+        actions
+    }
+
+    /// Found the incremental estimator on an inline k-centers build over
+    /// the first round of segments.
+    fn bootstrap(&mut self, ctx: &ControllerCtx<'_>, actions: &mut Vec<Action>) {
+        let pooled: Vec<Vec<Vec3>> = self
+            .lineages
+            .iter()
+            .flat_map(|l| l.traj.frames().iter().cloned())
+            .collect();
+        let span = ctx.telemetry.map(|t| t.journal().span("msm_bootstrap"));
+        let (clustering, elapsed_ns) = copernicus_telemetry::timed(|| {
+            msm::cluster::k_centers(&pooled, self.config.n_clusters, 0, |a, b| rmsd(a, b))
+        });
+        drop(span);
+        let centers: Vec<Vec<Vec3>> = clustering
+            .centers
+            .iter()
+            .map(|&i| pooled[i].clone())
+            .collect();
+        let radius = clustering.max_radius();
+        let mut dtrajs: BTreeMap<u64, Vec<usize>> = BTreeMap::new();
+        let mut offset = 0usize;
+        for l in &mut self.lineages {
+            let n = l.traj.len();
+            l.dtraj = clustering.assignment[offset..offset + n].to_vec();
+            offset += n;
+            dtrajs.insert(l.uid, l.dtraj.clone());
+        }
+        let stream_config = StreamingConfig {
+            // Headroom above the founding cluster count: novel frames
+            // mint new microstates until the next background rebuild.
+            max_states: self.config.n_clusters * 2,
+            lag_frames: self.config.lag_frames,
+            ..StreamingConfig::default()
+        };
+        let stream = StreamingMsm::from_parts(stream_config, centers, radius, &dtrajs);
+        if let Some(t) = ctx.telemetry {
+            t.registry()
+                .histogram(names::CLUSTERING_SECS, Labels::new(), buckets::SECONDS)
+                .record(elapsed_ns as f64 / 1e9);
+            t.registry()
+                .gauge(names::MSM_STATES, Labels::new())
+                .set(stream.n_states() as f64);
+        }
+        actions.push(Action::Log(format!(
+            "stream bootstrap: {} states over {} frames (radius {:.2} Å)",
+            stream.n_states(),
+            pooled.len(),
+            stream.radius(),
+        )));
+        self.stream = Some(stream);
+    }
+
+    /// Estimation-only report row from the incremental counts — no
+    /// reclustering, so this is cheap enough to run at row cadence.
+    fn streaming_report_row(&mut self, ctx: &ControllerCtx<'_>, actions: &mut Vec<Action>) {
+        let stream = match &self.stream {
+            Some(s) => s,
+            None => return,
+        };
+        let msm = MarkovStateModel::from_streamed(
+            stream.centers().to_vec(),
+            self.all_dtrajs(),
+            stream.counts().clone(),
+            self.msm_config(),
+        );
+        let (predicted_rmsd, pop, folded_pop) = self.msm_metrics(&msm);
+        let (folded_pop_stderr, converged) = self.folded_stderr(&msm, folded_pop);
+        let report = GenerationReport {
+            generation: self.reports.len(),
+            n_trajectories_total: self.terminated.len() + self.lineages.len(),
+            n_frames_total: self.terminated.iter().map(|c| c.traj.len()).sum::<usize>()
+                + self.lineages.iter().map(|l| l.traj.len()).sum::<usize>(),
+            n_states: msm.n_states(),
+            n_active_states: msm.n_active(),
+            n_respawned: self.respawns_since_report,
+            min_rmsd_to_native: self.min_rmsd,
+            predicted_native_rmsd: predicted_rmsd,
+            predicted_native_population: pop,
+            folded_equilibrium_population: folded_pop,
+            folded_pop_stderr,
+            folded_observed: self.min_rmsd <= self.config.folded_rmsd,
+        };
+        self.respawns_since_report = 0;
+        actions.push(Action::Log(format!(
+            "stream row {}: {} states ({} active), {} segments done, min RMSD {:.2} Å",
+            report.generation,
+            report.n_states,
+            report.n_active_states,
+            self.segments_done,
+            report.min_rmsd_to_native,
+        )));
+        if let Some(t) = ctx.telemetry {
+            t.journal().record(Event::GenerationClustered {
+                generation: report.generation as u64,
+                n_states: report.n_states as u64,
+                n_trajectories: report.n_trajectories_total as u64,
+                n_respawned: report.n_respawned as u64,
+            });
+            t.registry()
+                .gauge(names::MSM_STATES, Labels::new())
+                .set(report.n_states as f64);
+        }
+        self.reports.push(report);
+        if converged && !self.halt {
+            self.halt = true;
+            actions.push(Action::Log(
+                "folded population converged below threshold: draining ensemble".into(),
+            ));
+        }
+    }
+
+    /// Extend or terminate+respawn `slot`, immediately — the continuous
+    /// counterpart of the generational adaptive step. Termination ranks
+    /// the lineage's current-state weight against the live ensemble.
+    fn streaming_decision(&mut self, ctx: &ControllerCtx<'_>, slot: usize) -> Vec<Action> {
+        if self.halt || self.segments_started >= self.segment_budget() {
+            self.lineages[slot].done = true;
+            return self.maybe_finish(ctx);
+        }
+        // Termination ranking always uses adaptive weights: "how
+        // redundant is more sampling here" is inherently an uncertainty
+        // question, even when *spawn targeting* is even-weighted.
+        let term_weights = self
+            .stream
+            .as_ref()
+            .unwrap()
+            .spawn_weights(Weighting::Adaptive);
+        let weight_of = |l: &Lineage| -> f64 {
+            l.dtraj
+                .last()
+                .and_then(|&s| term_weights.weight_of(s))
+                // Disconnected or unassigned: maximally interesting,
+                // never terminate.
+                .unwrap_or(f64::INFINITY)
+        };
+        let mine = weight_of(&self.lineages[slot]);
+        let my_uid = self.lineages[slot].uid;
+        let live: Vec<&Lineage> = self.lineages.iter().filter(|l| !l.done).collect();
+        let cutoff = (self.config.respawn_fraction * live.len() as f64).floor() as usize;
+        let rank = live
+            .iter()
+            .filter(|l| {
+                let w = weight_of(l);
+                w < mine || (w == mine && l.uid < my_uid)
+            })
+            .count();
+        drop(live);
+        let respawn = cutoff > 0 && rank < cutoff && mine.is_finite();
+
+        if !respawn {
+            let spec = self.start_segment(slot);
+            return vec![Action::Spawn(vec![spec])];
+        }
+
+        // Terminate: archive the lineage, then restart the slot from an
+        // exemplar frame of a weight-sampled under-explored state.
+        let effective_weighting = if self.reports.len() < self.config.even_until_generation {
+            Weighting::Even
+        } else {
+            self.config.weighting
+        };
+        let draw = self.decision_unit();
+        let stream = self.stream.as_mut().unwrap();
+        let spawn_weights = stream.spawn_weights(effective_weighting);
+        let k = weighted_pick(&spawn_weights.weights, draw);
+        let target_state = spawn_weights.active[k];
+        let start = stream.exemplar(target_state).to_vec();
+        stream.end_lineage(my_uid);
+
+        let new_uid = self.next_uid;
+        self.next_uid += 1;
+        let mut traj = Trajectory::new();
+        traj.push(0.0, start.clone());
+        let dtraj = self
+            .stream
+            .as_mut()
+            .unwrap()
+            .observe(new_uid, std::slice::from_ref(&start));
+        let old = std::mem::replace(
+            &mut self.lineages[slot],
+            Lineage {
+                uid: new_uid,
+                traj,
+                current: start,
+                dtraj,
+                chunks_left: Vec::new(),
+                done: false,
+            },
+        );
+        if let Some(archive) = &self.archive {
+            archive.lock().push(old.traj.clone());
+        }
+        self.terminated.push(ClosedLineage {
+            uid: old.uid,
+            traj: old.traj,
+            dtraj: old.dtraj,
+        });
+        self.respawns_since_report += 1;
+        let spec = self.start_segment(slot);
+        vec![
+            Action::Log(format!(
+                "lineage {my_uid} terminated (weight {mine:.3e}, rank {rank}/{cutoff}); \
+                 respawned as {new_uid} from state {target_state}"
+            )),
+            Action::Spawn(vec![spec]),
+        ]
+    }
+
+    /// Dispatch the periodic full recluster to the fleet when drift
+    /// warrants one. Single-flight; skipped near the end of the budget
+    /// (the result would land after the project finishes).
+    fn maybe_spawn_rebuild(&mut self, actions: &mut Vec<Action>) {
+        let stream = match &self.stream {
+            Some(s) => s,
+            None => return,
+        };
+        if self.rebuild.is_some() || self.halt || !stream.rebuild_due() {
+            return;
+        }
+        if self.segment_budget().saturating_sub(self.segments_started) < self.n_live() as u64 {
+            return;
+        }
+        let mut frozen = Vec::new();
+        let mut trajs = Vec::new();
+        for c in &self.terminated {
+            frozen.push((c.uid, c.traj.len()));
+            trajs.push(c.traj.frames().to_vec());
+        }
+        for l in &self.lineages {
+            frozen.push((l.uid, l.traj.len()));
+            trajs.push(l.traj.frames().to_vec());
+        }
+        let epoch = stream.epoch();
+        let drift = stream.drift();
+        let spec = MsmBuildSpec {
+            trajs,
+            n_clusters: self.config.n_clusters,
+            tag: json!({ "kind": "msm-build", "epoch": epoch }),
+        };
+        self.rebuild = Some(RebuildTicket { epoch, frozen });
+        actions.push(Action::Log(format!(
+            "dispatching background recluster (epoch {epoch}, drift {drift:.2})"
+        )));
+        actions.push(Action::Spawn(vec![CommandSpec::new(
+            MsmBuildExecutor::COMMAND_TYPE,
+            Resources::new(self.config.cores_per_sim, 64),
+            spec.to_value(),
+        )]));
+    }
+
+    /// A background recluster landed: swap it in atomically, replay the
+    /// frames that arrived after the freeze, and re-derive every
+    /// lineage's state sequence under the new partitioning.
+    fn on_msm_build(&mut self, ctx: &ControllerCtx<'_>, out: MsmBuildOutput) -> Vec<Action> {
+        let ticket = match self.rebuild.take() {
+            Some(t) => t,
+            None => return vec![Action::Log("stray msm-build result ignored".into())],
+        };
+        let stream = match &mut self.stream {
+            Some(s) => s,
+            None => return vec![Action::Log("msm-build result without a stream".into())],
+        };
+        if out.tag["epoch"].as_u64() != Some(stream.epoch()) || ticket.epoch != stream.epoch() {
+            return vec![Action::Log(format!(
+                "stale msm-build (epoch {:?} vs {}) ignored",
+                out.tag["epoch"].as_u64(),
+                stream.epoch()
+            ))];
+        }
+        let frozen: BTreeMap<u64, Vec<usize>> = ticket
+            .frozen
+            .iter()
+            .zip(out.dtrajs)
+            .map(|(&(uid, _len), d)| (uid, d))
+            .collect();
+        let frozen_len: BTreeMap<u64, usize> =
+            ticket.frozen.iter().map(|&(uid, len)| (uid, len)).collect();
+        stream.rebase(out.centers, out.radius, &frozen);
+        // Replay post-freeze frames (they arrived while the rebuild ran)
+        // and install the re-derived dtrajs everywhere.
+        for c in &mut self.terminated {
+            let flen = frozen_len.get(&c.uid).copied().unwrap_or(0);
+            let mut d = frozen.get(&c.uid).cloned().unwrap_or_default();
+            if c.traj.len() > flen {
+                d.extend(stream.observe(c.uid, &c.traj.frames()[flen..]));
+            }
+            stream.end_lineage(c.uid);
+            c.dtraj = d;
+        }
+        for l in &mut self.lineages {
+            let flen = frozen_len.get(&l.uid).copied().unwrap_or(0);
+            let mut d = frozen.get(&l.uid).cloned().unwrap_or_default();
+            if l.traj.len() > flen {
+                d.extend(stream.observe(l.uid, &l.traj.frames()[flen..]));
+            }
+            l.dtraj = d;
+        }
+        self.n_rebuilds += 1;
+        let epoch = stream.epoch();
+        let n_states = stream.n_states();
+        if let Some(t) = ctx.telemetry {
+            t.registry()
+                .gauge(names::MSM_STATES, Labels::new())
+                .set(n_states as f64);
+        }
+        let mut actions = vec![Action::Log(format!(
+            "rebased stream to epoch {epoch}: {n_states} states"
+        ))];
+        actions.extend(self.maybe_finish(ctx));
+        actions
+    }
+
+    /// Finish once every slot is parked and no background rebuild is in
+    /// flight (its result must not arrive at a finished project).
+    fn maybe_finish(&mut self, ctx: &ControllerCtx<'_>) -> Vec<Action> {
+        if self.rebuild.is_some() || !self.lineages.iter().all(|l| l.done) {
+            return vec![];
+        }
+        self.finish_streaming(ctx)
+    }
+
+    fn finish_streaming(&mut self, _ctx: &ControllerCtx<'_>) -> Vec<Action> {
+        if let Some(archive) = &self.archive {
+            let mut guard = archive.lock();
+            for l in &self.lineages {
+                guard.push(l.traj.clone());
+            }
+        }
+        let msm = match &self.stream {
+            Some(s) => MarkovStateModel::from_streamed(
+                s.centers().to_vec(),
+                self.all_dtrajs(),
+                s.counts().clone(),
+                self.msm_config(),
+            ),
+            // Degenerate runs (budget exhausted before bootstrap) fall
+            // back to a from-scratch build.
+            None => MarkovStateModel::build(&self.all_trajectories(), self.msm_config()),
+        };
+        if self.reports.is_empty() {
+            let (predicted_rmsd, pop, folded_pop) = self.msm_metrics(&msm);
+            let (folded_pop_stderr, _) = self.folded_stderr(&msm, folded_pop);
+            self.reports.push(GenerationReport {
+                generation: 0,
+                n_trajectories_total: self.terminated.len() + self.lineages.len(),
+                n_frames_total: self.all_trajectories().iter().map(|t| t.len()).sum(),
+                n_states: msm.n_states(),
+                n_active_states: msm.n_active(),
+                n_respawned: self.respawns_since_report,
+                min_rmsd_to_native: self.min_rmsd,
+                predicted_native_rmsd: predicted_rmsd,
+                predicted_native_population: pop,
+                folded_equilibrium_population: folded_pop,
+                folded_pop_stderr,
+                folded_observed: self.min_rmsd <= self.config.folded_rmsd,
+            });
+        }
+        let kinetics = if self.analyze_kinetics {
+            Some(self.kinetics_report(&msm))
+        } else {
+            None
+        };
+        let final_report = self.final_report(kinetics);
+        vec![
+            Action::Log(format!(
+                "streaming project done: {} segments, {} rebuilds, min RMSD {:.2} Å",
+                self.segments_done, self.n_rebuilds, self.min_rmsd,
+            )),
+            Action::FinishProject {
+                result: final_report.to_value(),
+            },
+        ]
+    }
+}
+
+/// Weight-proportional index pick from a unit draw.
+fn weighted_pick(weights: &[f64], draw: f64) -> usize {
+    assert!(!weights.is_empty());
+    let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+    if total <= 0.0 {
+        return ((draw * weights.len() as f64) as usize).min(weights.len() - 1);
+    }
+    let target = draw * total;
+    let mut acc = 0.0;
+    for (i, w) in weights.iter().enumerate() {
+        acc += w.max(0.0);
+        if target < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+// ---------------------------------------------------------------------------
+// Controller protocol: event dispatch + WAL snapshot/restore
+// ---------------------------------------------------------------------------
+
+fn lineage_to_value(l: &Lineage) -> Value {
+    json!({
+        "uid": l.uid,
+        "traj": l.traj.to_value(),
+        "current": jsonv::frame_to_value(&l.current),
+        "dtraj": jsonv::usizes_to_value(&l.dtraj),
+        "chunks_left": Value::from(l.chunks_left.clone()),
+        "done": l.done,
+    })
+}
+
+fn lineage_from_value(v: &Value) -> Result<Lineage, String> {
+    let chunks_left = jsonv::field(v, "chunks_left")?
+        .as_array()
+        .ok_or("chunks_left is not an array")?
+        .iter()
+        .map(|x| x.as_u64().ok_or_else(|| "non-integer chunk".to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Lineage {
+        uid: jsonv::int(v, "uid")?,
+        traj: Trajectory::from_value(jsonv::field(v, "traj")?)?,
+        current: jsonv::frame_from_value(jsonv::field(v, "current")?)?,
+        dtraj: jsonv::usizes_from_value(jsonv::field(v, "dtraj")?)?,
+        chunks_left,
+        done: jsonv::boolean(v, "done")?,
+    })
+}
+
+fn closed_to_value(c: &ClosedLineage) -> Value {
+    json!({
+        "uid": c.uid,
+        "traj": c.traj.to_value(),
+        "dtraj": jsonv::usizes_to_value(&c.dtraj),
+    })
+}
+
+fn closed_from_value(v: &Value) -> Result<ClosedLineage, String> {
+    Ok(ClosedLineage {
+        uid: jsonv::int(v, "uid")?,
+        traj: Trajectory::from_value(jsonv::field(v, "traj")?)?,
+        dtraj: jsonv::usizes_from_value(jsonv::field(v, "dtraj")?)?,
+    })
+}
+
+fn ticket_to_value(t: &RebuildTicket) -> Value {
+    json!({
+        "epoch": t.epoch,
+        "frozen": Value::from(
+            t.frozen
+                .iter()
+                .map(|&(uid, len)| json!({ "uid": uid, "len": len as u64 }))
+                .collect::<Vec<_>>()
+        ),
+    })
+}
+
+fn ticket_from_value(v: &Value) -> Result<RebuildTicket, String> {
+    let frozen = jsonv::field(v, "frozen")?
+        .as_array()
+        .ok_or("frozen is not an array")?
+        .iter()
+        .map(|e| Ok((jsonv::int(e, "uid")?, jsonv::int(e, "len")? as usize)))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RebuildTicket {
+        epoch: jsonv::int(v, "epoch")?,
+        frozen,
+    })
+}
+
+/// Non-finite floats have no JSON literal; encode `inf` (the "no frame
+/// seen yet" min-RMSD) as null.
+fn finite_to_value(x: f64) -> Value {
+    if x.is_finite() {
+        Value::from(x)
+    } else {
+        Value::Null
     }
 }
 
@@ -571,31 +1616,38 @@ impl Controller for MsmController {
         "msm"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
-            ControllerEvent::ProjectStarted => self.spawn_generation_zero(),
+            ControllerEvent::ProjectStarted => match self.config.mode {
+                AdaptiveMode::Generational => self.spawn_generation_zero(),
+                AdaptiveMode::Streaming => self.spawn_streaming_start(),
+            },
             ControllerEvent::CommandFinished(output) => {
-                let parsed: MdRunOutput = match serde_json::from_value(output.data.clone()) {
+                let kind = output
+                    .data
+                    .get("tag")
+                    .and_then(|t| t.get("kind"))
+                    .and_then(|k| k.as_str());
+                if kind == Some("msm-build") {
+                    let parsed = match MsmBuildOutput::from_value(&output.data) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            return vec![Action::Log(format!(
+                                "could not parse msm-build output: {e}"
+                            ))]
+                        }
+                    };
+                    return self.on_msm_build(&ctx, parsed);
+                }
+                let parsed = match MdRunOutput::from_value(&output.data) {
                     Ok(p) => p,
                     Err(e) => {
                         return vec![Action::Log(format!("could not parse mdrun output: {e}"))]
                     }
                 };
-                let lineage_idx = parsed.tag["lineage"].as_u64().expect("tagged") as usize;
-                let lineage = &mut self.lineages[lineage_idx];
-                // Append the segment, shifting times to continue the
-                // lineage clock; the segment's first frame duplicates the
-                // lineage's current last frame.
-                let t_offset = lineage.traj.time(lineage.traj.len() - 1);
-                for (t, frame) in parsed.trajectory.iter().skip(1) {
-                    lineage.traj.push(t_offset + t, frame.to_vec());
-                }
-                lineage.current = parsed.final_positions;
-                self.outstanding -= 1;
-                if self.outstanding == 0 {
-                    self.generation_boundary()
-                } else {
-                    vec![]
+                match self.config.mode {
+                    AdaptiveMode::Generational => self.on_md_finished_generational(&ctx, parsed),
+                    AdaptiveMode::Streaming => self.on_md_finished_streaming(&ctx, parsed),
                 }
             }
             ControllerEvent::WorkerFailed { worker, requeued } => {
@@ -607,27 +1659,148 @@ impl Controller for MsmController {
                 command,
                 attempts,
                 reason,
+                tag,
             } => {
-                // The segment will never arrive; its lineage simply does
-                // not advance this generation. Account for it so the
-                // generation barrier still closes.
-                self.outstanding -= 1;
                 let mut actions = vec![Action::Log(format!(
-                    "{command} dropped after {attempts} attempts ({reason:?}); \
-                     lineage skips this generation"
+                    "{command} dropped after {attempts} attempts ({reason:?})"
                 ))];
-                if self.outstanding == 0 {
-                    actions.extend(self.generation_boundary());
+                match self.config.mode {
+                    AdaptiveMode::Generational => {
+                        // The segment will never arrive; its lineage
+                        // simply does not advance this generation.
+                        // Account for it so the barrier still closes.
+                        self.outstanding -= 1;
+                        if self.outstanding == 0 {
+                            actions.extend(self.generation_boundary(&ctx));
+                        }
+                    }
+                    AdaptiveMode::Streaming => {
+                        if tag.get("kind").and_then(|k| k.as_str()) == Some("msm-build") {
+                            // The background recluster died; the stream
+                            // keeps estimating on the old partitioning
+                            // and a later segment re-triggers a rebuild.
+                            self.rebuild = None;
+                            actions.extend(self.maybe_finish(&ctx));
+                        } else if let Some(uid) = tag.get("lineage").and_then(|l| l.as_u64()) {
+                            if let Some(slot) = self.slot_of(uid) {
+                                // The chunk is gone for good: abandon the
+                                // rest of the segment and decide from the
+                                // frames that did arrive, so the slot
+                                // stays in rotation.
+                                self.lineages[slot].chunks_left.clear();
+                                self.segments_done += 1;
+                                actions.extend(self.segment_end(&ctx, slot));
+                            }
+                        }
+                    }
                 }
                 actions
             }
         }
+    }
+
+    /// Full decision state for the server's write-ahead log: config,
+    /// lineages (with trajectories and stream assignments), the
+    /// incremental estimator, and every counter. Continuously mutated
+    /// streaming state thus survives a server crash (DESIGN.md §16; the
+    /// streaming fault suite proves the round-trip).
+    fn snapshot(&self) -> Option<Value> {
+        Some(json!({
+            "config": self.config.to_value(),
+            "lineages": Value::from(
+                self.lineages.iter().map(lineage_to_value).collect::<Vec<_>>()
+            ),
+            "terminated": Value::from(
+                self.terminated.iter().map(closed_to_value).collect::<Vec<_>>()
+            ),
+            "current_generation": self.current_generation as u64,
+            "outstanding": self.outstanding as u64,
+            "next_seed": self.next_seed,
+            "next_uid": self.next_uid,
+            "decisions": self.decisions,
+            "segments_done": self.segments_done,
+            "segments_started": self.segments_started,
+            "respawns_since_report": self.respawns_since_report as u64,
+            "n_rebuilds": self.n_rebuilds as u64,
+            "halt": self.halt,
+            "stream": match &self.stream {
+                Some(s) => s.to_value(),
+                None => Value::Null,
+            },
+            "rebuild": match &self.rebuild {
+                Some(t) => ticket_to_value(t),
+                None => Value::Null,
+            },
+            "reports": Value::from(
+                self.reports.iter().map(|r| r.to_value()).collect::<Vec<_>>()
+            ),
+            "min_rmsd": finite_to_value(self.min_rmsd),
+            "first_folded_generation": match self.first_folded_generation {
+                Some(g) => Value::from(g as u64),
+                None => Value::Null,
+            },
+            "first_folded_elapsed_secs": match self.first_folded_elapsed_secs {
+                Some(x) => Value::from(x),
+                None => Value::Null,
+            },
+            "analyze_kinetics": self.analyze_kinetics,
+        }))
+    }
+
+    fn restore(&mut self, snapshot: Value) -> bool {
+        fn parse(c: &mut MsmController, v: &Value) -> Result<(), String> {
+            c.config = MsmProjectConfig::from_value(jsonv::field(v, "config")?)?;
+            c.lineages = jsonv::field(v, "lineages")?
+                .as_array()
+                .ok_or("lineages is not an array")?
+                .iter()
+                .map(lineage_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            c.terminated = jsonv::field(v, "terminated")?
+                .as_array()
+                .ok_or("terminated is not an array")?
+                .iter()
+                .map(closed_from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            c.current_generation = jsonv::int(v, "current_generation")? as usize;
+            c.outstanding = jsonv::int(v, "outstanding")? as usize;
+            c.next_seed = jsonv::int(v, "next_seed")?;
+            c.next_uid = jsonv::int(v, "next_uid")?;
+            c.decisions = jsonv::int(v, "decisions")?;
+            c.segments_done = jsonv::int(v, "segments_done")?;
+            c.segments_started = jsonv::int(v, "segments_started")?;
+            c.respawns_since_report = jsonv::int(v, "respawns_since_report")? as usize;
+            c.n_rebuilds = jsonv::int(v, "n_rebuilds")? as usize;
+            c.halt = jsonv::boolean(v, "halt")?;
+            c.stream = match jsonv::field(v, "stream")? {
+                Value::Null => None,
+                s => Some(StreamingMsm::from_value(s)?),
+            };
+            c.rebuild = match jsonv::field(v, "rebuild")? {
+                Value::Null => None,
+                t => Some(ticket_from_value(t)?),
+            };
+            c.reports = jsonv::field(v, "reports")?
+                .as_array()
+                .ok_or("reports is not an array")?
+                .iter()
+                .map(GenerationReport::from_value)
+                .collect::<Result<Vec<_>, _>>()?;
+            c.min_rmsd = jsonv::opt_num(v, "min_rmsd").unwrap_or(f64::INFINITY);
+            c.first_folded_generation =
+                jsonv::opt_int(v, "first_folded_generation").map(|g| g as usize);
+            c.first_folded_elapsed_secs = jsonv::opt_num(v, "first_folded_elapsed_secs");
+            c.analyze_kinetics = jsonv::boolean(v, "analyze_kinetics")?;
+            Ok(())
+        }
+        parse(self, &snapshot).is_ok()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use copernicus_telemetry::Telemetry;
 
     fn tiny_config() -> MsmProjectConfig {
         MsmProjectConfig {
@@ -641,25 +1814,41 @@ mod tests {
             generations: 3,
             respawn_fraction: 0.5,
             seed: 3,
+            mode: AdaptiveMode::Generational,
             ..MsmProjectConfig::default()
         }
     }
 
-    fn run_inline(mut controller: MsmController) -> MsmProjectReport {
-        use crate::command::{Command, CommandOutput};
-        use crate::executor::{CommandExecutor, ExecContext, MdRunExecutor};
-        use crate::ids::{CommandId, ProjectId, WorkerId};
+    fn streaming_config() -> MsmProjectConfig {
+        MsmProjectConfig {
+            mode: AdaptiveMode::Streaming,
+            ..tiny_config()
+        }
+    }
 
-        let model = controller.model.clone();
-        let exec = MdRunExecutor::new(model);
+    /// Drive a controller to completion against inline executors,
+    /// returning the final report and per-command-type execution counts.
+    fn run_inline_full(
+        mut controller: MsmController,
+        telemetry: Option<Telemetry>,
+    ) -> (MsmProjectReport, BTreeMap<String, usize>) {
+        use crate::command::{Command, CommandOutput};
+        use crate::executor::{CommandExecutor, ExecContext, MdRunExecutor, MsmBuildExecutor};
+        use crate::ids::{CommandId, ProjectId, WorkerId};
+        use std::time::Instant;
+
+        let md = MdRunExecutor::new(controller.model());
+        let msm_build = MsmBuildExecutor;
+        let started = Instant::now();
         let mut pending: Vec<Command> = Vec::new();
         let mut next_id = 0u64;
-        let mut finish: Option<serde_json::Value> = None;
+        let mut finish: Option<Value> = None;
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
 
         let apply = |actions: Vec<Action>,
                      pending: &mut Vec<Command>,
                      next_id: &mut u64,
-                     finish: &mut Option<serde_json::Value>| {
+                     finish: &mut Option<Value>| {
             for a in actions {
                 match a {
                     Action::Spawn(specs) => {
@@ -673,39 +1862,62 @@ mod tests {
                 }
             }
         };
+        fn make_ctx<'a>(telemetry: &'a Option<Telemetry>, started: &Instant) -> ControllerCtx<'a> {
+            ControllerCtx {
+                project: ProjectId(0),
+                now: started.elapsed(),
+                telemetry: telemetry.as_ref(),
+                seed: 7,
+            }
+        }
 
         apply(
-            controller.on_event(ControllerEvent::ProjectStarted),
+            controller.on_event(
+                make_ctx(&telemetry, &started),
+                ControllerEvent::ProjectStarted,
+            ),
             &mut pending,
             &mut next_id,
             &mut finish,
         );
         while finish.is_none() {
             let cmd = pending.pop().expect("controller starved the queue");
-            let data = exec
-                .execute(ExecContext {
-                    command: &cmd,
-                    worker: WorkerId(0),
-                    shared_fs: None,
-                    telemetry: None,
-                })
-                .expect("execution succeeds");
+            *counts.entry(cmd.command_type.clone()).or_insert(0) += 1;
+            let exec_ctx = ExecContext {
+                command: &cmd,
+                worker: WorkerId(0),
+                shared_fs: None,
+                telemetry: None,
+            };
+            let data = match cmd.command_type.as_str() {
+                "mdrun" => md.execute(exec_ctx),
+                "msm-build" => msm_build.execute(exec_ctx),
+                other => panic!("unexpected command type {other}"),
+            }
+            .expect("execution succeeds");
             let output = CommandOutput::new(&cmd, WorkerId(0), data, 0.0);
             apply(
-                controller.on_event(ControllerEvent::CommandFinished(&output)),
+                controller.on_event(
+                    make_ctx(&telemetry, &started),
+                    ControllerEvent::CommandFinished(&output),
+                ),
                 &mut pending,
                 &mut next_id,
                 &mut finish,
             );
         }
-        serde_json::from_value(finish.unwrap()).expect("report parses")
+        let report = MsmProjectReport::from_value(&finish.unwrap()).expect("report parses");
+        (report, counts)
+    }
+
+    fn run_inline(controller: MsmController) -> MsmProjectReport {
+        run_inline_full(controller, None).0
     }
 
     #[test]
     fn generation_zero_spawns_full_ensemble() {
-        let model = Arc::new(VillinModel::hp35());
-        let mut c = MsmController::new(model, tiny_config());
-        let actions = c.on_event(ControllerEvent::ProjectStarted);
+        let mut c = MsmController::new(tiny_config());
+        let actions = c.on_event(ControllerCtx::test(), ControllerEvent::ProjectStarted);
         let spawned: usize = actions
             .iter()
             .map(|a| match a {
@@ -718,9 +1930,8 @@ mod tests {
 
     #[test]
     fn adaptive_loop_extends_and_respawns() {
-        let model = Arc::new(VillinModel::hp35());
         let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-        let controller = MsmController::new(model, tiny_config()).with_archive(archive.clone());
+        let controller = MsmController::new(tiny_config()).with_archive(archive.clone());
         let report = run_inline(controller);
         assert_eq!(report.generations.len(), 3);
         // Generation 0: 4 lineages; respawns keep the live count at 4.
@@ -748,26 +1959,24 @@ mod tests {
 
     #[test]
     fn even_and_adaptive_weighting_both_work() {
-        let model = Arc::new(VillinModel::hp35());
         for weighting in [Weighting::Even, Weighting::Adaptive] {
             let cfg = MsmProjectConfig {
                 weighting,
                 generations: 2,
                 ..tiny_config()
             };
-            let report = run_inline(MsmController::new(model.clone(), cfg));
+            let report = run_inline(MsmController::new(cfg));
             assert_eq!(report.generations.len(), 2);
         }
     }
 
     #[test]
     fn zero_respawn_fraction_is_pure_extension() {
-        let model = Arc::new(VillinModel::hp35());
         let cfg = MsmProjectConfig {
             respawn_fraction: 0.0,
             ..tiny_config()
         };
-        let report = run_inline(MsmController::new(model, cfg));
+        let report = run_inline(MsmController::new(cfg));
         // No terminations: the trajectory count stays at the ensemble
         // size throughout.
         for g in &report.generations {
@@ -780,6 +1989,7 @@ mod tests {
     fn config_totals() {
         let cfg = MsmProjectConfig::default();
         assert_eq!(cfg.n_trajectories_per_generation(), 45);
+        assert_eq!(cfg.mode, AdaptiveMode::Streaming);
         let paper = MsmProjectConfig {
             n_starts: 9,
             sims_per_start: 25,
@@ -789,19 +1999,39 @@ mod tests {
     }
 
     #[test]
+    fn config_value_roundtrip_and_defaults() {
+        let cfg = MsmProjectConfig {
+            stop_folded_pop_stderr: Some(0.25),
+            mode: AdaptiveMode::Generational,
+            chunks_per_segment: 3,
+            ..tiny_config()
+        };
+        let back = MsmProjectConfig::from_value(&cfg.to_value()).unwrap();
+        assert_eq!(back.n_starts, cfg.n_starts);
+        assert_eq!(back.mode, AdaptiveMode::Generational);
+        assert_eq!(back.chunks_per_segment, 3);
+        assert_eq!(back.stop_folded_pop_stderr, Some(0.25));
+        // Partial documents keep defaults for everything else.
+        let partial = MsmProjectConfig::from_value(&json!({ "generations": 2 })).unwrap();
+        assert_eq!(partial.generations, 2);
+        assert_eq!(partial.n_starts, 9);
+        assert_eq!(partial.mode, AdaptiveMode::Streaming);
+        assert!(MsmProjectConfig::from_value(&json!({ "mode": "bogus" })).is_err());
+    }
+
+    #[test]
     fn convergence_criterion_stops_early() {
         // Rig the folded definition so every state counts as folded: the
         // folded population is then 1.0 with ~zero bootstrap error, and
         // the §2 stop criterion must end the project at the first
         // clustering step instead of running all 5 generations.
-        let model = Arc::new(VillinModel::hp35());
         let cfg = MsmProjectConfig {
             generations: 5,
             folded_rmsd: 1e6,
             stop_folded_pop_stderr: Some(0.75),
             ..tiny_config()
         };
-        let report = run_inline(MsmController::new(model, cfg));
+        let report = run_inline(MsmController::new(cfg));
         assert_eq!(
             report.generations.len(),
             1,
@@ -814,11 +2044,10 @@ mod tests {
 
     #[test]
     fn telemetry_records_each_clustering_step() {
-        use copernicus_telemetry::matched_span_pairs;
-        let model = Arc::new(VillinModel::hp35());
+        use copernicus_telemetry::{matched_span_pairs, names, Labels};
         let t = Telemetry::new();
-        let controller = MsmController::new(model, tiny_config()).with_telemetry(t.clone());
-        let report = run_inline(controller);
+        let controller = MsmController::new(tiny_config());
+        let (report, _) = run_inline_full(controller, Some(t.clone()));
         let hist = t
             .registry()
             .find_histogram(names::CLUSTERING_SECS, &Labels::new())
@@ -837,11 +2066,232 @@ mod tests {
     #[test]
     #[should_panic(expected = "respawn_fraction")]
     fn rejects_bad_respawn_fraction() {
-        let model = Arc::new(VillinModel::hp35());
         let cfg = MsmProjectConfig {
             respawn_fraction: 1.5,
             ..tiny_config()
         };
-        let _ = MsmController::new(model, cfg);
+        let _ = MsmController::new(cfg);
+    }
+
+    // --- streaming mode ---------------------------------------------------
+
+    #[test]
+    fn streaming_loop_runs_to_completion() {
+        let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
+        let controller = MsmController::new(streaming_config()).with_archive(archive.clone());
+        let (report, counts) = run_inline_full(controller, None);
+        // One report row per generation-equivalent of segments.
+        assert_eq!(report.generations.len(), 3);
+        // Budget: generations × n_live segments, one command each.
+        assert_eq!(counts["mdrun"], 12);
+        assert!(report.min_rmsd_to_native.is_finite());
+        assert!(report.kinetics.is_some());
+        // Archive holds every terminated lineage plus the 4 live ones.
+        let total_respawned: usize = report.generations.iter().map(|g| g.n_respawned).sum();
+        assert_eq!(archive.lock().len(), 4 + total_respawned);
+        // The report's trajectory accounting agrees.
+        let last = report.generations.last().unwrap();
+        assert_eq!(last.n_trajectories_total, 4 + total_respawned);
+    }
+
+    #[test]
+    fn streaming_chunked_segments_run_more_smaller_commands() {
+        let cfg = MsmProjectConfig {
+            chunks_per_segment: 2,
+            ..streaming_config()
+        };
+        let (report, counts) = run_inline_full(MsmController::new(cfg), None);
+        // Same 12-segment budget, two mdrun commands per segment.
+        assert_eq!(counts["mdrun"], 24);
+        assert_eq!(report.generations.len(), 3);
+        // Chunking must not change the amount of sampling per segment.
+        let frames_per_seg = (5.0 * 0.8 / 0.01 / 40.0) as usize; // 10
+        let last = report.generations.last().unwrap();
+        assert_eq!(
+            last.n_frames_total,
+            12 * frames_per_seg + last.n_trajectories_total
+        );
+    }
+
+    #[test]
+    fn streaming_respawns_under_pressure() {
+        let cfg = MsmProjectConfig {
+            generations: 4,
+            ..streaming_config()
+        };
+        let (report, _) = run_inline_full(MsmController::new(cfg), None);
+        let total_respawned: usize = report.generations.iter().map(|g| g.n_respawned).sum();
+        assert!(
+            total_respawned > 0,
+            "respawn_fraction 0.5 over 12 decisions should terminate someone"
+        );
+        // Every row carries a usable model.
+        for g in &report.generations {
+            assert!(g.n_states > 0);
+            assert!(g.n_active_states > 0);
+            assert!(g.predicted_native_rmsd.is_finite());
+        }
+    }
+
+    #[test]
+    fn streaming_zero_respawn_is_pure_extension() {
+        let cfg = MsmProjectConfig {
+            respawn_fraction: 0.0,
+            ..streaming_config()
+        };
+        let (report, _) = run_inline_full(MsmController::new(cfg), None);
+        for g in &report.generations {
+            assert_eq!(g.n_respawned, 0);
+            assert_eq!(g.n_trajectories_total, 4);
+        }
+    }
+
+    #[test]
+    fn streaming_background_rebuild_triggers_on_drift() {
+        // A long run with a tiny founding model: frame-count doubling
+        // forces at least one background recluster.
+        let cfg = MsmProjectConfig {
+            generations: 6,
+            n_clusters: 5,
+            ..streaming_config()
+        };
+        let (report, counts) = run_inline_full(MsmController::new(cfg), None);
+        assert!(
+            counts.get("msm-build").copied().unwrap_or(0) >= 1,
+            "drift should have dispatched a background recluster"
+        );
+        assert!(report.n_rebuilds >= 1);
+    }
+
+    #[test]
+    fn streaming_snapshot_roundtrips() {
+        use crate::command::{Command, CommandOutput};
+        use crate::executor::{CommandExecutor, ExecContext, MdRunExecutor};
+        use crate::ids::{CommandId, ProjectId, WorkerId};
+
+        // Drive a streaming controller past bootstrap, snapshot, restore
+        // into a fresh controller, and require identical state.
+        let mut controller = MsmController::new(streaming_config());
+        let md = MdRunExecutor::new(controller.model());
+        let mut pending: Vec<Command> = Vec::new();
+        let mut next_id = 0u64;
+        let mut collect = |actions: Vec<Action>, pending: &mut Vec<Command>, next_id: &mut u64| {
+            for a in actions {
+                if let Action::Spawn(specs) = a {
+                    for s in specs {
+                        pending.push(Command::from_spec(CommandId(*next_id), ProjectId(0), s));
+                        *next_id += 1;
+                    }
+                }
+            }
+        };
+        let actions = controller.on_event(ControllerCtx::test(), ControllerEvent::ProjectStarted);
+        collect(actions, &mut pending, &mut next_id);
+        // Finish six segments: enough to bootstrap the stream and make
+        // at least one respawn decision.
+        for _ in 0..6 {
+            let cmd = pending.pop().unwrap();
+            let data = md
+                .execute(ExecContext {
+                    command: &cmd,
+                    worker: WorkerId(0),
+                    shared_fs: None,
+                    telemetry: None,
+                })
+                .unwrap();
+            let output = CommandOutput::new(&cmd, WorkerId(0), data, 0.0);
+            let actions = controller.on_event(
+                ControllerCtx::test(),
+                ControllerEvent::CommandFinished(&output),
+            );
+            collect(actions, &mut pending, &mut next_id);
+        }
+        let snap = controller
+            .snapshot()
+            .expect("streaming controller snapshots");
+        let mut restored = MsmController::new(MsmProjectConfig::default());
+        assert!(restored.restore(snap.clone()));
+        assert_eq!(restored.snapshot().unwrap(), snap);
+        // The restored controller kept the streaming estimator.
+        assert!(restored.stream.is_some());
+        assert_eq!(
+            restored.stream.as_ref().unwrap().n_states(),
+            controller.stream.as_ref().unwrap().n_states()
+        );
+        assert_eq!(restored.segments_done, controller.segments_done);
+        // Corrupt snapshots are rejected, leaving recovery to replay.
+        let mut fresh = MsmController::new(MsmProjectConfig::default());
+        assert!(!fresh.restore(json!({ "bogus": true })));
+    }
+
+    #[test]
+    fn streaming_convergence_halts_and_drains() {
+        let cfg = MsmProjectConfig {
+            generations: 5,
+            folded_rmsd: 1e6,
+            stop_folded_pop_stderr: Some(0.75),
+            ..streaming_config()
+        };
+        let (report, counts) = run_inline_full(MsmController::new(cfg), None);
+        // Halt after the first report row: far fewer than the 20-segment
+        // budget actually runs.
+        assert!(
+            counts["mdrun"] < 20,
+            "convergence should stop the stream early (ran {})",
+            counts["mdrun"]
+        );
+        assert!(!report.generations.is_empty());
+        let g = &report.generations[0];
+        assert!(g.folded_pop_stderr.expect("stderr computed") < 0.75);
+    }
+
+    #[test]
+    fn weighted_pick_is_proportional_and_total() {
+        let w = [0.0, 2.0, 0.0, 2.0];
+        assert_eq!(weighted_pick(&w, 0.0), 1);
+        assert_eq!(weighted_pick(&w, 0.49), 1);
+        assert_eq!(weighted_pick(&w, 0.51), 3);
+        assert_eq!(weighted_pick(&w, 0.999), 3);
+        // Degenerate all-zero weights still pick a valid index.
+        let z = [0.0, 0.0];
+        assert!(weighted_pick(&z, 0.7) < 2);
+    }
+
+    #[test]
+    fn report_value_roundtrip() {
+        let report = MsmProjectReport {
+            generations: vec![GenerationReport {
+                generation: 0,
+                n_trajectories_total: 4,
+                n_frames_total: 44,
+                n_states: 10,
+                n_active_states: 8,
+                n_respawned: 2,
+                min_rmsd_to_native: 5.25,
+                predicted_native_rmsd: 6.5,
+                predicted_native_population: 0.25,
+                folded_equilibrium_population: 0.125,
+                folded_pop_stderr: None,
+                folded_observed: false,
+            }],
+            first_folded_generation: Some(1),
+            first_folded_elapsed_secs: Some(2.5),
+            min_rmsd_to_native: 3.25,
+            final_predicted_native_rmsd: 4.5,
+            n_rebuilds: 2,
+            kinetics: Some(KineticsReport {
+                times_ns: vec![0.0, 1.0],
+                folded_fraction: vec![0.0, 0.5],
+                t_half_ns: None,
+                final_folded_fraction: 0.5,
+            }),
+        };
+        let back = MsmProjectReport::from_value(&report.to_value()).unwrap();
+        assert_eq!(back.generations.len(), 1);
+        assert_eq!(back.generations[0].n_respawned, 2);
+        assert_eq!(back.first_folded_generation, Some(1));
+        assert_eq!(back.first_folded_elapsed_secs, Some(2.5));
+        assert_eq!(back.n_rebuilds, 2);
+        assert_eq!(back.kinetics.unwrap().folded_fraction, vec![0.0, 0.5]);
     }
 }

@@ -16,7 +16,7 @@
 //! interleaving of errors, worker loss, and resurrection.
 
 use crate::command::{Command, CommandOutput};
-use crate::controller::{Action, Controller, ControllerEvent, DropReason};
+use crate::controller::{Action, Controller, ControllerCtx, ControllerEvent, DropReason};
 use crate::fs::SharedFs;
 use crate::ids::{CommandId, IdGen, ProjectId, WorkerId};
 use crate::lifecycle::{self, Disposition, FaultKind, Phase, RetryPolicy, Verdict};
@@ -362,6 +362,16 @@ impl ServerMetrics {
 }
 
 /// The project server.
+/// Deterministic per-project seed for [`ControllerCtx`] (splitmix64 of
+/// the project id): stable across restarts of the same project, distinct
+/// across projects.
+fn controller_seed(project: ProjectId) -> u64 {
+    let mut z = project.0 ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 pub struct Server {
     project: ProjectId,
     config: ServerConfig,
@@ -393,6 +403,9 @@ pub struct Server {
     /// run loop returns abruptly — no shutdown broadcast, no finished
     /// flag, nothing a dying process would not have done.
     kill_switch: Option<Arc<AtomicBool>>,
+    /// Zero point of the [`ControllerCtx`] clock: every event the
+    /// controller sees is stamped relative to server construction.
+    started_at: Instant,
     finished: Option<serde_json::Value>,
     commands_completed: u64,
     commands_requeued: u64,
@@ -428,7 +441,9 @@ impl Server {
                 Err(e) => {
                     // A server that silently runs non-durably when asked
                     // to be durable is worse than a loud degradation.
-                    monitor.log(format!("wal: cannot open state dir {dir}: {e} (running without durability)"));
+                    monitor.log(format!(
+                        "wal: cannot open state dir {dir}: {e} (running without durability)"
+                    ));
                 }
             }
         }
@@ -451,6 +466,7 @@ impl Server {
             wal,
             started: false,
             kill_switch: None,
+            started_at: Instant::now(),
             finished: None,
             commands_completed: 0,
             commands_requeued: 0,
@@ -525,13 +541,13 @@ impl Server {
         self.workers_lost = state.counters.workers_lost;
         self.bytes_received = state.counters.bytes_received;
         if let Some(result) = &state.finished {
-            self.finished =
-                Some(serde_json::from_str(result).unwrap_or(serde_json::Value::Null));
+            self.finished = Some(serde_json::from_str(result).unwrap_or(serde_json::Value::Null));
         }
         if let Some(snapshot) = &state.controller {
             if let Ok(value) = serde_json::from_str(snapshot) {
                 if self.controller.restore(value) {
-                    self.monitor.log("wal: controller state restored".to_string());
+                    self.monitor
+                        .log("wal: controller state restored".to_string());
                 }
             }
         }
@@ -556,12 +572,17 @@ impl Server {
     /// journal the controller's (possibly updated) decision state so a
     /// restart restores it alongside the command ledger.
     fn notify_controller(&mut self, event: ControllerEvent<'_>) {
-        let actions = self.controller.on_event(event);
+        let ctx = ControllerCtx {
+            project: self.project,
+            now: self.started_at.elapsed(),
+            telemetry: self.monitor.telemetry(),
+            seed: controller_seed(self.project),
+        };
+        let actions = self.controller.on_event(ctx, event);
         self.apply_actions(actions);
         if self.wal.is_some() {
             if let Some(snapshot) = self.controller.snapshot() {
-                let state = serde_json::to_string(&snapshot)
-                    .unwrap_or_else(|_| "null".to_string());
+                let state = serde_json::to_string(&snapshot).unwrap_or_else(|_| "null".to_string());
                 self.wal_append(&WalRecord::ControllerState { state });
             }
         }
@@ -571,6 +592,12 @@ impl Server {
         self.kill_switch
             .as_ref()
             .is_some_and(|k| k.load(Ordering::Relaxed))
+    }
+
+    /// Direct event delivery for unit tests (bypasses the transport).
+    #[cfg(test)]
+    pub(crate) fn deliver_event(&mut self, event: ControllerEvent<'_>) {
+        self.notify_controller(event);
     }
 
     /// Drive the project to completion: fire `ProjectStarted`, then
@@ -868,10 +895,13 @@ impl Server {
                                 let root_ctx = trace.root.context();
                                 let mut queued =
                                     tracer.start_child(span_names::QUEUED, "server", &root_ctx);
-                                queued.set_attr("requeue_after", match kind {
-                                    FaultKind::Error => "error",
-                                    FaultKind::WorkerLost => "worker_lost",
-                                });
+                                queued.set_attr(
+                                    "requeue_after",
+                                    match kind {
+                                        FaultKind::Error => "error",
+                                        FaultKind::WorkerLost => "worker_lost",
+                                    },
+                                );
                                 trace.queued = Some(queued);
                             }
                         }
@@ -913,10 +943,16 @@ impl Server {
                                 requeued: None,
                             });
                         }
+                        let tag = cmd
+                            .payload
+                            .get("tag")
+                            .cloned()
+                            .unwrap_or(serde_json::Value::Null);
                         self.notify_controller(ControllerEvent::CommandDropped {
                             command,
                             attempts,
                             reason,
+                            tag,
                         });
                     }
                 }
@@ -1082,7 +1118,8 @@ impl Server {
                 // Transport-level disconnect (link evicted or closed):
                 // orphan the worker's commands now, not at the watchdog
                 // timeout.
-                self.monitor.log(format!("{worker} link dropped by transport"));
+                self.monitor
+                    .log(format!("{worker} link dropped by transport"));
                 self.declare_lost(worker);
             }
             ToServer::Heartbeat { worker } => {
@@ -1274,7 +1311,11 @@ mod tests {
         fn name(&self) -> &str {
             "noop"
         }
-        fn on_event(&mut self, _event: ControllerEvent<'_>) -> Vec<Action> {
+        fn on_event(
+            &mut self,
+            _ctx: ControllerCtx<'_>,
+            _event: ControllerEvent<'_>,
+        ) -> Vec<Action> {
             Vec::new()
         }
     }
@@ -1414,7 +1455,11 @@ mod tests {
         assert_eq!(attempt.parent_span_id, Some(root.span_id));
         assert!(spans.iter().all(|s| s.trace_id == root.trace_id));
         assert_eq!(
-            attempt.events.iter().filter(|e| e.name == "heartbeat").count(),
+            attempt
+                .events
+                .iter()
+                .filter(|e| e.name == "heartbeat")
+                .count(),
             1,
             "heartbeat marked on the live attempt span"
         );

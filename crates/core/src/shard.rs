@@ -64,7 +64,9 @@ fn shard_of(id: CommandId, mask: usize) -> usize {
 /// poisoned lock is still consistent; recover it instead of dying
 /// (same policy as `tcp::Coalesce`).
 fn lock_tolerant<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// One queued entry: the command plus its global arrival stamp, which
@@ -530,7 +532,10 @@ mod tests {
         assert_eq!(ledger.running_len(), 10);
         let mut of_w2 = ledger.commands_of(w2);
         of_w2.sort();
-        assert_eq!(of_w2, vec![CommandId(0), CommandId(3), CommandId(6), CommandId(9)]);
+        assert_eq!(
+            of_w2,
+            vec![CommandId(0), CommandId(3), CommandId(6), CommandId(9)]
+        );
         assert!(!ledger.worker_is_idle(w1));
 
         let gone = ledger.stop_running(CommandId(3)).unwrap();

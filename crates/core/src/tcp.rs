@@ -596,15 +596,13 @@ pub fn serve_project(
     .with_kill_switch(kill_switch.clone());
     let server_thread = std::thread::spawn(move || server.run());
 
-    let mut upstreams: Vec<Box<dyn Upstream>> =
-        vec![Box::new(LocalUpstream::new("local", hub))];
+    let mut upstreams: Vec<Box<dyn Upstream>> = vec![Box::new(LocalUpstream::new("local", hub))];
     let link_config = PeerLinkConfig {
         hello_timeout: config.overlay.hello_timeout,
         // Coalesced heartbeats may pool for at most a quarter of the
         // heartbeat interval, keeping their added delivery delay well
         // inside the watchdog's 2x-interval slack.
-        heartbeat_flush: (heartbeat_interval / 4)
-            .min(PeerLinkConfig::default().heartbeat_flush),
+        heartbeat_flush: (heartbeat_interval / 4).min(PeerLinkConfig::default().heartbeat_flush),
         ..PeerLinkConfig::default()
     };
     for addr in &peers {
@@ -614,7 +612,10 @@ pub fn serve_project(
         };
         let link = PeerLink::dial(addr, key, &identity, link_config.clone(), stats)
             .map_err(|e| {
-                io::Error::new(io::ErrorKind::ConnectionRefused, format!("peer {addr}: {e}"))
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("peer {addr}: {e}"),
+                )
             })?
             .with_telemetry(config.telemetry.clone());
         monitor.log(format!("peer link up: {}", link.label()));

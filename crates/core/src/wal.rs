@@ -169,8 +169,7 @@ fn command_to_json(cmd: &Command) -> Json {
         .set("attempts", cmd.attempts)
         .set(
             "payload",
-            serde_json::to_string(&cmd.payload)
-                .unwrap_or_else(|_| "null".to_string()),
+            serde_json::to_string(&cmd.payload).unwrap_or_else(|_| "null".to_string()),
         );
     if let Some(cp) = &cmd.checkpoint {
         obj.set(
@@ -305,12 +304,16 @@ impl WalRecord {
                 command: command()?,
                 attempts: obj.get("attempts")?.as_u64()? as u32,
             },
-            "cancelled" => WalRecord::Cancelled { command: command()? },
+            "cancelled" => WalRecord::Cancelled {
+                command: command()?,
+            },
             "ckpt_stored" => WalRecord::CheckpointStored {
                 command: command()?,
                 data: obj.get("data")?.as_str()?.to_string(),
             },
-            "ckpt_cleared" => WalRecord::CheckpointCleared { command: command()? },
+            "ckpt_cleared" => WalRecord::CheckpointCleared {
+                command: command()?,
+            },
             "worker_lost" => WalRecord::WorkerLost {
                 worker: WorkerId(obj.get("worker")?.as_u64()?),
             },
@@ -346,7 +349,11 @@ const fn crc32_table() -> [u32; 256] {
         let mut c = i as u32;
         let mut k = 0;
         while k < 8 {
-            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
             k += 1;
         }
         table[i] = c;
@@ -480,9 +487,7 @@ impl RecoveredState {
     pub fn checkpoints(&self) -> Vec<(CommandId, serde_json::Value)> {
         self.checkpoints
             .iter()
-            .filter_map(|(id, data)| {
-                serde_json::from_str(data).ok().map(|v| (CommandId(*id), v))
-            })
+            .filter_map(|(id, data)| serde_json::from_str(data).ok().map(|v| (CommandId(*id), v)))
             .collect()
     }
 
@@ -636,9 +641,7 @@ impl RecoveredState {
                 let mut c = command_to_json(cmd);
                 match phase {
                     LivePhase::Queued => c.set("phase", "queued"),
-                    LivePhase::Running(worker) => {
-                        c.set("phase", "running").set("worker", worker.0)
-                    }
+                    LivePhase::Running(worker) => c.set("phase", "running").set("worker", worker.0),
                 };
                 c
             })
@@ -802,11 +805,7 @@ impl Wal {
 
     /// Bytes currently in the log file (compaction observability).
     pub fn log_len(&self) -> u64 {
-        self.lock()
-            .file
-            .metadata()
-            .map(|m| m.len())
-            .unwrap_or(0)
+        self.lock().file.metadata().map(|m| m.len()).unwrap_or(0)
     }
 }
 
@@ -969,9 +968,15 @@ mod tests {
     fn recovered_state_splits_queued_and_running_with_epochs() {
         let mut state = RecoveredState::default();
         state.apply(&WalRecord::Started);
-        state.apply(&WalRecord::Spawned { cmd: cmd(1, json!({"i": 1})) });
-        state.apply(&WalRecord::Spawned { cmd: cmd(2, json!({"i": 2})) });
-        state.apply(&WalRecord::Spawned { cmd: cmd(3, json!({"i": 3})) });
+        state.apply(&WalRecord::Spawned {
+            cmd: cmd(1, json!({"i": 1})),
+        });
+        state.apply(&WalRecord::Spawned {
+            cmd: cmd(2, json!({"i": 2})),
+        });
+        state.apply(&WalRecord::Spawned {
+            cmd: cmd(3, json!({"i": 3})),
+        });
         state.apply(&WalRecord::Dispatched {
             command: CommandId(2),
             worker: WorkerId(9),
@@ -1006,8 +1011,12 @@ mod tests {
     #[test]
     fn late_checkpoint_for_retired_command_is_ignored() {
         let mut state = RecoveredState::default();
-        state.apply(&WalRecord::Spawned { cmd: cmd(1, json!(null)) });
-        state.apply(&WalRecord::Cancelled { command: CommandId(1) });
+        state.apply(&WalRecord::Spawned {
+            cmd: cmd(1, json!(null)),
+        });
+        state.apply(&WalRecord::Cancelled {
+            command: CommandId(1),
+        });
         state.apply(&WalRecord::CheckpointStored {
             command: CommandId(1),
             data: "{}".to_string(),
@@ -1085,7 +1094,10 @@ mod tests {
         let dir = temp_dir("torn");
         let (wal, _) = Wal::open(&dir, FsyncMode::Always).unwrap();
         wal.append(&WalRecord::Started).unwrap();
-        wal.append(&WalRecord::Spawned { cmd: cmd(1, json!(1u32)) }).unwrap();
+        wal.append(&WalRecord::Spawned {
+            cmd: cmd(1, json!(1u32)),
+        })
+        .unwrap();
         drop(wal);
 
         let path = dir.join(WAL_FILE);
@@ -1095,7 +1107,10 @@ mod tests {
         let (wal, recovered) = Wal::open(&dir, FsyncMode::Always).unwrap();
         assert!(recovered.started);
         assert_eq!(recovered.n_live(), 0, "torn spawn must be dropped");
-        wal.append(&WalRecord::Spawned { cmd: cmd(2, json!(2u32)) }).unwrap();
+        wal.append(&WalRecord::Spawned {
+            cmd: cmd(2, json!(2u32)),
+        })
+        .unwrap();
         drop(wal);
 
         let recovered = replay_dir(&dir).unwrap();
@@ -1130,8 +1145,10 @@ mod tests {
         // Enough terminal records to trip the automatic cadence.
         for round in 0..(COMPACT_EVERY as u64 + 8) {
             let id = round + 1;
-            wal.append(&WalRecord::Spawned { cmd: cmd(id, json!({"r": id})) })
-                .unwrap();
+            wal.append(&WalRecord::Spawned {
+                cmd: cmd(id, json!({"r": id})),
+            })
+            .unwrap();
             wal.append(&WalRecord::Dispatched {
                 command: CommandId(id),
                 worker: WorkerId(1),
@@ -1145,8 +1162,10 @@ mod tests {
             .unwrap();
         }
         // One live command so the snapshot is not empty.
-        wal.append(&WalRecord::Spawned { cmd: cmd(9999, json!({"live": true})) })
-            .unwrap();
+        wal.append(&WalRecord::Spawned {
+            cmd: cmd(9999, json!({"live": true})),
+        })
+        .unwrap();
         let dump = wal.state_dump();
         let len_after_auto = wal.log_len();
         assert!(

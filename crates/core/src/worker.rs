@@ -219,8 +219,7 @@ fn worker_loop(
                     let mut exec_span = match (&config.telemetry, &cmd.trace) {
                         (Some(t), Some(ctx)) => {
                             let actor = format!("worker-{}", id.0);
-                            let mut span =
-                                t.tracer().start_child(span_names::EXEC, &actor, ctx);
+                            let mut span = t.tracer().start_child(span_names::EXEC, &actor, ctx);
                             span.set_attr("command", cmd.id.to_string());
                             span.set_attr("epoch", cmd.attempts.to_string());
                             Some(span)

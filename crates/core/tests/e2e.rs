@@ -14,6 +14,8 @@ use std::time::Duration;
 
 fn tiny_msm_config() -> MsmProjectConfig {
     MsmProjectConfig {
+        mode: AdaptiveMode::Generational,
+        chunks_per_segment: 1,
         n_starts: 2,
         sims_per_start: 3,
         segment_ns: 5.0,
@@ -42,8 +44,7 @@ fn md_registry(model: &Arc<VillinModel>) -> ExecutorRegistry {
 fn msm_project_runs_end_to_end_on_worker_pool() {
     let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller =
-        MsmController::new(model.clone(), tiny_msm_config()).with_archive(archive.clone());
+    let controller = MsmController::new(tiny_msm_config()).with_archive(archive.clone());
 
     let result = run_project(
         Box::new(controller),
@@ -62,7 +63,7 @@ fn msm_project_runs_end_to_end_on_worker_pool() {
     assert!(result.bytes_received > 0);
     assert_eq!(result.workers_lost, 0);
 
-    let report: MsmProjectReport = serde_json::from_value(result.result).unwrap();
+    let report = MsmProjectReport::from_value(&result.result).unwrap();
     assert_eq!(report.generations.len(), 2);
     assert!(report.min_rmsd_to_native.is_finite());
     assert!(report.generations[1].n_states > 1);
@@ -75,7 +76,7 @@ fn project_result_is_deterministic_across_worker_counts() {
     // reach the same scientific result.
     let model = Arc::new(VillinModel::hp35());
     let run_with = |n_workers: usize| -> MsmProjectReport {
-        let controller = MsmController::new(model.clone(), tiny_msm_config());
+        let controller = MsmController::new(tiny_msm_config());
         let result = run_project(
             Box::new(controller),
             md_registry(&model),
@@ -84,7 +85,7 @@ fn project_result_is_deterministic_across_worker_counts() {
                 ..RuntimeConfig::default()
             },
         );
-        serde_json::from_value(result.result).unwrap()
+        MsmProjectReport::from_value(&result.result).unwrap()
     };
     let a = run_with(1);
     let b = run_with(4);
@@ -118,7 +119,7 @@ fn fep_project_recovers_analytic_free_energy() {
         },
     );
     assert_eq!(result.commands_completed, 8);
-    let report: FepProjectReport = serde_json::from_value(result.result).unwrap();
+    let report = FepProjectReport::from_value(&result.result).unwrap();
     assert!(
         (report.delta_f - exact).abs() < 6.0 * report.std_err.max(0.03),
         "BAR ΔF {} vs analytic {exact} (σ {})",
@@ -142,7 +143,7 @@ impl Controller for CrashyController {
     fn name(&self) -> &str {
         "crashy"
     }
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 let mut specs = Vec::new();
@@ -162,7 +163,7 @@ impl Controller for CrashyController {
                     specs.push(CommandSpec::new(
                         "mdrun",
                         Resources::new(1, 16),
-                        serde_json::to_value(&spec).unwrap(),
+                        spec.to_value(),
                     ));
                 }
                 vec![Action::Spawn(specs)]
@@ -244,7 +245,7 @@ fn worker_crash_is_detected_and_command_resumes_from_checkpoint() {
 #[test]
 fn monitor_reports_progress_and_finishes() {
     let model = Arc::new(VillinModel::hp35());
-    let controller = MsmController::new(model.clone(), tiny_msm_config());
+    let controller = MsmController::new(tiny_msm_config());
     let running = start_project(
         Box::new(controller),
         md_registry(&model),
@@ -270,13 +271,10 @@ fn heterogeneous_workers_only_get_matching_commands() {
     // A pool where only some workers have the mdrun executable: the
     // project must still complete, with sleep-only workers idling.
     let model = Arc::new(VillinModel::hp35());
-    let controller = MsmController::new(
-        model.clone(),
-        MsmProjectConfig {
-            generations: 1,
-            ..tiny_msm_config()
-        },
-    );
+    let controller = MsmController::new(MsmProjectConfig {
+        generations: 1,
+        ..tiny_msm_config()
+    });
 
     let (hub, server_transport) = copernicus_core::transport::channel();
     let shared_fs = SharedFs::new();

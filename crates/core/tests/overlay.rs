@@ -69,7 +69,7 @@ impl Controller for Gather {
         "overlay-gather"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 vec![Action::Spawn(std::mem::take(&mut self.specs))]
@@ -96,7 +96,7 @@ impl Controller for Idle {
         "overlay-idle"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => vec![Action::FinishProject {
                 result: json!("idle"),
@@ -517,7 +517,7 @@ impl Controller for StallController {
         self.label
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 vec![Action::Spawn(specs("sleep", self.n, 5))]

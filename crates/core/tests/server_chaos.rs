@@ -110,7 +110,7 @@ impl Controller for Gather {
         "durable-gather"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 vec![Action::Spawn(std::mem::take(&mut self.specs))]
@@ -493,7 +493,10 @@ fn surviving_worker_reannounce_unsticks_recovered_commands() {
     let result = r2.server_thread.join().unwrap();
     assert_eq!(result.result, json!("accounted"));
     assert_eq!(result.commands_completed, 2);
-    assert_eq!(result.commands_requeued, 1, "X re-queued by the re-announce");
+    assert_eq!(
+        result.commands_requeued, 1,
+        "X re-queued by the re-announce"
+    );
     assert_eq!(
         result.workers_lost, 0,
         "the worker was never lost: the announce, not the watchdog, reconciled"
@@ -632,8 +635,7 @@ fn chaos_survives_repeated_server_kills_with_exactly_once_ledger() {
     drop(replayed.hub);
     assert_eq!(replay_result.result, result.result);
     assert_eq!(
-        replay_result.commands_completed,
-        result.commands_completed,
+        replay_result.commands_completed, result.commands_completed,
         "a post-completion restart must not re-run anything"
     );
 
@@ -807,7 +809,7 @@ impl Controller for Idle {
         "chaos-idle"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => vec![Action::FinishProject {
                 result: json!("idle"),
@@ -904,8 +906,9 @@ fn sigkill_mid_run_with_workers_and_peer_completes_after_restart() {
         registry.clone(),
     )
     .expect("delegate workers must connect");
-    let direct_workers = connect_workers(&owner_addr, key, 2, tcp_worker_config(), registry.clone())
-        .expect("direct workers must connect");
+    let direct_workers =
+        connect_workers(&owner_addr, key, 2, tcp_worker_config(), registry.clone())
+            .expect("direct workers must connect");
 
     // Pull the plug mid-run: some completions are in, some commands are
     // in flight across both the direct and the delegated path.

@@ -59,7 +59,7 @@ impl Controller for Gather {
         "tcp-gather"
     }
 
-    fn on_event(&mut self, event: ControllerEvent<'_>) -> Vec<Action> {
+    fn on_event(&mut self, _ctx: ControllerCtx<'_>, event: ControllerEvent<'_>) -> Vec<Action> {
         match event {
             ControllerEvent::ProjectStarted => {
                 vec![Action::Spawn(std::mem::take(&mut self.specs))]

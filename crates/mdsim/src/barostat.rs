@@ -172,13 +172,7 @@ mod tests {
         let measure = |sim: &crate::Simulation| -> f64 {
             let bx = &sim.state.sim_box;
             let w = lj_pair_virial(&sim.state.positions, bx, 1.0, 1.0, 2.5);
-            virial_pressure(
-                sim.state.n_particles(),
-                sim.state.temperature(dof),
-                w,
-                bx,
-            )
-            .unwrap()
+            virial_pressure(sim.state.n_particles(), sim.state.temperature(dof), w, bx).unwrap()
         };
         sim.run(100);
         let p_start = measure(&sim);

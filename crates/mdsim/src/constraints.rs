@@ -64,12 +64,7 @@ impl Constraints {
     /// SHAKE: correct `positions` so all constraints hold, using the
     /// pre-update geometry `reference` for the correction directions.
     /// Returns the number of sweeps used.
-    pub fn shake(
-        &self,
-        reference: &[Vec3],
-        positions: &mut [Vec3],
-        inv_mass: &[f64],
-    ) -> usize {
+    pub fn shake(&self, reference: &[Vec3], positions: &mut [Vec3], inv_mass: &[f64]) -> usize {
         for sweep in 0..self.max_iterations {
             let mut converged = true;
             for &(i, j, d) in &self.bonds {
@@ -102,12 +97,7 @@ impl Constraints {
 
     /// RATTLE velocity stage: remove relative velocity components along
     /// each constrained bond.
-    pub fn rattle_velocities(
-        &self,
-        positions: &[Vec3],
-        velocities: &mut [Vec3],
-        inv_mass: &[f64],
-    ) {
+    pub fn rattle_velocities(&self, positions: &[Vec3], velocities: &mut [Vec3], inv_mass: &[f64]) {
         for _ in 0..self.max_iterations {
             let mut converged = true;
             for &(i, j, d) in &self.bonds {
@@ -216,7 +206,11 @@ mod tests {
         let inv_mass = vec![1.0; 3];
         let sweeps = c.shake(&reference, &mut pos, &inv_mass);
         assert!(sweeps < c.max_iterations, "SHAKE did not converge");
-        assert!(c.max_violation(&pos) < 1e-4, "violation {}", c.max_violation(&pos));
+        assert!(
+            c.max_violation(&pos) < 1e-4,
+            "violation {}",
+            c.max_violation(&pos)
+        );
     }
 
     #[test]
@@ -299,13 +293,7 @@ mod tests {
             vec![(0, v3(0.0, 0.0, 0.0))],
             1.0,
         )));
-        let mut sim = Simulation::new(
-            state,
-            ff,
-            Box::new(ConstrainedVerlet::new(c)),
-            0.002,
-            3,
-        );
+        let mut sim = Simulation::new(state, ff, Box::new(ConstrainedVerlet::new(c)), 0.002, 3);
         let e0 = sim.total_energy();
         sim.run(5_000);
         let drift = (sim.total_energy() - e0).abs() / e0.abs().max(1e-12);

@@ -30,12 +30,32 @@ pub struct Checkpoint {
 }
 
 impl Checkpoint {
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("checkpoint serialization cannot fail")
+    /// Wire encoding (hand-rolled: checkpoints travel inside command
+    /// payloads and the shared filesystem, see `crate::jsonv`).
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "state": self.state.to_value(),
+            "step": self.step,
+            "rng_reseed": self.rng_reseed,
+        })
     }
 
-    pub fn from_json(s: &str) -> Result<Checkpoint, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_value(v: &serde_json::Value) -> Result<Checkpoint, String> {
+        Ok(Checkpoint {
+            state: State::from_value(crate::jsonv::field(v, "state")?)?,
+            step: crate::jsonv::int(v, "step")?,
+            rng_reseed: crate::jsonv::int(v, "rng_reseed")?,
+        })
+    }
+
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string()
+    }
+
+    pub fn from_json(s: &str) -> Result<Checkpoint, String> {
+        let v: serde_json::Value =
+            serde_json::from_str(s).map_err(|e| format!("checkpoint is not JSON: {e}"))?;
+        Checkpoint::from_value(&v)
     }
 }
 
@@ -156,7 +176,11 @@ impl Simulation {
         }
         let mut pot_sum = 0.0;
         for _ in 0..n_steps {
-            let step_start = if S::ENABLED { Some(Instant::now()) } else { None };
+            let step_start = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let energies =
                 self.integrator
                     .step(&mut self.state, &mut self.forcefield, self.dt, self.dof);
@@ -234,9 +258,17 @@ impl Simulation {
             self.forcefield.take_neighbor_ns();
         }
         for _ in 0..n_steps {
-            let step_start = if S::ENABLED { Some(Instant::now()) } else { None };
-            self.integrator
-                .step_force_only(&mut self.state, &mut self.forcefield, self.dt, self.dof);
+            let step_start = if S::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
+            self.integrator.step_force_only(
+                &mut self.state,
+                &mut self.forcefield,
+                self.dt,
+                self.dof,
+            );
             if S::ENABLED {
                 let step_ns = step_start
                     .map(|t| t.elapsed().as_nanos() as u64)
@@ -346,10 +378,8 @@ mod tests {
         let mut top = Topology::new();
         top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
         let state = State::new(vec![v3(1.0, 0.0, 0.0)], &top, SimBox::Open);
-        let ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
-            vec![(0, Vec3::ZERO)],
-            1.0,
-        )));
+        let ff =
+            ForceField::new().with(Box::new(HarmonicRestraint::new(vec![(0, Vec3::ZERO)], 1.0)));
         Simulation::new(state, ff, Box::new(VelocityVerlet::nve()), 0.01, 3)
     }
 
@@ -419,10 +449,8 @@ mod tests {
         let mut top = Topology::new();
         top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
         let state = State::new(vec![v3(1.0, 0.0, 0.0)], &top, SimBox::Open);
-        let ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
-            vec![(0, Vec3::ZERO)],
-            1.0,
-        )));
+        let ff =
+            ForceField::new().with(Box::new(HarmonicRestraint::new(vec![(0, Vec3::ZERO)], 1.0)));
         let mut sim = Simulation::new(
             state,
             ff,
@@ -559,6 +587,12 @@ mod tests {
         let mut top = Topology::new();
         top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
         let state = State::new(vec![Vec3::ZERO], &top, SimBox::Open);
-        let _ = Simulation::new(state, ForceField::new(), Box::new(VelocityVerlet::nve()), 0.0, 3);
+        let _ = Simulation::new(
+            state,
+            ForceField::new(),
+            Box::new(VelocityVerlet::nve()),
+            0.0,
+            3,
+        );
     }
 }

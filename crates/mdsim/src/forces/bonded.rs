@@ -206,7 +206,10 @@ mod tests {
         ];
         let mut f = vec![Vec3::ZERO; 4];
         let e = bf.compute(&pos, &SimBox::Open, &mut f);
-        assert!(e.abs() < 1e-10, "trans conformation should sit at V=0, got {e}");
+        assert!(
+            e.abs() < 1e-10,
+            "trans conformation should sit at V=0, got {e}"
+        );
     }
 
     #[test]

@@ -25,10 +25,7 @@ impl HarmonicRestraint {
 
     /// Restrain every particle to the given reference conformation.
     pub fn to_reference(reference: &[Vec3], k: f64) -> Self {
-        Self::new(
-            reference.iter().copied().enumerate().collect(),
-            k,
-        )
+        Self::new(reference.iter().copied().enumerate().collect(), k)
     }
 
     pub fn spring_constant(&self) -> f64 {
@@ -96,10 +93,8 @@ mod tests {
 
     #[test]
     fn forces_match_finite_difference() {
-        let mut r = HarmonicRestraint::new(
-            vec![(0, v3(0.1, 0.2, 0.3)), (2, v3(-1.0, 0.5, 0.0))],
-            2.5,
-        );
+        let mut r =
+            HarmonicRestraint::new(vec![(0, v3(0.1, 0.2, 0.3)), (2, v3(-1.0, 0.5, 0.0))], 2.5);
         let pos = vec![v3(1.0, 0.0, 0.0), v3(0.0, 0.0, 0.0), v3(0.3, 0.3, 0.3)];
         let err = max_force_error(&mut r, &pos, &SimBox::Open, 1e-6);
         assert!(err < 1e-6, "restraint force error: {err}");

@@ -42,6 +42,25 @@ impl Default for KernelConfig {
     }
 }
 
+impl KernelConfig {
+    /// Wire encoding (kernel overrides ride inside `mdrun` payloads).
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "threaded": self.threaded,
+            "parallel_threshold": self.parallel_threshold as u64,
+            "use_reference": self.use_reference,
+        })
+    }
+
+    pub fn from_value(v: &serde_json::Value) -> Result<KernelConfig, String> {
+        Ok(KernelConfig {
+            threaded: crate::jsonv::boolean(v, "threaded")?,
+            parallel_threshold: crate::jsonv::int(v, "parallel_threshold")? as usize,
+            use_reference: crate::jsonv::boolean(v, "use_reference")?,
+        })
+    }
+}
+
 /// Cumulative kernel counters for telemetry (pairs/sec, packed-list
 /// bytes). Counters are lifetime totals; rates are derived by the caller.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -108,10 +127,7 @@ impl Energies {
     }
 
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.terms
-            .iter()
-            .find(|(n, _)| *n == name)
-            .map(|(_, e)| *e)
+        self.terms.iter().find(|(n, _)| *n == name).map(|(_, e)| *e)
     }
 }
 
@@ -253,12 +269,7 @@ impl ForceField {
 /// Verify analytic forces against a central finite difference of the
 /// energy. Returns the largest absolute component error. Test-support
 /// code, exported so downstream crates can validate their own terms.
-pub fn max_force_error(
-    term: &mut dyn ForceTerm,
-    positions: &[Vec3],
-    bx: &SimBox,
-    h: f64,
-) -> f64 {
+pub fn max_force_error(term: &mut dyn ForceTerm, positions: &[Vec3], bx: &SimBox, h: f64) -> f64 {
     let n = positions.len();
     let mut forces = vec![Vec3::ZERO; n];
     term.compute(positions, bx, &mut forces);

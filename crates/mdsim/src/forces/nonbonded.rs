@@ -590,7 +590,15 @@ impl NonbondedForce {
                 .zip(pairs.par_chunks(chunk))
                 .for_each(|(dst, src)| {
                     for (d, &(i, j)) in dst.iter_mut().zip(src) {
-                        *d = Self::pack_pair(i, j, type_of, type_params, pair_table, cutoff, shift_lj);
+                        *d = Self::pack_pair(
+                            i,
+                            j,
+                            type_of,
+                            type_params,
+                            pair_table,
+                            cutoff,
+                            shift_lj,
+                        );
                     }
                 });
         } else {
@@ -862,7 +870,10 @@ mod tests {
         let pos = vec![v3(0.0, 0.0, 0.0), v3(r_min, 0.0, 0.0)];
         let mut f = vec![Vec3::ZERO; 2];
         let e = nb.compute(&pos, &SimBox::Open, &mut f);
-        assert!((e + 1.0).abs() < 1e-10, "E at minimum should be -ε, got {e}");
+        assert!(
+            (e + 1.0).abs() < 1e-10,
+            "E at minimum should be -ε, got {e}"
+        );
         assert!(f[0].norm() < 1e-9, "force at minimum should vanish");
     }
 

@@ -270,10 +270,7 @@ mod tests {
     use crate::vec3::v3;
 
     fn oscillator_ff(k: f64) -> ForceField {
-        ForceField::new().with(Box::new(HarmonicRestraint::new(
-            vec![(0, Vec3::ZERO)],
-            k,
-        )))
+        ForceField::new().with(Box::new(HarmonicRestraint::new(vec![(0, Vec3::ZERO)], k)))
     }
 
     fn one_particle() -> (Topology, State) {
@@ -375,8 +372,7 @@ mod tests {
             integ.step(&mut state, &mut ff, dt, 3 * n);
         }
         let t = n_steps as f64 * dt;
-        let msd: f64 =
-            state.positions.iter().map(|p| p.norm2()).sum::<f64>() / n as f64;
+        let msd: f64 = state.positions.iter().map(|p| p.norm2()).sum::<f64>() / n as f64;
         let expected = 6.0 * (1.0 / 2.0) * t; // 6 D t, D = kT/(mγ) = 0.5
         assert!(
             (msd - expected).abs() / expected < 0.15,
@@ -459,11 +455,9 @@ mod tests {
             top.add_particle(Particle::neutral(1.0, LjParams::new(1.0, 1.0)));
         }
         // Ideal gas of restrained particles (independent oscillators).
-        let anchors: Vec<(usize, Vec3)> = (0..n)
-            .map(|i| (i, v3(i as f64 * 2.0, 0.0, 0.0)))
-            .collect();
-        let mut ff =
-            ForceField::new().with(Box::new(HarmonicRestraint::new(anchors.clone(), 1.0)));
+        let anchors: Vec<(usize, Vec3)> =
+            (0..n).map(|i| (i, v3(i as f64 * 2.0, 0.0, 0.0))).collect();
+        let mut ff = ForceField::new().with(Box::new(HarmonicRestraint::new(anchors.clone(), 1.0)));
         let mut positions = vec![Vec3::ZERO; n];
         for (i, p) in positions.iter_mut().enumerate() {
             *p = anchors[i].1;

@@ -194,7 +194,10 @@ mod tests {
     fn xyz_trajectory_roundtrip() {
         let mut traj = Trajectory::new();
         traj.push(0.0, points());
-        traj.push(1.0, points().iter().map(|p| *p + v3(1.0, 0.0, 0.0)).collect());
+        traj.push(
+            1.0,
+            points().iter().map(|p| *p + v3(1.0, 0.0, 0.0)).collect(),
+        );
         let text = write_xyz_trajectory(&traj);
         let frames = read_xyz_trajectory(&text).unwrap();
         assert_eq!(frames.len(), 2);
@@ -205,8 +208,14 @@ mod tests {
     #[test]
     fn xyz_rejects_garbage() {
         assert!(read_xyz("not a number\ncomment\n").is_err());
-        assert!(read_xyz("2\ncomment\nC 1 2 3\n").is_err(), "truncated frame");
-        assert!(read_xyz("1\ncomment\nC 1 2\n").is_err(), "missing coordinate");
+        assert!(
+            read_xyz("2\ncomment\nC 1 2 3\n").is_err(),
+            "truncated frame"
+        );
+        assert!(
+            read_xyz("1\ncomment\nC 1 2\n").is_err(),
+            "missing coordinate"
+        );
         assert!(read_xyz("").is_err());
     }
 

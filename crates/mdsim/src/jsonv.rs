@@ -1,0 +1,176 @@
+//! Hand-rolled JSON codec helpers for the command payload path.
+//!
+//! Command specs, outputs and controller snapshots cross process
+//! boundaries as `serde_json::Value` documents. The codecs here build
+//! and parse those documents explicitly — using only the `Value`
+//! accessor surface — so the payload path has one canonical wire shape
+//! that is independent of derive-generated field layouts. Coordinates
+//! are packed as flat `[x, y, z]` triples (about a third the size of
+//! the derive encoding of [`Vec3`]), which matters because trajectory
+//! payloads dominate server↔worker bandwidth (Fig. 9 of the paper).
+
+use crate::vec3::Vec3;
+use serde_json::Value;
+
+/// Look up a required field, with the offending key in the error.
+pub fn field<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Required f64 field.
+pub fn num(v: &Value, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+/// Required unsigned integer field.
+pub fn int(v: &Value, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not an integer"))
+}
+
+/// Required boolean field.
+pub fn boolean(v: &Value, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a bool"))
+}
+
+/// Optional f64 field (absent or null → `None`).
+pub fn opt_num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(|f| f.as_f64())
+}
+
+/// Optional unsigned integer field (absent or null → `None`).
+pub fn opt_int(v: &Value, key: &str) -> Option<u64> {
+    v.get(key).and_then(|f| f.as_u64())
+}
+
+/// One coordinate as `[x, y, z]`.
+pub fn vec3_to_value(p: Vec3) -> Value {
+    Value::from(vec![p.x, p.y, p.z])
+}
+
+pub fn vec3_from_value(v: &Value) -> Result<Vec3, String> {
+    let a = v.as_array().ok_or("coordinate is not an array")?;
+    if a.len() != 3 {
+        return Err(format!("coordinate has {} components, want 3", a.len()));
+    }
+    let c = |i: usize| -> Result<f64, String> {
+        a[i].as_f64()
+            .ok_or_else(|| "coordinate component is not a number".to_string())
+    };
+    Ok(Vec3::new(c(0)?, c(1)?, c(2)?))
+}
+
+/// One frame as `[[x,y,z], ...]`.
+pub fn frame_to_value(frame: &[Vec3]) -> Value {
+    Value::from(frame.iter().map(|&p| vec3_to_value(p)).collect::<Vec<_>>())
+}
+
+pub fn frame_from_value(v: &Value) -> Result<Vec<Vec3>, String> {
+    v.as_array()
+        .ok_or("frame is not an array")?
+        .iter()
+        .map(vec3_from_value)
+        .collect()
+}
+
+/// A frame list as `[frame, ...]`.
+pub fn frames_to_value(frames: &[Vec<Vec3>]) -> Value {
+    Value::from(frames.iter().map(|f| frame_to_value(f)).collect::<Vec<_>>())
+}
+
+pub fn frames_from_value(v: &Value) -> Result<Vec<Vec<Vec3>>, String> {
+    v.as_array()
+        .ok_or("frames is not an array")?
+        .iter()
+        .map(frame_from_value)
+        .collect()
+}
+
+pub fn f64s_to_value(xs: &[f64]) -> Value {
+    Value::from(xs.to_vec())
+}
+
+pub fn f64s_from_value(v: &Value) -> Result<Vec<f64>, String> {
+    v.as_array()
+        .ok_or("expected an array of numbers")?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| "non-numeric element".to_string()))
+        .collect()
+}
+
+pub fn usizes_to_value(xs: &[usize]) -> Value {
+    Value::from(xs.iter().map(|&x| x as u64).collect::<Vec<_>>())
+}
+
+pub fn usizes_from_value(v: &Value) -> Result<Vec<usize>, String> {
+    v.as_array()
+        .ok_or("expected an array of integers")?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .map(|u| u as usize)
+                .ok_or_else(|| "non-integer element".to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::v3;
+    use serde_json::json;
+
+    #[test]
+    fn vec3_roundtrip() {
+        let p = v3(1.5, -2.0, 0.25);
+        let v = vec3_to_value(p);
+        assert_eq!(vec3_from_value(&v).unwrap(), p);
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let frames = vec![
+            vec![v3(0.0, 0.0, 0.0), v3(1.0, 2.0, 3.0)],
+            vec![v3(4.0, 5.0, 6.0), v3(7.0, 8.0, 9.0)],
+        ];
+        let v = frames_to_value(&frames);
+        assert_eq!(frames_from_value(&v).unwrap(), frames);
+    }
+
+    #[test]
+    fn field_errors_name_the_key() {
+        let v = json!({"a": 1});
+        assert!(field(&v, "b").unwrap_err().contains("`b`"));
+        assert!(num(&v, "a").is_ok());
+        assert!(int(&v, "a").is_ok());
+    }
+
+    #[test]
+    fn optional_fields() {
+        let v = json!({"x": 2.5, "n": Value::Null});
+        assert_eq!(opt_num(&v, "x"), Some(2.5));
+        assert_eq!(opt_num(&v, "n"), None);
+        assert_eq!(opt_num(&v, "absent"), None);
+        assert_eq!(opt_int(&v, "absent"), None);
+    }
+
+    #[test]
+    fn scalar_lists_roundtrip() {
+        let xs = vec![0.5, 1.5, 2.5];
+        assert_eq!(f64s_from_value(&f64s_to_value(&xs)).unwrap(), xs);
+        let ns = vec![3usize, 1, 4];
+        assert_eq!(usizes_from_value(&usizes_to_value(&ns)).unwrap(), ns);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(vec3_from_value(&json!([1.0, 2.0])).is_err());
+        assert!(frame_from_value(&json!("nope")).is_err());
+        assert!(f64s_from_value(&json!({"a": 1})).is_err());
+    }
+}

@@ -25,10 +25,11 @@ pub mod engine;
 pub mod forces;
 pub mod integrate;
 pub mod io;
+pub mod jsonv;
 pub mod minimize;
 pub mod model;
-pub mod observables;
 pub mod neighbor;
+pub mod observables;
 pub mod pbc;
 pub mod rng;
 pub mod state;
@@ -46,10 +47,13 @@ pub use forces::{
     NonbondedForce,
 };
 pub use integrate::{Brownian, Integrator, Langevin, VelocityVerlet};
-pub use model::{lj_fluid, LjFluidSpec, VillinModel, VillinParams};
 pub use minimize::{steepest_descent, MinimizeResult};
+pub use model::{lj_fluid, LjFluidSpec, VillinModel, VillinParams};
 pub use neighbor::NeighborList;
-pub use observables::{diffusion_coefficient, end_to_end, mean_squared_displacement, radius_of_gyration, virial_pressure};
+pub use observables::{
+    diffusion_coefficient, end_to_end, mean_squared_displacement, radius_of_gyration,
+    virial_pressure,
+};
 pub use pbc::SimBox;
 pub use rng::{rng_for_stream, rng_from_seed, SimRng};
 pub use state::State;

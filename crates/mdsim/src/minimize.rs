@@ -136,10 +136,8 @@ mod tests {
 
     #[test]
     fn already_minimal_exits_immediately() {
-        let mut ff = ForceField::new().with(Box::new(HarmonicRestraint::new(
-            vec![(0, Vec3::ZERO)],
-            1.0,
-        )));
+        let mut ff =
+            ForceField::new().with(Box::new(HarmonicRestraint::new(vec![(0, Vec3::ZERO)], 1.0)));
         let mut pos = vec![Vec3::ZERO];
         let result = steepest_descent(&mut pos, &mut ff, &SimBox::Open, 1e-6, 100);
         assert_eq!(result.iterations, 0);

@@ -69,7 +69,11 @@ pub fn self_avoiding_chain(
             // centre of mass.
             let com: Vec3 = pos.iter().copied().sum::<Vec3>() / pos.len() as f64;
             let out = (prev - com).normalized();
-            let out = if out == Vec3::ZERO { random_unit(rng) } else { out };
+            let out = if out == Vec3::ZERO {
+                random_unit(rng)
+            } else {
+                out
+            };
             pos.push(prev + out * b);
             dir = out;
         }
@@ -79,11 +83,7 @@ pub fn self_avoiding_chain(
 
 fn random_unit(rng: &mut SimRng) -> Vec3 {
     loop {
-        let v = v3(
-            sample_normal(rng),
-            sample_normal(rng),
-            sample_normal(rng),
-        );
+        let v = v3(sample_normal(rng), sample_normal(rng), sample_normal(rng));
         if v.norm2() > 1e-12 {
             return v.normalized();
         }

@@ -72,7 +72,11 @@ pub fn lj_fluid(spec: LjFluidSpec, seed: u64) -> Simulation {
 
     let mut top = Topology::new();
     for k in 0..spec.n_particles {
-        let q = if k % 2 == 0 { spec.charge } else { -spec.charge };
+        let q = if k % 2 == 0 {
+            spec.charge
+        } else {
+            -spec.charge
+        };
         top.add_particle(Particle::new(1.0, q, LjParams::new(1.0, 1.0)));
     }
     let top = Arc::new(top);

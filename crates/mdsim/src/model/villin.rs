@@ -114,10 +114,7 @@ impl VillinModel {
 
     /// Native-structure bond lengths (for chain generators).
     pub fn bond_lengths(&self) -> Vec<f64> {
-        self.native
-            .windows(2)
-            .map(|w| w[0].dist(w[1]))
-            .collect()
+        self.native.windows(2).map(|w| w[0].dist(w[1])).collect()
     }
 
     /// The structure-based force field: bonded terms + Gō non-local terms.
@@ -201,7 +198,10 @@ impl VillinModel {
 /// ~9.5 Å sides, connected by two-residue loops. For `n != 35` the helix
 /// lengths are scaled proportionally.
 fn native_structure(n: usize) -> Vec<Vec3> {
-    assert!(n >= 12, "need at least 12 residues for a three-helix bundle");
+    assert!(
+        n >= 12,
+        "need at least 12 residues for a three-helix bundle"
+    );
     // Partition residues: h1, loop(2), h2, loop(2), h3.
     let n_loops = 4;
     let h_total = n - n_loops;
@@ -302,7 +302,15 @@ fn build_topology(native: &[Vec3], params: &VillinParams) -> Topology {
         let phi = torsion_angle(native[i], native[i + 1], native[i + 2], native[i + 3]);
         // V = k (1 + cos(m φ - φ0)) is minimal where m φ - φ0 = π.
         top.add_dihedral(i, i + 1, i + 2, i + 3, phi - PI, params.dihedral_k1, 1);
-        top.add_dihedral(i, i + 1, i + 2, i + 3, 3.0 * phi - PI, params.dihedral_k3, 3);
+        top.add_dihedral(
+            i,
+            i + 1,
+            i + 2,
+            i + 3,
+            3.0 * phi - PI,
+            params.dihedral_k3,
+            3,
+        );
     }
     top
 }
@@ -351,11 +359,7 @@ mod tests {
     #[test]
     fn model_has_tertiary_contacts() {
         let model = VillinModel::hp35();
-        let long_range = model
-            .contacts
-            .iter()
-            .filter(|c| c.j - c.i > 8)
-            .count();
+        let long_range = model.contacts.iter().filter(|c| c.j - c.i > 8).count();
         assert!(
             model.n_contacts() >= 40,
             "expected a rich contact map, got {}",
@@ -376,7 +380,10 @@ mod tests {
         let max_f = forces.iter().map(|f| f.max_abs()).fold(0.0, f64::max);
         // Bonded terms vanish exactly in the native structure; only the
         // soft non-native repulsion perturbs it.
-        assert!(max_f < 2.0, "native-state residual force too large: {max_f}");
+        assert!(
+            max_f < 2.0,
+            "native-state residual force too large: {max_f}"
+        );
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! folding models, where a molecule in vacuum needs no minimum-image
 //! convention and the branch-free open-space path is measurably faster.
 
+use crate::jsonv;
 use crate::vec3::{v3, Vec3};
 use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 
 /// Simulation cell.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +37,24 @@ impl SimBox {
 
     pub fn is_periodic(&self) -> bool {
         matches!(self, SimBox::Ortho { .. })
+    }
+
+    /// Wire encoding: `{"box": "open"}` or `{"box": "ortho", "l": [...]}`.
+    pub fn to_value(&self) -> Value {
+        match self {
+            SimBox::Open => json!({"box": "open"}),
+            SimBox::Ortho { l } => json!({"box": "ortho", "l": jsonv::vec3_to_value(*l)}),
+        }
+    }
+
+    pub fn from_value(v: &Value) -> Result<SimBox, String> {
+        match jsonv::field(v, "box")?.as_str() {
+            Some("open") => Ok(SimBox::Open),
+            Some("ortho") => Ok(SimBox::Ortho {
+                l: jsonv::vec3_from_value(jsonv::field(v, "l")?)?,
+            }),
+            other => Err(format!("unknown box kind {other:?}")),
+        }
     }
 
     /// Edge lengths; `None` for an open box.

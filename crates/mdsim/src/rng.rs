@@ -88,7 +88,9 @@ mod tests {
     fn gaussian_shifts_and_scales() {
         let mut rng = rng_from_seed(5);
         let n = 100_000;
-        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng, 3.0, 2.0)).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| sample_gaussian(&mut rng, 3.0, 2.0))
+            .collect();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.03, "mean = {mean}");

@@ -1,11 +1,13 @@
 //! Dynamic simulation state: positions, velocities, forces, clock.
 
+use crate::jsonv;
 use crate::pbc::SimBox;
 use crate::rng::{sample_normal, SimRng};
 use crate::topology::Topology;
 use crate::units::{kinetic_temperature, KB};
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 
 /// Everything that changes while a simulation runs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -133,6 +135,39 @@ impl State {
     pub fn is_finite(&self) -> bool {
         self.positions.iter().all(|p| p.is_finite())
             && self.velocities.iter().all(|v| v.is_finite())
+    }
+
+    /// Wire encoding for checkpoints (coordinates as `[x,y,z]` triples).
+    pub fn to_value(&self) -> Value {
+        json!({
+            "positions": jsonv::frame_to_value(&self.positions),
+            "velocities": jsonv::frame_to_value(&self.velocities),
+            "forces": jsonv::frame_to_value(&self.forces),
+            "masses": jsonv::f64s_to_value(&self.masses),
+            "sim_box": self.sim_box.to_value(),
+            "step": self.step,
+            "time": self.time,
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<State, String> {
+        let positions = jsonv::frame_from_value(jsonv::field(v, "positions")?)?;
+        let velocities = jsonv::frame_from_value(jsonv::field(v, "velocities")?)?;
+        let forces = jsonv::frame_from_value(jsonv::field(v, "forces")?)?;
+        let masses = jsonv::f64s_from_value(jsonv::field(v, "masses")?)?;
+        let n = positions.len();
+        if velocities.len() != n || forces.len() != n || masses.len() != n {
+            return Err("state arrays disagree on particle count".to_string());
+        }
+        Ok(State {
+            positions,
+            velocities,
+            forces,
+            masses,
+            sim_box: SimBox::from_value(jsonv::field(v, "sim_box")?)?,
+            step: jsonv::int(v, "step")?,
+            time: jsonv::num(v, "time")?,
+        })
     }
 }
 

@@ -128,7 +128,13 @@ impl Topology {
         self.check_index(i);
         self.check_index(j);
         self.check_index(k);
-        self.angles.push(Angle { i, j, k, theta0, kf });
+        self.angles.push(Angle {
+            i,
+            j,
+            k,
+            theta0,
+            kf,
+        });
     }
 
     #[allow(clippy::too_many_arguments)]

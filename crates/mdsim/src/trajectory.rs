@@ -5,8 +5,10 @@
 //! 50 ns trajectory; [`Trajectory`] is the in-memory (and serialized)
 //! equivalent of that `.xtc` output.
 
+use crate::jsonv;
 use crate::vec3::Vec3;
 use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
 
 /// A sequence of coordinate frames with their simulation times.
 #[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
@@ -101,12 +103,83 @@ impl Trajectory {
         out
     }
 
+    /// Append `continuation` as the next segment of this trajectory:
+    /// its frame 0 is the restart conformation (identical to our last
+    /// frame) and is skipped, and its times — which restart near zero
+    /// on the worker — are shifted to continue our clock.
+    ///
+    /// An empty receiver adopts the continuation whole, so the same
+    /// call stitches both the first chunk of a lineage and every later
+    /// one.
+    pub fn append_continuation(&mut self, continuation: &Trajectory) {
+        if self.is_empty() {
+            self.extend(continuation);
+            return;
+        }
+        if continuation.is_empty() {
+            return;
+        }
+        let t_offset = self.time(self.len() - 1) - continuation.time(0);
+        for (t, f) in continuation.iter().skip(1) {
+            self.push(t + t_offset, f.to_vec());
+        }
+    }
+
+    /// Wire encoding: `{"times": [...], "frames": [[[x,y,z],...],...]}`.
+    pub fn to_value(&self) -> Value {
+        json!({
+            "times": jsonv::f64s_to_value(&self.times),
+            "frames": jsonv::frames_to_value(&self.frames),
+        })
+    }
+
+    pub fn from_value(v: &Value) -> Result<Trajectory, String> {
+        let times = jsonv::f64s_from_value(jsonv::field(v, "times")?)?;
+        let frames = jsonv::frames_from_value(jsonv::field(v, "frames")?)?;
+        if times.len() != frames.len() {
+            return Err(format!(
+                "trajectory has {} times but {} frames",
+                times.len(),
+                frames.len()
+            ));
+        }
+        let mut out = Trajectory::with_capacity(times.len());
+        for (t, f) in times.into_iter().zip(frames) {
+            out.push(t, f);
+        }
+        Ok(out)
+    }
+
     /// Approximate in-memory size in bytes (used for the bandwidth
     /// accounting of Fig. 9).
     pub fn data_size_bytes(&self) -> u64 {
         (self.len() * self.n_particles() * std::mem::size_of::<Vec3>()
             + self.len() * std::mem::size_of::<f64>()) as u64
     }
+}
+
+/// Split a segment of `total_steps` into `chunks` command-sized pieces,
+/// each a non-zero multiple of `record_interval` (so every chunk ends
+/// exactly on a recorded frame and the next chunk can restart from it).
+/// The remainder lands on the last chunk. Fewer chunks are returned
+/// when `total_steps` cannot fill the requested count.
+pub fn chunk_steps(total_steps: u64, chunks: usize, record_interval: u64) -> Vec<u64> {
+    assert!(record_interval > 0, "record_interval must be positive");
+    assert!(
+        total_steps % record_interval == 0,
+        "total_steps ({total_steps}) must be a multiple of record_interval ({record_interval})"
+    );
+    let n_records = total_steps / record_interval;
+    let chunks = (chunks.max(1) as u64).min(n_records.max(1));
+    let base = n_records / chunks;
+    let extra = n_records % chunks;
+    (0..chunks)
+        .map(|i| {
+            let records = base + if i < extra { 1 } else { 0 };
+            records * record_interval
+        })
+        .filter(|&s| s > 0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,6 +251,63 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trajectory = serde_json::from_str(&json).unwrap();
         assert_eq!(t, back);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let mut t = Trajectory::new();
+        t.push(0.0, frame(1.0));
+        t.push(0.5, frame(1.5));
+        let back = Trajectory::from_value(&t.to_value()).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn value_rejects_length_mismatch() {
+        let mut v = Trajectory::new().to_value();
+        v["times"] = serde_json::json!([0.0]);
+        assert!(Trajectory::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn continuation_skips_restart_frame_and_shifts_times() {
+        let mut a = Trajectory::new();
+        a.push(0.0, frame(1.0));
+        a.push(2.0, frame(2.0));
+        // The worker restarts its clock: frame 0 duplicates a's end.
+        let mut b = Trajectory::new();
+        b.push(0.0, frame(2.0));
+        b.push(1.0, frame(3.0));
+        b.push(2.0, frame(4.0));
+        a.append_continuation(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.times(), &[0.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.frame(2)[0], v3(3.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn continuation_into_empty_adopts_whole() {
+        let mut a = Trajectory::new();
+        let mut b = Trajectory::new();
+        b.push(0.0, frame(1.0));
+        b.push(1.0, frame(2.0));
+        a.append_continuation(&b);
+        assert_eq!(a.len(), 2);
+        a.append_continuation(&Trajectory::new());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn chunking_partitions_on_record_boundaries() {
+        assert_eq!(chunk_steps(400, 4, 100), vec![100, 100, 100, 100]);
+        // 10 records over 4 chunks: 3,3,2,2 records.
+        assert_eq!(chunk_steps(1000, 4, 100), vec![300, 300, 200, 200]);
+        // More chunks than records: clamps to one record per chunk.
+        assert_eq!(chunk_steps(200, 8, 100), vec![100, 100]);
+        // Single chunk is the whole segment.
+        assert_eq!(chunk_steps(400, 1, 100), vec![400]);
+        assert_eq!(chunk_steps(400, 1, 100).iter().sum::<u64>(), 400);
+        assert_eq!(chunk_steps(1000, 3, 100).iter().sum::<u64>(), 1000);
     }
 
     #[test]

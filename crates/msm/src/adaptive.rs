@@ -72,10 +72,7 @@ pub fn allocate_spawns(weights: &[f64], n_new: usize) -> Vec<usize> {
     assert!(!weights.is_empty(), "no states to allocate to");
     let total: f64 = weights.iter().sum();
     assert!(total > 0.0, "weights must not all be zero");
-    let ideal: Vec<f64> = weights
-        .iter()
-        .map(|w| w / total * n_new as f64)
-        .collect();
+    let ideal: Vec<f64> = weights.iter().map(|w| w / total * n_new as f64).collect();
     let mut alloc: Vec<usize> = ideal.iter().map(|x| x.floor() as usize).collect();
     let assigned: usize = alloc.iter().sum();
     let mut remainders: Vec<(usize, f64)> = ideal

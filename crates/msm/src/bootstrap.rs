@@ -43,8 +43,7 @@ pub fn bootstrap_over_trajectories(
         values.push(statistic(&picks));
     }
     let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
     BootstrapEstimate {
         mean,
         std_err: var.sqrt(),
@@ -146,7 +145,11 @@ mod tests {
         let est_few = bootstrap_subset_population(&few, 2, 1, &[1], 60, 5);
         let est_many = bootstrap_subset_population(&many, 2, 1, &[1], 60, 5);
         // π1 = (0.1)/(0.1+0.05) = 2/3.
-        assert!((est_many.mean - 2.0 / 3.0).abs() < 0.1, "mean {}", est_many.mean);
+        assert!(
+            (est_many.mean - 2.0 / 3.0).abs() < 0.1,
+            "mean {}",
+            est_many.mean
+        );
         assert!(
             est_many.std_err < est_few.std_err,
             "more data must shrink the error: few {} vs many {}",

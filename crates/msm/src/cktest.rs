@@ -129,11 +129,8 @@ mod tests {
     #[test]
     fn markovian_data_passes_ck() {
         let chain = two_state();
-        let dtrajs: Vec<Vec<usize>> = (0..5)
-            .map(|s| sample_chain(&chain, 20_000, s))
-            .collect();
-        let result =
-            chapman_kolmogorov_test(&dtrajs, 2, 1, &[1, 2, 4, 8], &[1]);
+        let dtrajs: Vec<Vec<usize>> = (0..5).map(|s| sample_chain(&chain, 20_000, s)).collect();
+        let result = chapman_kolmogorov_test(&dtrajs, 2, 1, &[1, 2, 4, 8], &[1]);
         assert!(
             result.max_error < 0.03,
             "CK should pass on Markovian data: {result:?}"

@@ -213,6 +213,44 @@ pub fn assign<T: Sync>(
         .collect()
 }
 
+/// Nearest center of `item` under `dist`: `(center index, distance)`.
+/// The single-item core of [`assign`], exposed for streaming use where
+/// frames arrive one segment at a time.
+pub fn nearest_center<T>(
+    item: &T,
+    center_items: &[T],
+    dist: impl Fn(&T, &T) -> f64,
+) -> (usize, f64) {
+    assert!(!center_items.is_empty(), "no centers to assign to");
+    let mut best = (0, dist(item, &center_items[0]));
+    for (c, center) in center_items.iter().enumerate().skip(1) {
+        let d = dist(item, center);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+/// One mini-batch k-means step (Sculley 2010) for conformational
+/// centers: superpose the new member onto the center, then pull the
+/// center toward it with per-center learning rate `1/count`, where
+/// `count` includes the new member. Early members move a center a lot;
+/// as the state fills in, the center converges to the state mean.
+pub fn minibatch_center_update(
+    center: &mut [mdsim::vec3::Vec3],
+    member: &[mdsim::vec3::Vec3],
+    count: f64,
+) {
+    assert_eq!(center.len(), member.len(), "particle count mismatch");
+    assert!(count >= 1.0, "count must include the new member");
+    let fitted = crate::metric::superpose(center, member);
+    let eta = 1.0 / count;
+    for (c, m) in center.iter_mut().zip(&fitted) {
+        *c = *c + (*m - *c) * eta;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,5 +366,54 @@ mod tests {
         let r10 = k_centers(&items, 10, 0, d1).max_radius();
         let r50 = k_centers(&items, 50, 0, d1).max_radius();
         assert!(r2 > r10 && r10 > r50);
+    }
+
+    #[test]
+    fn nearest_center_matches_assign() {
+        let centers = vec![0.0, 10.0];
+        for (item, want) in [(1.0, 0), (9.0, 1), (4.9, 0), (5.1, 1)] {
+            let (c, d) = nearest_center(&item, &centers, d1);
+            assert_eq!(c, want);
+            assert!((d - d1(&item, &centers[c])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minibatch_update_converges_to_member_mean() {
+        use mdsim::v3;
+        // A two-particle "conformation"; members scatter around a mean
+        // displaced from the initial center. Repeated updates with
+        // count = 1, 2, 3, … compute exactly the running mean (after
+        // superposition, which is near-identity here).
+        let mut center = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let members: Vec<Vec<mdsim::Vec3>> = (0..20)
+            .map(|i| {
+                let eps = 0.01 * ((i % 5) as f64 - 2.0);
+                vec![v3(0.5 + eps, 0.0, 0.0), v3(1.5 - eps, 0.0, 0.0)]
+            })
+            .collect();
+        for (i, m) in members.iter().enumerate() {
+            minibatch_center_update(&mut center, m, (i + 1) as f64);
+        }
+        // Mean member has particles at x = 0.5 and 1.5; superposition
+        // removes the common translation so only the relative geometry
+        // (bond length 1.0, same as the start) is preserved.
+        let bond = (center[1] - center[0]).norm();
+        assert!((bond - 1.0).abs() < 0.05, "bond drifted to {bond}");
+    }
+
+    #[test]
+    fn minibatch_large_count_barely_moves_center() {
+        use mdsim::v3;
+        let orig = vec![v3(0.0, 0.0, 0.0), v3(1.0, 0.0, 0.0)];
+        let mut center = orig.clone();
+        let member = vec![v3(0.0, 0.0, 0.0), v3(2.0, 0.0, 0.0)];
+        minibatch_center_update(&mut center, &member, 1000.0);
+        let moved: f64 = center
+            .iter()
+            .zip(&orig)
+            .map(|(a, b)| (*a - *b).norm())
+            .sum();
+        assert!(moved < 0.01, "center moved {moved} at count 1000");
     }
 }

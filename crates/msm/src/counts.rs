@@ -98,6 +98,45 @@ impl CountMatrix {
             data: self.data.iter().map(|c| c + prior).collect(),
         }
     }
+
+    /// Enlarge the state space by `n_new` states, preserving every
+    /// existing count. New rows/columns start at zero. This is the
+    /// primitive behind streaming estimation: discovering a microstate
+    /// mid-run must not discard the counts gathered so far.
+    pub fn grow(&mut self, n_new: usize) {
+        if n_new == 0 {
+            return;
+        }
+        let old = self.n;
+        let n = old + n_new;
+        let mut data = vec![0.0; n * n];
+        for i in 0..old {
+            data[i * n..i * n + old].copy_from_slice(&self.data[i * old..(i + 1) * old]);
+        }
+        self.n = n;
+        self.data = data;
+    }
+
+    /// Hand-rolled JSON encoding (`{"n": …, "data": […]}`), the format
+    /// used inside controller WAL snapshots.
+    pub fn to_value(&self) -> serde_json::Value {
+        serde_json::json!({
+            "n": self.n as u64,
+            "data": serde_json::Value::from(self.data.clone()),
+        })
+    }
+
+    pub fn from_value(v: &serde_json::Value) -> Result<CountMatrix, String> {
+        let n = mdsim::jsonv::int(v, "n")? as usize;
+        let data = mdsim::jsonv::f64s_from_value(mdsim::jsonv::field(v, "data")?)?;
+        if data.len() != n * n {
+            return Err(format!(
+                "count matrix data length {} != n² for n = {n}",
+                data.len()
+            ));
+        }
+        Ok(CountMatrix { n, data })
+    }
 }
 
 #[cfg(test)]
@@ -181,5 +220,45 @@ mod tests {
         c.add(1, 2, 3.0);
         assert_eq!(c.row(1), &[2.0, 0.0, 3.0]);
         assert_eq!(c.row_sum(1), 5.0);
+    }
+
+    #[test]
+    fn grow_preserves_counts_and_zeros_new_states() {
+        let d = vec![vec![0usize, 1, 0, 1]];
+        let mut c = CountMatrix::from_dtrajs(&d, 2, 1);
+        c.grow(2);
+        assert_eq!(c.n_states(), 4);
+        assert_eq!(c.get(0, 1), 2.0);
+        assert_eq!(c.get(1, 0), 1.0);
+        assert_eq!(c.get(0, 3), 0.0);
+        assert_eq!(c.get(3, 0), 0.0);
+        assert_eq!(c.total(), 3.0);
+        // Counting continues in the enlarged space.
+        c.add(3, 2, 1.0);
+        assert_eq!(c.get(3, 2), 1.0);
+        assert_eq!(c.total(), 4.0);
+    }
+
+    #[test]
+    fn grow_zero_is_noop() {
+        let mut c = CountMatrix::zeros(2);
+        c.add(0, 1, 1.0);
+        let before = c.clone();
+        c.grow(0);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let d = vec![vec![0usize, 1, 2, 1, 0]];
+        let c = CountMatrix::from_dtrajs(&d, 3, 1);
+        let back = CountMatrix::from_value(&c.to_value()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn value_rejects_bad_shape() {
+        let v = serde_json::json!({"n": 3u64, "data": [1.0, 2.0]});
+        assert!(CountMatrix::from_value(&v).is_err());
     }
 }

@@ -15,11 +15,7 @@ use crate::tmatrix::TransitionMatrix;
 /// `source`, from each state. Boundary conditions `q⁺ = 0` on `source`,
 /// `q⁺ = 1` on `target`; in between, `q⁺(i) = Σ_j T_ij q⁺(j)`. Solved by
 /// Gauss-Seidel iteration (diagonally dominant for lag-time chains).
-pub fn forward_committor(
-    t: &TransitionMatrix,
-    source: &[usize],
-    target: &[usize],
-) -> Vec<f64> {
+pub fn forward_committor(t: &TransitionMatrix, source: &[usize], target: &[usize]) -> Vec<f64> {
     let n = t.n_states();
     validate_sets(n, source, target);
     let mut q = vec![0.5; n];
@@ -106,11 +102,7 @@ pub fn folding_rate(
     let m = mean_first_passage_times(t, target);
     let mass: f64 = source.iter().map(|&s| stationary[s]).sum();
     assert!(mass > 0.0, "source set has no stationary mass");
-    let mfpt: f64 = source
-        .iter()
-        .map(|&s| stationary[s] * m[s])
-        .sum::<f64>()
-        / mass;
+    let mfpt: f64 = source.iter().map(|&s| stationary[s] * m[s]).sum::<f64>() / mass;
     if mfpt > 0.0 {
         1.0 / mfpt
     } else {
@@ -119,7 +111,10 @@ pub fn folding_rate(
 }
 
 fn validate_sets(n: usize, source: &[usize], target: &[usize]) {
-    assert!(!source.is_empty() && !target.is_empty(), "sets must be non-empty");
+    assert!(
+        !source.is_empty() && !target.is_empty(),
+        "sets must be non-empty"
+    );
     for &s in source.iter().chain(target) {
         assert!(s < n, "state {s} out of range");
     }
@@ -194,10 +189,7 @@ mod tests {
         // system gives m = [18, 16, 12] steps… verify via simulation-free
         // consistency: m(i) = 1 + Σ T_ij m(j).
         for i in 0..3 {
-            let rhs: f64 = 1.0
-                + (0..4)
-                    .map(|j| t.get(i, j) * m[j])
-                    .sum::<f64>();
+            let rhs: f64 = 1.0 + (0..4).map(|j| t.get(i, j) * m[j]).sum::<f64>();
             assert!((m[i] - rhs).abs() < 1e-6, "MFPT equation violated at {i}");
         }
         // Farther from the target takes longer.
@@ -236,7 +228,10 @@ mod tests {
         for w in q.windows(2) {
             assert!(w[1] >= w[0] - 1e-9);
         }
-        assert!(q[1] > 1.0 / (n - 1) as f64, "bias should raise the committor");
+        assert!(
+            q[1] > 1.0 / (n - 1) as f64,
+            "bias should raise the committor"
+        );
     }
 
     #[test]

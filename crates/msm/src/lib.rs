@@ -13,6 +13,9 @@
 //!   ([`propagate`]);
 //! - even / adaptive sampling weights for trajectory spawning
 //!   ([`adaptive`]);
+//! - incremental estimation for the streaming adaptive loop: assign-or-
+//!   mint clustering, mini-batch center refinement, lagged counts across
+//!   segment boundaries, drift-triggered rebasing ([`streaming`]);
 //! - ensemble statistics ([`ensemble`]) and the high-level
 //!   [`MarkovStateModel`] builder ([`model`]).
 
@@ -29,6 +32,7 @@ pub mod lumping;
 pub mod metric;
 pub mod model;
 pub mod propagate;
+pub mod streaming;
 pub mod tica;
 pub mod tmatrix;
 
@@ -44,5 +48,6 @@ pub use lumping::{lump_distribution, lump_transition_matrix, pcca_spectral};
 pub use metric::{centroid, rmsd, rmsd_raw, superpose};
 pub use model::{MarkovStateModel, MsmConfig};
 pub use propagate::{first_crossing, half_life, propagate_series, subset_population};
+pub use streaming::{StateWeights, StreamingConfig, StreamingMsm};
 pub use tica::Tica;
 pub use tmatrix::{implied_timescale, TransitionMatrix};

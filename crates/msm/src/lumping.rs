@@ -19,11 +19,7 @@ use crate::tmatrix::TransitionMatrix;
 ///
 /// Returns the macrostate id of every microstate, compacted to
 /// `0..n_found` with `n_found <= n_macro`.
-pub fn pcca_spectral(
-    t: &TransitionMatrix,
-    stationary: &[f64],
-    n_macro: usize,
-) -> Vec<usize> {
+pub fn pcca_spectral(t: &TransitionMatrix, stationary: &[f64], n_macro: usize) -> Vec<usize> {
     assert!(n_macro >= 1, "need at least one macrostate");
     let n = t.n_states();
     if n_macro == 1 || n <= 1 {
@@ -171,7 +167,11 @@ mod tests {
         assert!(tm.get(0, 0) > 0.9);
         assert!(tm.get(1, 1) > 0.9);
         // Inter-well rate ≈ the slow rate.
-        assert!((tm.get(0, 1) - 0.01).abs() < 5e-3, "lumped rate {}", tm.get(0, 1));
+        assert!(
+            (tm.get(0, 1) - 0.01).abs() < 5e-3,
+            "lumped rate {}",
+            tm.get(0, 1)
+        );
     }
 
     #[test]

@@ -84,10 +84,7 @@ pub fn superpose(target: &[Vec3], mobile: &[Vec3]) -> Vec<Vec3> {
     let ct = centroid(target);
     let cm = centroid(mobile);
     let r = optimal_rotation(target, mobile);
-    mobile
-        .iter()
-        .map(|&p| r.mul_vec(p - cm) + ct)
-        .collect()
+    mobile.iter().map(|&p| r.mul_vec(p - cm) + ct).collect()
 }
 
 #[cfg(test)]

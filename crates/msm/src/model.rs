@@ -73,11 +73,10 @@ impl MarkovStateModel {
 
         let mut clustering = k_centers(&frames, config.n_clusters, 0, |a, b| rmsd(a, b));
         if config.kmedoids_iters > 0 {
-            clustering =
-                k_medoids_refine(&frames, &clustering, config.kmedoids_iters, |a, b| {
-                    rmsd(a, b)
-                })
-                .0;
+            clustering = k_medoids_refine(&frames, &clustering, config.kmedoids_iters, |a, b| {
+                rmsd(a, b)
+            })
+            .0;
         }
         Self::from_clustering(trajs, &frames, clustering, config)
     }
@@ -116,6 +115,42 @@ impl MarkovStateModel {
         };
         let stationary = tmatrix.stationary(1e-12, 200_000);
 
+        MarkovStateModel {
+            config,
+            centers,
+            dtrajs,
+            counts,
+            active,
+            tmatrix,
+            stationary,
+        }
+    }
+
+    /// Build a model from pre-clustered parts — the path the *streaming*
+    /// adaptive loop uses. The incremental estimator maintains centers,
+    /// dtrajs and the count matrix as running deltas
+    /// ([`crate::streaming::StreamingMsm`]); estimation from there is
+    /// identical to the batch path, so the counts are taken as-is
+    /// instead of being recounted from the dtrajs.
+    pub fn from_streamed(
+        centers: Vec<Vec<Vec3>>,
+        dtrajs: Vec<Vec<usize>>,
+        counts: CountMatrix,
+        config: MsmConfig,
+    ) -> MarkovStateModel {
+        assert_eq!(
+            counts.n_states(),
+            centers.len(),
+            "count matrix does not match center count"
+        );
+        let active = largest_connected_set(&counts);
+        let restricted = counts.restrict(&active);
+        let tmatrix = if config.reversible {
+            TransitionMatrix::reversible_mle(&restricted, config.prior, 10_000)
+        } else {
+            TransitionMatrix::from_counts(&restricted, config.prior)
+        };
+        let stationary = tmatrix.stationary(1e-12, 200_000);
         MarkovStateModel {
             config,
             centers,

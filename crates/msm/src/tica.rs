@@ -36,10 +36,7 @@ impl Tica {
             .next()
             .expect("no frames to fit TICA on");
         assert!(
-            trajs
-                .iter()
-                .flat_map(|t| t.iter())
-                .all(|f| f.len() == d),
+            trajs.iter().flat_map(|t| t.iter()).all(|f| f.len() == d),
             "inconsistent feature dimension"
         );
         let n_components = n_components.min(d);

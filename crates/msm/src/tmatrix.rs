@@ -64,9 +64,7 @@ impl TransitionMatrix {
                 c.get(i, j) + c.get(j, i)
             })
             .collect();
-        let mut x_row: Vec<f64> = (0..n)
-            .map(|i| x[i * n..(i + 1) * n].iter().sum())
-            .collect();
+        let mut x_row: Vec<f64> = (0..n).map(|i| x[i * n..(i + 1) * n].iter().sum()).collect();
 
         for _ in 0..max_iter {
             let mut max_rel_change: f64 = 0.0;
@@ -77,8 +75,7 @@ impl TransitionMatrix {
                     if c_sym == 0.0 {
                         continue;
                     }
-                    let denom = c_row[i] / x_row[i].max(1e-300)
-                        + c_row[j] / x_row[j].max(1e-300);
+                    let denom = c_row[i] / x_row[i].max(1e-300) + c_row[j] / x_row[j].max(1e-300);
                     let v = c_sym / denom;
                     new_x[i * n + j] = v;
                     new_x[j * n + i] = v;
@@ -89,9 +86,7 @@ impl TransitionMatrix {
                 }
             }
             x = new_x;
-            x_row = (0..n)
-                .map(|i| x[i * n..(i + 1) * n].iter().sum())
-                .collect();
+            x_row = (0..n).map(|i| x[i * n..(i + 1) * n].iter().sum()).collect();
             if max_rel_change < 1e-10 {
                 break;
             }
@@ -206,11 +201,7 @@ impl TransitionMatrix {
     /// the right eigenvectors of T (recovered from the symmetrized form
     /// as `ψ = D^{-1/2} v`). Eigenvectors are the input to PCCA-style
     /// macrostate lumping.
-    pub fn eigen_reversible(
-        &self,
-        k: usize,
-        stationary: &[f64],
-    ) -> (Vec<f64>, Vec<Vec<f64>>) {
+    pub fn eigen_reversible(&self, k: usize, stationary: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
         let (vals, sym_vecs) = self.eigen_symmetrized(k, stationary);
         let sqrt_pi: Vec<f64> = stationary.iter().map(|&x| x.max(1e-300).sqrt()).collect();
         let right: Vec<Vec<f64>> = sym_vecs

@@ -45,9 +45,10 @@ fn main() {
     // controller: dispatch latencies, per-step MD timings, clustering
     // spans — everything lands in the same registry and journal.
     let telemetry = Telemetry::new();
-    let controller =
-        MsmController::new(model.clone(), config).with_telemetry(telemetry.clone());
-    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+    let controller = MsmController::new(config);
+    let registry = ExecutorRegistry::new()
+        .with(Arc::new(MdRunExecutor::new(model)))
+        .with(Arc::new(MsmBuildExecutor));
     let running = start_project(
         Box::new(controller),
         registry,
@@ -60,7 +61,7 @@ fn main() {
     let monitor = running.monitor.clone();
     let result = running.join();
 
-    let report: MsmProjectReport = serde_json::from_value(result.result).expect("report");
+    let report = MsmProjectReport::from_value(&result.result).expect("report");
     println!("gen  trajs  states  min-RMSD(Å)  blind-pred(Å)  folded-pop");
     for g in &report.generations {
         println!(

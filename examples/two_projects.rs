@@ -38,7 +38,7 @@ fn main() {
     let shared_fs = SharedFs::new();
 
     let controllers: Vec<Box<dyn copernicus::core::Controller>> = vec![
-        Box::new(MsmController::new(model.clone(), msm_cfg)),
+        Box::new(MsmController::new(msm_cfg)),
         Box::new(FepController::new(fep_cfg)),
     ];
     for (p, controller) in controllers.into_iter().enumerate() {
@@ -60,6 +60,7 @@ fn main() {
     // A pool where every worker installs both executables.
     let registry = ExecutorRegistry::new()
         .with(Arc::new(MdRunExecutor::new(model)))
+        .with(Arc::new(MsmBuildExecutor))
         .with(Arc::new(FepSampleExecutor));
     let mut wc = WorkerConfig::default();
     wc.shared_fs = Some(shared_fs);
@@ -92,15 +93,13 @@ fn main() {
             r.project, r.commands_completed, r.bytes_received, r.wall
         );
     }
-    let msm_report: MsmProjectReport =
-        serde_json::from_value(results[0].result.clone()).expect("msm report");
+    let msm_report = MsmProjectReport::from_value(&results[0].result).expect("msm report");
     println!(
         "\nMSM project: min RMSD to native {:.2} Å over {} generations",
         msm_report.min_rmsd_to_native,
         msm_report.generations.len()
     );
-    let fep_report: FepProjectReport =
-        serde_json::from_value(results[1].result.clone()).expect("fep report");
+    let fep_report = FepProjectReport::from_value(&results[1].result).expect("fep report");
     println!(
         "FEP project: ΔF = {:.4} ± {:.4} (analytic {:.4})",
         fep_report.delta_f, fep_report.std_err, fep_exact

@@ -25,6 +25,7 @@ fn main() {
     // Paper: 9 starts × 25 sims × 50 ns, 10,000 clusters. Laptop scale:
     // 9 starts × 5 sims × 50 ns, 150 clusters.
     let config = MsmProjectConfig {
+        mode: AdaptiveMode::Generational,
         n_starts: if quick { 3 } else { 9 },
         sims_per_start: if quick { 3 } else { 5 },
         segment_ns: 50.0,
@@ -46,7 +47,7 @@ fn main() {
     );
 
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller = MsmController::new(model.clone(), config).with_archive(archive.clone());
+    let controller = MsmController::new(config).with_archive(archive.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model.clone())));
     let n_workers = std::thread::available_parallelism().map_or(4, |n| n.get());
     let t0 = std::time::Instant::now();
@@ -58,10 +59,12 @@ fn main() {
             ..RuntimeConfig::default()
         },
     );
-    let report: MsmProjectReport = serde_json::from_value(result.result).expect("report");
+    let report = MsmProjectReport::from_value(&result.result).expect("report");
 
     println!("\n== per-generation progress (Fig. 2 data) ==");
-    println!("gen  trajs  frames  states(active)  min-RMSD(Å)  blind-pred(Å)  pred-pop  folded-pop");
+    println!(
+        "gen  trajs  frames  states(active)  min-RMSD(Å)  blind-pred(Å)  pred-pop  folded-pop"
+    );
     for g in &report.generations {
         println!(
             "{:>3}  {:>5}  {:>6}  {:>6} ({:>5})  {:>11.2}  {:>13.2}  {:>8.3}  {:>10.3}",

@@ -92,6 +92,7 @@ fn main() {
             run_serve(
                 config_path,
                 &opts,
+                flag_value("--controller"),
                 flag_value("--bind"),
                 flag_value("--key"),
                 flag_value("--name"),
@@ -113,6 +114,8 @@ fn main() {
             eprintln!("  demo    run a built-in 1-minute adaptive-sampling demo");
             eprintln!("  report  render a saved telemetry snapshot as text");
             eprintln!("  serve   project server on TCP: --bind ADDR --key PASSPHRASE");
+            eprintln!("          [--controller NAME]  controller plugin (default msm);");
+            eprintln!("          the config JSON is handed to the plugin registry");
             eprintln!("          [--name NAME] [--peer ADDR]...  join the server overlay:");
             eprintln!("          dial each peer and pull work for idle local workers");
             eprintln!("          [--state-dir DIR]  journal every lifecycle transition;");
@@ -221,11 +224,15 @@ fn require_flag(value: Option<String>, what: &str) -> String {
     })
 }
 
-/// `copernicus serve`: run an MSM project server on an authenticated
-/// TCP listener; workers dial in from other processes with `work`.
+/// `copernicus serve`: run a project server on an authenticated TCP
+/// listener; workers dial in from other processes with `work`. The
+/// controller is instantiated by name through the plugin registry, so
+/// every plugin this build ships is servable from the same front end.
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     config_path: Option<String>,
     opts: &Options,
+    controller_name: Option<String>,
     bind: Option<String>,
     key: Option<String>,
     name: Option<String>,
@@ -241,19 +248,21 @@ fn run_serve(
             std::process::exit(2);
         })
     });
-    let cfg: MsmProjectConfig = load_config(config_path);
-    eprintln!(
-        "MSM project server: {} trajectories/generation × {} generations",
-        cfg.n_trajectories_per_generation(),
-        cfg.generations,
-    );
+    let controller_name = controller_name.unwrap_or_else(|| "msm".to_string());
+    let config = load_config_value(config_path);
+    let plugins = copernicus::core::plugins::registry();
+    let controller = plugins
+        .instantiate(&controller_name, &config)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot start controller: {e}");
+            std::process::exit(2);
+        });
+    eprintln!("project server: controller plugin '{controller_name}'");
     // Name the tracer after the server so merged traces from several
     // overlay processes stay distinguishable.
     let process = name.clone().unwrap_or_else(|| format!("server-{bind}"));
     let telemetry = Telemetry::for_process(&process);
     let _metrics = start_metrics(opts, &telemetry);
-    let model = Arc::new(VillinModel::hp35());
-    let controller = MsmController::new(model, cfg).with_telemetry(telemetry.clone());
     let mut builder = ServerConfig::builder().bind(&bind, key);
     if let Some(name) = name {
         builder = builder.name(name);
@@ -273,7 +282,7 @@ fn run_serve(
         std::process::exit(2);
     });
     let serving = copernicus::core::serve_project(
-        Box::new(controller),
+        controller,
         RuntimeConfig {
             n_workers: 0,
             server,
@@ -329,6 +338,7 @@ fn run_work(opts: &Options, connect: Option<String>, key: Option<String>) {
     let model = Arc::new(VillinModel::hp35());
     let registry = ExecutorRegistry::new()
         .with(Arc::new(MdRunExecutor::new(model)))
+        .with(Arc::new(MsmBuildExecutor))
         .with(Arc::new(FepSampleExecutor));
     let config = WorkerConfig {
         telemetry: Some(telemetry.clone()),
@@ -381,6 +391,24 @@ fn load_config<T: serde::de::DeserializeOwned + Default>(path: Option<String>) -
             })
         }
         None => T::default(),
+    }
+}
+
+/// Load a config file as a raw JSON document for the plugin registry
+/// (no path means "all defaults": an empty object).
+fn load_config_value(path: Option<String>) -> serde_json::Value {
+    match path {
+        Some(p) => {
+            let data = std::fs::read(&p).unwrap_or_else(|e| {
+                eprintln!("cannot read config {p}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_slice(&data).unwrap_or_else(|e| {
+                eprintln!("cannot parse config {p}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => serde_json::json!({}),
     }
 }
 
@@ -443,12 +471,11 @@ fn run_msm_config(cfg: MsmProjectConfig, opts: &Options) {
     );
     let telemetry = Telemetry::new();
     let _metrics = start_metrics(opts, &telemetry);
-    let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller = MsmController::new(model.clone(), cfg)
-        .with_archive(archive.clone())
-        .with_telemetry(telemetry.clone());
-    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+    let controller = MsmController::new(cfg).with_archive(archive.clone());
+    let registry = ExecutorRegistry::new()
+        .with(Arc::new(MdRunExecutor::new(controller.model())))
+        .with(Arc::new(MsmBuildExecutor));
     let running = start_project(
         Box::new(controller),
         registry,

@@ -2,12 +2,12 @@
 //! MSM analysis, framework orchestration, free energies and the
 //! performance simulator.
 
-use copernicus::core::plugins::msm::TrajectoryArchive;
-use copernicus::core::prelude::*;
-use copernicus::core::MdRunExecutor;
 use copernicus::clustersim::{
     reference_tres1_hours, simulate_controller, MachineSpec, PerfModel, ProjectSpec,
 };
+use copernicus::core::plugins::msm::TrajectoryArchive;
+use copernicus::core::prelude::*;
+use copernicus::core::MdRunExecutor;
 use copernicus::fep::HarmonicPerturbation;
 use copernicus::mdsim::VillinModel;
 use copernicus::msm::{ensemble_statistic, rmsd, Weighting};
@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 fn mini_config(generations: usize) -> MsmProjectConfig {
     MsmProjectConfig {
+        mode: AdaptiveMode::Generational,
         n_starts: 3,
         sims_per_start: 2,
         segment_ns: 10.0,
@@ -37,8 +38,7 @@ fn adaptive_pipeline_feeds_ensemble_analysis() {
     // Fig. 5 analysis (ensemble mean RMSD vs time) on the archive.
     let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller =
-        MsmController::new(model.clone(), mini_config(2)).with_archive(archive.clone());
+    let controller = MsmController::new(mini_config(2)).with_archive(archive.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model.clone())));
     let result = run_project(
         Box::new(controller),
@@ -74,11 +74,10 @@ fn framework_report_matches_direct_library_analysis() {
     // independent recomputation from the archived trajectories.
     let model = Arc::new(VillinModel::hp35());
     let archive: TrajectoryArchive = Arc::new(Mutex::new(Vec::new()));
-    let controller =
-        MsmController::new(model.clone(), mini_config(2)).with_archive(archive.clone());
+    let controller = MsmController::new(mini_config(2)).with_archive(archive.clone());
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model.clone())));
     let result = run_project(Box::new(controller), registry, RuntimeConfig::default());
-    let report: MsmProjectReport = serde_json::from_value(result.result).unwrap();
+    let report = MsmProjectReport::from_value(&result.result).unwrap();
 
     let mut min_rmsd = f64::INFINITY;
     for t in archive.lock().iter() {
@@ -131,7 +130,7 @@ fn fep_stack_agrees_with_pure_statistics() {
     let controller = FepController::new(cfg);
     let registry = ExecutorRegistry::new().with(Arc::new(FepSampleExecutor));
     let result = run_project(Box::new(controller), registry, RuntimeConfig::default());
-    let report: FepProjectReport = serde_json::from_value(result.result).unwrap();
+    let report = FepProjectReport::from_value(&result.result).unwrap();
     assert!(
         (report.delta_f - exact).abs() < 6.0 * report.std_err.max(0.03),
         "framework BAR {} vs exact {exact}",
@@ -185,8 +184,7 @@ fn telemetry_snapshot_is_self_consistent_after_quickstart_run() {
 
     let telemetry = Telemetry::new();
     let model = Arc::new(VillinModel::hp35());
-    let controller =
-        MsmController::new(model.clone(), mini_config(2)).with_telemetry(telemetry.clone());
+    let controller = MsmController::new(mini_config(2));
     let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
     let running = start_project(
         Box::new(controller),
@@ -210,7 +208,10 @@ fn telemetry_snapshot_is_self_consistent_after_quickstart_run() {
     assert_eq!(failed, 0);
     assert_eq!(requeued, 0);
     assert_eq!(completed, result.commands_completed);
-    assert_eq!(reg.counter_total(names::BYTES_RECEIVED), result.bytes_received);
+    assert_eq!(
+        reg.counter_total(names::BYTES_RECEIVED),
+        result.bytes_received
+    );
 
     // Per-level timing histograms all saw traffic.
     let dispatch_latency = reg
@@ -281,7 +282,7 @@ fn netsim_kind_totals_match_link_accounting() {
     let heartbeat = sim.traffic_by_kind(MessageKind::Heartbeat);
     assert_eq!(output, 1_500_000);
     assert_eq!(heartbeat, 200 * 10); // due at 60, 120, …, 600
-    // Output crosses two links, heartbeats one.
+                                     // Output crosses two links, heartbeats one.
     assert_eq!(sim.link_traffic(relay, worker), output + heartbeat);
     assert_eq!(sim.link_traffic(server, relay), output);
     assert_eq!(sim.level_traffic("relay-worker"), output + heartbeat);
@@ -290,7 +291,10 @@ fn netsim_kind_totals_match_link_accounting() {
         t.registry().counter_total(names::NET_LINK_BYTES),
         2 * output + heartbeat
     );
-    assert_eq!(t.registry().counter_total(names::NET_BYTES), output + heartbeat);
+    assert_eq!(
+        t.registry().counter_total(names::NET_BYTES),
+        output + heartbeat
+    );
 }
 
 #[test]
