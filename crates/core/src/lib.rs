@@ -103,8 +103,9 @@ pub mod prelude {
     pub use crate::lifecycle::{Phase, RetryPolicy};
     pub use crate::monitor::{Monitor, ProjectStatus};
     pub use crate::plugins::{
-        AdaptiveMode, FepController, FepProjectConfig, FepProjectReport, MsmController,
-        MsmProjectConfig, MsmProjectReport,
+        AdaptiveMode, ExchangeMode, FepController, FepProjectConfig, FepProjectReport,
+        MsmController, MsmProjectConfig, MsmProjectReport, RepexController, RepexProjectConfig,
+        RepexProjectReport,
     };
     pub use crate::resources::{ExecutableSpec, Platform, Resources, WorkerDescription};
     pub use crate::runtime::{run_project, start_project, RunningProject, RuntimeConfig};

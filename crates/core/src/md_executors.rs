@@ -58,6 +58,12 @@ pub struct MdRunOutput {
     /// Steps actually executed in this attempt (checkpoint resume makes
     /// this smaller than `n_steps`).
     pub steps_executed: u64,
+    /// Potential energy of the final configuration, for controllers that
+    /// make exchange decisions from reported energies (replica exchange
+    /// sync points). `None` only for outputs recorded before this field
+    /// existed (old WAL journals).
+    #[serde(default)]
+    pub final_potential: Option<f64>,
     /// The controller tag from the command payload, echoed back.
     #[serde(default)]
     pub tag: serde_json::Value,
@@ -106,6 +112,7 @@ impl MdRunOutput {
             "trajectory": self.trajectory.to_value(),
             "final_positions": jsonv::frame_to_value(&self.final_positions),
             "steps_executed": self.steps_executed,
+            "final_potential": self.final_potential,
             "tag": self.tag.clone(),
         })
     }
@@ -115,6 +122,7 @@ impl MdRunOutput {
             trajectory: Trajectory::from_value(jsonv::field(v, "trajectory")?)?,
             final_positions: jsonv::frame_from_value(jsonv::field(v, "final_positions")?)?,
             steps_executed: jsonv::int(v, "steps_executed")?,
+            final_potential: jsonv::opt_num(v, "final_potential"),
             tag: v.get("tag").cloned().unwrap_or(Value::Null),
         })
     }
@@ -300,6 +308,7 @@ impl CommandExecutor for MdRunExecutor {
             final_positions: sim.state.positions.clone(),
             trajectory,
             steps_executed,
+            final_potential: Some(sim.potential_energy()),
             tag: spec.tag,
         };
         Ok(output.to_value())
@@ -645,6 +654,12 @@ mod tests {
         assert_eq!(parsed.trajectory.len(), 5);
         assert_eq!(parsed.steps_executed, 400);
         assert_eq!(parsed.final_positions.len(), 35);
+        let e = parsed.final_potential.expect("energy always reported");
+        assert!(e.is_finite());
+        // Outputs recorded before the field existed decode to None.
+        let mut v = out.clone();
+        v.as_object_mut().unwrap().remove("final_potential");
+        assert_eq!(MdRunOutput::from_value(&v).unwrap().final_potential, None);
     }
 
     #[test]

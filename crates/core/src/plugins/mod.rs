@@ -14,11 +14,15 @@ use std::collections::BTreeMap;
 
 pub mod fep;
 pub mod msm;
+pub mod repex;
 
 pub use fep::{FepController, FepProjectConfig, FepProjectReport};
 pub use msm::{
     AdaptiveMode, GenerationReport, KineticsReport, MsmController, MsmProjectConfig,
     MsmProjectReport, TrajectoryArchive,
+};
+pub use repex::{
+    ExchangeMode, ExchangeRecord, RepexController, RepexProjectConfig, RepexProjectReport,
 };
 
 /// Factory signature for a named controller plugin: parse the JSON
@@ -54,8 +58,8 @@ impl PluginRegistry {
     }
 }
 
-/// The built-in plugin registry: `"msm"` (adaptive sampling) and
-/// `"fep"` (stratified BAR free energies).
+/// The built-in plugin registry: `"msm"` (adaptive sampling), `"fep"`
+/// (stratified BAR free energies) and `"repex"` (parallel tempering).
 pub fn registry() -> PluginRegistry {
     let mut factories: BTreeMap<&'static str, PluginFactory> = BTreeMap::new();
     factories.insert("msm", |config| {
@@ -65,6 +69,10 @@ pub fn registry() -> PluginRegistry {
     factories.insert("fep", |config| {
         let cfg = FepProjectConfig::from_value(config)?;
         Ok(Box::new(FepController::new(cfg)) as Box<dyn Controller>)
+    });
+    factories.insert("repex", |config| {
+        let cfg = RepexProjectConfig::from_value(config)?;
+        Ok(Box::new(RepexController::new(cfg)) as Box<dyn Controller>)
     });
     PluginRegistry { factories }
 }
@@ -77,7 +85,7 @@ mod tests {
     #[test]
     fn registry_lists_builtin_plugins() {
         let reg = registry();
-        assert_eq!(reg.names(), vec!["fep", "msm"]);
+        assert_eq!(reg.names(), vec!["fep", "msm", "repex"]);
         assert!(reg.get("msm").is_some());
         assert!(reg.get("nope").is_none());
     }
@@ -89,6 +97,10 @@ mod tests {
         assert_eq!(msm.name(), "msm");
         let fep = reg.instantiate("fep", &json!({ "n_windows": 2 })).unwrap();
         assert_eq!(fep.name(), "fep-bar");
+        let repex = reg
+            .instantiate("repex", &json!({ "n_replicas": 4, "mode": "sync" }))
+            .unwrap();
+        assert_eq!(repex.name(), "repex");
     }
 
     #[test]
@@ -102,6 +114,9 @@ mod tests {
         assert!(err.contains("msm"));
         assert!(reg
             .instantiate("msm", &json!({ "weighting": "Sideways" }))
+            .is_err());
+        assert!(reg
+            .instantiate("repex", &json!({ "mode": "diagonal" }))
             .is_err());
     }
 }

@@ -255,6 +255,84 @@ fn delegated_commands_complete_via_peer() {
 }
 
 // ---------------------------------------------------------------------
+// Replica exchange across the overlay: sync points behind a delegate
+// ---------------------------------------------------------------------
+
+/// A repex ladder whose legs all execute on a *peered* server's workers.
+/// Exchange partners rendezvous at the owner — the controller never
+/// knows its energies crossed a delegate link — so the ladder must
+/// resolve exactly as it does locally, and the owner's journal must
+/// show every leg as a delegated completion.
+#[test]
+fn repex_ladder_resolves_when_replicas_live_behind_a_delegate() {
+    let key = AuthKey::from_passphrase("overlay-repex");
+    let telemetry = Telemetry::new();
+
+    let config = RepexProjectConfig {
+        n_replicas: 4,
+        n_legs: 4,
+        steps_per_leg: 150,
+        mode: ExchangeMode::Async,
+        seed: 42,
+        ..RepexProjectConfig::default()
+    };
+    let controller = RepexController::new(config);
+    let model = controller.model();
+
+    // Server A owns the ladder but has no workers of its own.
+    let a = serve_project(
+        Box::new(controller),
+        owner_config(key, Some(telemetry.clone())),
+    )
+    .expect("owner server must bind");
+    let a_addr = a.local_addr.to_string();
+
+    // Server B idles, peers with A, and hosts the only worker pool —
+    // every leg (and therefore every exchange energy) crosses the link.
+    let b = serve_project(Box::new(Idle), delegate_config(key, &a_addr))
+        .expect("delegate server must bind");
+    let b_addr = b.local_addr.to_string();
+
+    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(model)));
+    let workers = connect_workers(&b_addr, key, 3, worker_config(), registry)
+        .expect("workers must connect to the delegate");
+
+    let result = a.join();
+    assert_eq!(result.commands_dropped, 0);
+    assert_eq!(result.commands_completed, 16, "4 replicas × 4 legs");
+    let report =
+        RepexProjectReport::from_value(&result.result).expect("repex report must parse");
+    assert_eq!(report.n_alive, 4);
+    // 4 legs over 4 replicas: even parity carries 2 pairs, odd 1.
+    assert_eq!(report.attempts, 6, "the full exchange schedule resolves");
+    let mut walkers = report.walkers.clone();
+    walkers.sort_unstable();
+    assert_eq!(walkers, vec![0, 1, 2, 3], "occupancy stays a permutation");
+
+    for w in workers {
+        w.join();
+    }
+    let b_result = b.join();
+    assert_eq!(b_result.result, json!("idle"));
+
+    let journal = telemetry.export_journal_jsonl();
+    assert!(
+        journal.contains("peer_connected"),
+        "owner journal must record the peer link"
+    );
+    let delegated = journal.matches("delegation_completed").count();
+    assert!(
+        delegated >= 16,
+        "every leg must complete via delegation, saw {delegated}"
+    );
+    let exchanges = journal.matches("replica_exchange").count();
+    assert_eq!(
+        exchanges, 6,
+        "the owner must journal each sync-point decision: {journal}"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Distributed tracing: one merged span tree across both servers
 // ---------------------------------------------------------------------
 

@@ -66,6 +66,18 @@ pub enum Event {
     SpanBegin { span_id: u64, name: String },
     /// End of a named span.
     SpanEnd { span_id: u64, name: String },
+    /// The repex controller evaluated a Metropolis exchange between two
+    /// neighboring ladder slots at a sync point.
+    ReplicaExchange {
+        leg: u64,
+        slot_lo: u64,
+        slot_hi: u64,
+        prob: f64,
+        accepted: bool,
+    },
+    /// The repex controller permanently removed a replica from the
+    /// ladder after its command exhausted its attempt budget.
+    ReplicaDropped { slot: u64, leg: u64 },
     /// Free-form marker for anything without a dedicated variant.
     Note { text: String },
 }
@@ -88,6 +100,8 @@ impl Event {
             Event::GenerationClustered { .. } => "generation_clustered",
             Event::SpanBegin { .. } => "span_begin",
             Event::SpanEnd { .. } => "span_end",
+            Event::ReplicaExchange { .. } => "replica_exchange",
+            Event::ReplicaDropped { .. } => "replica_dropped",
             Event::Note { .. } => "note",
         }
     }
@@ -158,6 +172,22 @@ impl Event {
             }
             Event::SpanBegin { span_id, name } | Event::SpanEnd { span_id, name } => {
                 obj.set("span_id", *span_id).set("span", name.as_str());
+            }
+            Event::ReplicaExchange {
+                leg,
+                slot_lo,
+                slot_hi,
+                prob,
+                accepted,
+            } => {
+                obj.set("leg", *leg)
+                    .set("slot_lo", *slot_lo)
+                    .set("slot_hi", *slot_hi)
+                    .set("prob", *prob)
+                    .set("accepted", *accepted);
+            }
+            Event::ReplicaDropped { slot, leg } => {
+                obj.set("slot", *slot).set("leg", *leg);
             }
             Event::Note { text } => {
                 obj.set("text", text.as_str());
@@ -231,6 +261,17 @@ impl Event {
             "span_end" => Event::SpanEnd {
                 span_id: u("span_id")?,
                 name: s("span")?,
+            },
+            "replica_exchange" => Event::ReplicaExchange {
+                leg: u("leg")?,
+                slot_lo: u("slot_lo")?,
+                slot_hi: u("slot_hi")?,
+                prob: obj.get("prob").and_then(Json::as_f64)?,
+                accepted: matches!(obj.get("accepted"), Some(Json::Bool(true))),
+            },
+            "replica_dropped" => Event::ReplicaDropped {
+                slot: u("slot")?,
+                leg: u("leg")?,
             },
             "note" => Event::Note { text: s("text")? },
             _ => return None,

@@ -93,6 +93,16 @@ pub mod names {
     pub const WIRE_RECONNECTS: &str = "wire_reconnects";
     /// Handshakes rejected (bad pre-shared key, bad magic, malformed).
     pub const WIRE_AUTH_FAILURES: &str = "wire_auth_failures";
+    /// Replica-exchange Metropolis attempts evaluated at sync points.
+    pub const REPEX_EXCHANGE_ATTEMPTS: &str = "repex_exchange_attempts";
+    /// Replica-exchange attempts that were accepted (temperatures swapped).
+    pub const REPEX_EXCHANGE_ACCEPTS: &str = "repex_exchange_accepts";
+    /// Walkers that completed a full bottom-to-top-to-bottom traversal
+    /// of the temperature ladder.
+    pub const REPEX_ROUND_TRIPS: &str = "repex_round_trips";
+    /// Replicas permanently removed from the ladder after their command
+    /// exhausted its attempt budget.
+    pub const REPEX_REPLICAS_DROPPED: &str = "repex_replicas_dropped";
 }
 
 /// The facade the rest of the workspace passes around: a shared

@@ -8,6 +8,7 @@
 //! ```text
 //! copernicus msm  [config.json] [--workers N]   # adaptive-sampling project
 //! copernicus fep  [config.json] [--workers N]   # BAR free-energy project
+//! copernicus repex [config.json] [--workers N]  # replica-exchange project
 //! copernicus demo                               # built-in quick demo
 //! copernicus report <snapshot.json>             # render a saved telemetry snapshot
 //! copernicus serve [config.json] --bind ADDR --key PASSPHRASE
@@ -70,6 +71,7 @@ fn main() {
     match mode {
         "msm" => run_msm(config_path, &opts),
         "fep" => run_fep(config_path, &opts),
+        "repex" => run_repex(config_path, &opts),
         "demo" => {
             let cfg = MsmProjectConfig {
                 n_starts: 3,
@@ -105,12 +107,13 @@ fn main() {
         "trace" => run_trace(&args),
         _ => {
             eprintln!(
-                "usage: copernicus <msm|fep|demo|report|serve|work|trace> [config.json] \
+                "usage: copernicus <msm|fep|repex|demo|report|serve|work|trace> [config.json] \
                  [--workers N] [--report] [--telemetry-dir DIR] [--metrics-addr ADDR]"
             );
             eprintln!();
             eprintln!("  msm     run an adaptive-sampling project (MsmProjectConfig JSON)");
             eprintln!("  fep     run a BAR free-energy project (FepProjectConfig JSON)");
+            eprintln!("  repex   run a replica-exchange project (RepexProjectConfig JSON)");
             eprintln!("  demo    run a built-in 1-minute adaptive-sampling demo");
             eprintln!("  report  render a saved telemetry snapshot as text");
             eprintln!("  serve   project server on TCP: --bind ADDR --key PASSPHRASE");
@@ -506,6 +509,50 @@ fn run_msm_config(cfg: MsmProjectConfig, opts: &Options) {
     let monitor = running.monitor.clone();
     let result = running.join();
     let _ = ticker.join();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result.result).expect("result serializes")
+    );
+    eprintln!(
+        "done: {} commands, {} requeued, {} workers lost, {:.1?}",
+        result.commands_completed, result.commands_requeued, result.workers_lost, result.wall
+    );
+    finish_telemetry(&monitor, &telemetry, opts);
+}
+
+fn run_repex(config_path: Option<String>, opts: &Options) {
+    let cfg = match RepexProjectConfig::from_value(&load_config_value(config_path)) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("bad repex config: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "repex project: {} replicas over T=[{}, {}], {} legs × {} steps ({} mode), {} workers",
+        cfg.n_replicas,
+        cfg.t_min,
+        cfg.t_max,
+        cfg.n_legs,
+        cfg.steps_per_leg,
+        cfg.mode.as_str(),
+        opts.n_workers
+    );
+    let telemetry = Telemetry::new();
+    let _metrics = start_metrics(opts, &telemetry);
+    let controller = RepexController::new(cfg);
+    let registry = ExecutorRegistry::new().with(Arc::new(MdRunExecutor::new(controller.model())));
+    let running = start_project(
+        Box::new(controller),
+        registry,
+        RuntimeConfig {
+            n_workers: opts.n_workers,
+            telemetry: Some(telemetry.clone()),
+            ..RuntimeConfig::default()
+        },
+    );
+    let monitor = running.monitor.clone();
+    let result = running.join();
     println!(
         "{}",
         serde_json::to_string_pretty(&result.result).expect("result serializes")
